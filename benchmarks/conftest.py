@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The headline model set (trained on the full canonical scenario, as in the
+paper) is session-scoped: several benches reuse it so the expensive harvest
+runs once.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+from repro.experiments.training import train_paper_models
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    return ScenarioConfig()
+
+
+@pytest.fixture(scope="session")
+def paper_trace(paper_config):
+    return multidc_trace(paper_config)
+
+
+@pytest.fixture(scope="session")
+def paper_models(paper_config, paper_trace):
+    models, _ = train_paper_models(lambda: multidc_system(paper_config),
+                                   paper_trace, seed=7)
+    return models

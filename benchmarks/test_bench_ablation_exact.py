@@ -1,0 +1,98 @@
+"""Ablation A1 — Best-Fit vs the exact solver: optimality gap and runtime.
+
+The paper justifies the greedy heuristic by MILP cost ("several minutes to
+schedule 10 jobs among 40 candidate hosts" with GUROBI).  On small
+instances our branch-and-bound measures how much objective the heuristic
+actually gives up (expected: very little) and how the two runtimes scale.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bestfit import descending_best_fit
+from repro.core.estimators import OracleEstimator
+from repro.core.exact import exact_schedule
+from repro.core.model import (HostView, SchedulingProblem, VMRequest,
+                              evaluate_schedule)
+from repro.core.profit import PriceBook
+from repro.core.sla import PAPER_SLA
+from repro.sim.demand import LoadVector
+from repro.sim.machines import PhysicalMachine, VirtualMachine
+from repro.sim.network import PAPER_LOCATIONS, paper_network_model
+
+
+def make_problem(n_vms, n_hosts, seed):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(n_vms):
+        sources = {loc: LoadVector(float(rng.uniform(1, 15)), 4000.0, 0.05)
+                   for loc in PAPER_LOCATIONS}
+        requests.append(VMRequest(vm=VirtualMachine(vm_id=f"vm{i}"),
+                                  contract=PAPER_SLA, loads=sources))
+    hosts = [HostView.of(PhysicalMachine(pm_id=f"h{j}"),
+                         PAPER_LOCATIONS[j % 4], 0.13)
+             for j in range(n_hosts)]
+    return SchedulingProblem(requests=requests, hosts=hosts,
+                             network=paper_network_model(),
+                             prices=PriceBook(),
+                             estimator=OracleEstimator(),
+                             interval_s=600.0)
+
+
+@pytest.fixture(scope="module")
+def gap_measurements():
+    rows = []
+    for seed in range(8):
+        problem = make_problem(n_vms=5, n_hosts=4, seed=seed)
+        t0 = time.perf_counter()
+        bf = descending_best_fit(problem)
+        t_bf = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        exact = exact_schedule(problem)
+        t_exact = time.perf_counter() - t0
+        bf_value = evaluate_schedule(problem, bf.assignment)
+        rows.append(dict(seed=seed, bf=bf_value, exact=exact.value_eur,
+                         t_bf=t_bf, t_exact=t_exact,
+                         nodes=exact.nodes_explored))
+    return rows
+
+
+def test_bench_bestfit_small_instance(benchmark):
+    problem = make_problem(n_vms=5, n_hosts=4, seed=0)
+    benchmark(lambda: descending_best_fit(problem))
+
+
+def test_bench_exact_small_instance(benchmark):
+    problem = make_problem(n_vms=5, n_hosts=4, seed=0)
+    benchmark.pedantic(lambda: exact_schedule(problem), rounds=3,
+                       iterations=1)
+
+
+class TestShape:
+    def test_exact_never_worse(self, gap_measurements):
+        for row in gap_measurements:
+            assert row["exact"] >= row["bf"] - 1e-9
+
+    def test_average_gap_small(self, gap_measurements):
+        """The paper's premise: Best-Fit is a good approximation."""
+        gaps = [(r["exact"] - r["bf"]) / max(abs(r["exact"]), 1e-9)
+                for r in gap_measurements]
+        assert float(np.mean(gaps)) < 0.05
+
+    def test_bestfit_much_faster(self, gap_measurements):
+        speedups = [r["t_exact"] / max(r["t_bf"], 1e-9)
+                    for r in gap_measurements]
+        assert float(np.median(speedups)) > 3.0
+
+    def test_report(self, gap_measurements):
+        print()
+        print("A1: Best-Fit vs exact (5 VMs x 4 hosts)")
+        print(f"{'seed':>4} {'BF value':>10} {'exact':>10} {'gap %':>7} "
+              f"{'t_BF ms':>8} {'t_exact ms':>10} {'nodes':>7}")
+        for r in gap_measurements:
+            gap = 100 * (r["exact"] - r["bf"]) / max(abs(r["exact"]), 1e-9)
+            print(f"{r['seed']:>4} {r['bf']:>10.4f} {r['exact']:>10.4f} "
+                  f"{gap:>7.2f} {1e3 * r['t_bf']:>8.2f} "
+                  f"{1e3 * r['t_exact']:>10.2f} {r['nodes']:>7}")

@@ -1,0 +1,57 @@
+"""Ablation A4 — planning on forecast vs measured current-interval load.
+
+The experiment harness (like the paper's) hands the scheduler the load the
+round is about to receive.  A deployed system only has history.  This
+ablation runs BF-ML with the seasonal+EWMA forecaster (strictly causal) and
+measures how much of the dynamic scheduler's advantage survives.
+"""
+
+import pytest
+
+from repro.core.policies import bf_ml_scheduler, static_scheduler
+from repro.sim.engine import run_simulation
+from repro.workload.forecast import LoadForecaster
+from repro.experiments.scenario import multidc_system
+
+
+@pytest.fixture(scope="module")
+def runs(paper_config, paper_trace, paper_models):
+    out = {}
+    out["static"] = run_simulation(multidc_system(paper_config), paper_trace,
+                                   scheduler=static_scheduler()).summary()
+    out["measured"] = run_simulation(
+        multidc_system(paper_config), paper_trace,
+        scheduler=bf_ml_scheduler(paper_models)).summary()
+    out["forecast"] = run_simulation(
+        multidc_system(paper_config), paper_trace,
+        scheduler=bf_ml_scheduler(
+            paper_models, forecaster=LoadForecaster(period=144))).summary()
+    return out
+
+
+def test_bench_forecast_scheduling(benchmark, paper_config, paper_trace,
+                                   paper_models):
+    out = benchmark.pedantic(
+        lambda: run_simulation(
+            multidc_system(paper_config), paper_trace,
+            scheduler=bf_ml_scheduler(
+                paper_models, forecaster=LoadForecaster(period=144))),
+        rounds=1, iterations=1)
+    assert len(out) == paper_config.n_intervals
+
+
+class TestShape:
+    def test_forecast_still_saves_energy(self, runs):
+        assert runs["forecast"].avg_watts < 0.85 * runs["static"].avg_watts
+
+    def test_forecast_sla_near_measured(self, runs):
+        assert runs["forecast"].avg_sla > runs["measured"].avg_sla - 0.05
+
+    def test_report(self, runs):
+        print()
+        print("A4: BF-ML on measured vs forecast load")
+        print(f"{'input':<9} {'avg SLA':>8} {'avg W':>8} {'EUR/h':>8}")
+        for name in ("static", "measured", "forecast"):
+            s = runs[name]
+            print(f"{name:<9} {s.avg_sla:>8.3f} {s.avg_watts:>8.1f} "
+                  f"{s.avg_eur_per_hour:>8.3f}")

@@ -1,0 +1,45 @@
+"""Ablation A5 — training-data volume vs model and scheduling quality.
+
+Sweeps the exploration-harvest length and reports, per size, the SLA
+predictor's validation quality and the outcome of a BF-ML day driven by
+that model set.  Locates the knee where additional monitoring stops paying
+(the paper trains on ~1-2k instances; this shows why that is enough).
+"""
+
+import pytest
+
+from repro.experiments.harvest_ablation import (format_harvest_ablation,
+                                                run_harvest_ablation)
+from repro.experiments.scenario import ScenarioConfig
+
+CONFIG = ScenarioConfig(n_intervals=144, scale=3.0, seed=7)
+SWEEP = (12, 48, 144)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_harvest_ablation(CONFIG, harvest_intervals=SWEEP)
+
+
+def test_bench_harvest_ablation(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_harvest_ablation(CONFIG, harvest_intervals=SWEEP),
+        rounds=1, iterations=1)
+    print()
+    print(format_harvest_ablation(out))
+
+
+class TestShape:
+    def test_model_quality_improves_with_data(self, result):
+        first, last = result.points[0], result.points[-1]
+        assert last.sla_model_corr >= first.sla_model_corr - 0.02
+
+    def test_scheduling_quality_improves_or_holds(self, result):
+        first, last = result.points[0], result.points[-1]
+        assert last.run_avg_sla >= first.run_avg_sla - 0.03
+
+    def test_paper_scale_harvest_is_sufficient(self, result):
+        """At the paper's sample scale (~2k), the SLA model is excellent."""
+        last = result.points[-1]
+        assert last.n_samples > 1500
+        assert last.sla_model_corr > 0.9

@@ -1,0 +1,53 @@
+"""Ablation A3 — predict SLA directly vs predict RT then compute SLA.
+
+Paper §IV.B: "better results are obtained if SLA is predicted directly,
+possibly because it has a bounded range so it is less sensitive to
+outliers."  Beyond the Table I validation comparison (bench T1), this
+ablation measures the *scheduling* consequence: BF-ML driven by the direct
+k-NN SLA model vs the same scheduler composing SLA from the M5P RT model.
+"""
+
+import pytest
+
+from repro.core.policies import bf_ml_scheduler
+from repro.sim.engine import run_simulation
+from repro.experiments.scenario import multidc_system
+
+
+@pytest.fixture(scope="module")
+def runs(paper_config, paper_trace, paper_models):
+    out = {}
+    for mode in ("direct", "rt"):
+        history = run_simulation(
+            multidc_system(paper_config), paper_trace,
+            scheduler=bf_ml_scheduler(paper_models, sla_mode=mode))
+        out[mode] = history.summary()
+    return out
+
+
+def test_bench_sla_direct_scheduling(benchmark, paper_config, paper_trace,
+                                     paper_models):
+    out = benchmark.pedantic(
+        lambda: run_simulation(
+            multidc_system(paper_config), paper_trace,
+            scheduler=bf_ml_scheduler(paper_models, sla_mode="direct")),
+        rounds=1, iterations=1)
+    assert len(out) == paper_config.n_intervals
+
+
+class TestShape:
+    def test_direct_mode_no_worse_on_sla(self, runs):
+        assert runs["direct"].avg_sla >= runs["rt"].avg_sla - 0.01
+
+    def test_direct_mode_no_worse_on_profit(self, runs):
+        assert (runs["direct"].avg_eur_per_hour
+                >= runs["rt"].avg_eur_per_hour - 0.005)
+
+    def test_report(self, runs):
+        print()
+        print("A3: scheduling with SLA-direct vs RT-then-SLA")
+        print(f"{'mode':<8} {'avg SLA':>8} {'avg W':>8} {'EUR/h':>8} "
+              f"{'migr':>5}")
+        for mode, s in runs.items():
+            print(f"{mode:<8} {s.avg_sla:>8.3f} {s.avg_watts:>8.1f} "
+                  f"{s.avg_eur_per_hour:>8.3f} {s.n_migrations:>5d}")

@@ -1,0 +1,82 @@
+"""Extension bench — "follow the sun": green-energy tariffs (paper §II/§VI).
+
+The paper claims a follow-the-sun/wind policy "could also be introduced
+easily into the energy cost computation".  This bench does exactly that:
+solar-discounted tariffs (cheap power while the local sun shines) under the
+unchanged profit objective, measuring how much of the energy bill the
+scheduler recovers by chasing daylight.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import oracle_scheduler
+from repro.sim.engine import run_simulation
+from repro.sim.tariffs import solar_tariff
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+
+LOCATIONS = ("BRS", "BNG", "BCN", "BST")
+CONFIG = ScenarioConfig(n_intervals=144, scale=2.0, affinity_boost=1.0,
+                        seed=11)
+
+
+def solar_system():
+    system = multidc_system(CONFIG)
+    system.tariff_schedule = solar_tariff(
+        {loc: 3.0 for loc in LOCATIONS},
+        n_intervals=CONFIG.n_intervals, solar_discount=0.9)
+    return system
+
+
+@pytest.fixture(scope="module")
+def runs():
+    trace = multidc_trace(CONFIG)
+    dynamic = run_simulation(solar_system(), trace,
+                             scheduler=oracle_scheduler())
+    static = run_simulation(solar_system(), trace)
+    return {"dynamic": dynamic, "static": static}
+
+
+def test_bench_follow_the_sun(benchmark):
+    trace = multidc_trace(CONFIG)
+    out = benchmark.pedantic(
+        lambda: run_simulation(solar_system(), trace,
+                               scheduler=oracle_scheduler()),
+        rounds=1, iterations=1)
+    assert len(out) == CONFIG.n_intervals
+
+
+class TestShape:
+    def test_large_energy_bill_saving(self, runs):
+        dyn = runs["dynamic"].summary().energy_cost_eur
+        sta = runs["static"].summary().energy_cost_eur
+        assert dyn < 0.5 * sta
+
+    def test_vms_visit_multiple_dcs(self, runs):
+        visited = set()
+        for report in runs["dynamic"].reports:
+            visited.update(v.location for v in report.vms.values())
+        assert len(visited) >= 3
+
+    def test_follows_daylight(self, runs):
+        """Most VM-intervals are hosted where the sun currently shines."""
+        tariffs = solar_system().tariff_schedule
+        in_sun = 0
+        total = 0
+        for report in runs["dynamic"].reports:
+            for v in report.vms.values():
+                total += 1
+                if tariffs.price(v.location, report.t) < 1.5:  # < half base
+                    in_sun += 1
+        assert in_sun / total > 0.5
+
+    def test_report(self, runs):
+        dyn, sta = runs["dynamic"].summary(), runs["static"].summary()
+        print()
+        print("EXT: follow-the-sun under solar tariffs")
+        print(f"{'run':<8} {'energy EUR':>11} {'avg SLA':>8} {'migr':>5}")
+        print(f"{'static':<8} {sta.energy_cost_eur:>11.3f} "
+              f"{sta.avg_sla:>8.3f} {sta.n_migrations:>5d}")
+        print(f"{'dynamic':<8} {dyn.energy_cost_eur:>11.3f} "
+              f"{dyn.avg_sla:>8.3f} {dyn.n_migrations:>5d}")

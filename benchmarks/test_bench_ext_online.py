@@ -1,0 +1,105 @@
+"""Extension bench — on-line learning under workload drift (paper §VI.4).
+
+The paper motivates continuous retraining with "changes in either
+application behavior, hardware or middleware changes, or workload
+characteristics".  This bench injects exactly such a change: halfway
+through the run every request becomes 2x more CPU-expensive (an
+application regression).  A scheduler frozen on pre-drift models
+mispredicts requirements after the shift; the on-line scheduler retrains on
+recent samples and recovers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineLearningScheduler
+from repro.core.policies import bf_ml_scheduler
+from repro.sim.engine import run_simulation
+from repro.sim.monitor import Monitor
+from repro.workload.traces import SourceSeries, WorkloadTrace
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+from repro.experiments.training import train_paper_models
+
+CONFIG = ScenarioConfig(n_intervals=144, scale=2.0, seed=13)
+DRIFT_FACTOR = 2.0
+
+
+def drifted_trace() -> WorkloadTrace:
+    """CPU cost per request jumps by DRIFT_FACTOR at half-time."""
+    base = multidc_trace(CONFIG)
+    half = base.n_intervals // 2
+    out = WorkloadTrace(interval_s=base.interval_s)
+    for key, series in base.series.items():
+        cpr = series.cpu_time_per_req.copy()
+        cpr[half:] *= DRIFT_FACTOR
+        out.series[key] = SourceSeries(rps=series.rps.copy(),
+                                       bytes_per_req=series.bytes_per_req.copy(),
+                                       cpu_time_per_req=cpr)
+    return out
+
+
+@pytest.fixture(scope="module")
+def runs():
+    # Bootstrap models trained only on PRE-drift behaviour.
+    pre_drift = multidc_trace(CONFIG)
+    bootstrap, _ = train_paper_models(lambda: multidc_system(CONFIG),
+                                      pre_drift, seed=7)
+    trace = drifted_trace()
+    frozen = run_simulation(multidc_system(CONFIG), trace,
+                            scheduler=bf_ml_scheduler(bootstrap))
+    monitor = Monitor(rng=np.random.default_rng(3))
+    online = OnlineLearningScheduler(monitor=monitor, bootstrap=bootstrap,
+                                     retrain_every=12, window=500,
+                                     min_samples=120, seed=9)
+    adaptive = run_simulation(multidc_system(CONFIG), trace,
+                              scheduler=online, monitor=monitor)
+    return {"frozen": frozen, "online": adaptive,
+            "scheduler": online}
+
+
+def test_bench_online_learning(benchmark):
+    pre_drift = multidc_trace(CONFIG)
+    bootstrap, _ = train_paper_models(lambda: multidc_system(CONFIG),
+                                      pre_drift, seed=7)
+    trace = drifted_trace()
+
+    def run():
+        monitor = Monitor(rng=np.random.default_rng(3))
+        scheduler = OnlineLearningScheduler(
+            monitor=monitor, bootstrap=bootstrap, retrain_every=12,
+            window=500, min_samples=120, seed=9)
+        return run_simulation(multidc_system(CONFIG), trace,
+                              scheduler=scheduler, monitor=monitor)
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(out) == CONFIG.n_intervals
+
+
+class TestShape:
+    def test_online_retrained_after_drift(self, runs):
+        half = CONFIG.n_intervals // 2
+        assert any(r >= half for r in runs["scheduler"].retrain_history)
+
+    def test_online_no_worse_post_drift(self, runs):
+        """After the drift, the adaptive run must hold at least the frozen
+        run's SLA (it has strictly more information)."""
+        half = CONFIG.n_intervals // 2
+        frozen_post = runs["frozen"].sla_series()[half:].mean()
+        online_post = runs["online"].sla_series()[half:].mean()
+        assert online_post >= frozen_post - 0.02
+
+    def test_report(self, runs):
+        half = CONFIG.n_intervals // 2
+        print()
+        print(f"EXT: online learning under drift "
+              f"(cpu-per-request x{DRIFT_FACTOR} at t={half})")
+        print(f"{'run':<8} {'SLA pre':>8} {'SLA post':>9} {'EUR/h':>8}")
+        for name in ("frozen", "online"):
+            h = runs[name]
+            pre = h.sla_series()[:half].mean()
+            post = h.sla_series()[half:].mean()
+            print(f"{name:<8} {pre:>8.3f} {post:>9.3f} "
+                  f"{h.summary().avg_eur_per_hour:>8.3f}")
+        print(f"online retrains at rounds "
+              f"{runs['scheduler'].retrain_history}")

@@ -1,0 +1,50 @@
+"""Bench F4 — regenerate Figure 4 (intra-DC BF vs BF-OB vs BF-ML).
+
+Paper shape: plain BF consolidates too hard and loses SLA under load;
+BF-ML pays energy to protect SLA ("as long as SLA revenue pays for the
+energy and migration costs"); BF-OB protects SLA by brute overbooking at
+the highest energy.
+"""
+
+import pytest
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure4()
+
+
+def test_bench_figure4(benchmark):
+    out = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    print()
+    print(format_figure4(out))
+
+
+class TestShape:
+    def test_ml_beats_plain_bf_on_sla(self, result):
+        assert result.sla_of("BF-ML") > result.sla_of("BF") + 0.05
+
+    def test_plain_bf_uses_least_energy(self, result):
+        assert result.watts_of("BF") <= result.watts_of("BF-ML")
+        assert result.watts_of("BF") <= result.watts_of("BF-OB")
+
+    def test_ml_cheaper_than_overbooking(self, result):
+        """BF-ML reaches BF-OB-like SLA without booking twice everything."""
+        assert result.watts_of("BF-ML") < result.watts_of("BF-OB")
+        assert result.sla_of("BF-ML") > result.sla_of("BF-OB") - 0.05
+
+    def test_ml_most_profitable_or_close(self, result):
+        euros = {k: s.avg_eur_per_hour for k, s in result.summaries.items()}
+        assert euros["BF-ML"] >= max(euros.values()) - 0.02
+
+    def test_ml_deconsolidates_under_load(self, result):
+        """The paper's key observation: BF-ML '(de-)consolidates
+        constantly to adapt VMs to the load level'."""
+        import numpy as np
+        history = result.histories["BF-ML"]
+        pms_on = history.pms_on_series()
+        assert pms_on.max() - pms_on.min() >= 1.0
+        rps = history.total_rps_series()
+        assert np.corrcoef(rps, pms_on)[0, 1] > 0.3

@@ -1,0 +1,29 @@
+"""Bench F5 — regenerate Figure 5 (follow-the-load placement trace)."""
+
+import pytest
+
+from repro.experiments.figure5 import format_figure5, run_figure5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure5()
+
+
+def test_bench_figure5(benchmark):
+    out = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    print()
+    print(format_figure5(out))
+
+
+class TestShape:
+    def test_vm_tours_every_dc(self, result):
+        """The dominant source rotates through all four regions."""
+        assert result.distinct_locations_visited == 4
+
+    def test_placement_tracks_dominant_source(self, result):
+        assert result.follow_fraction > 0.75
+
+    def test_migration_count_is_moderate(self, result):
+        """Follows the rotation (>= 3 moves) without flapping."""
+        assert 3 <= result.n_migrations <= 12

@@ -1,0 +1,54 @@
+"""Bench F6 — regenerate Figure 6 (full inter-DC run with flash crowd).
+
+Paper observations: (1) heavy load => deconsolidation across DCs;
+(2) safe SLA => consolidation toward cheap energy; (3) the minute-70-90
+flash crowd exceeds system capacity (kept for realism).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+from repro.experiments.scenario import ScenarioConfig
+from repro.workload.patterns import PAPER_FLASH_CROWD
+
+
+@pytest.fixture(scope="module")
+def result(paper_models):
+    config = ScenarioConfig(flash_crowds=(PAPER_FLASH_CROWD,))
+    return run_figure6(config, models=paper_models)
+
+
+def test_bench_figure6(benchmark, paper_models):
+    config = ScenarioConfig(flash_crowds=(PAPER_FLASH_CROWD,))
+    out = benchmark.pedantic(
+        lambda: run_figure6(config, models=paper_models),
+        rounds=1, iterations=1)
+    print()
+    print(format_figure6(out))
+
+
+class TestShape:
+    def test_flash_crowd_dominates_load(self, result):
+        mask = result._window_mask()
+        assert (result.rps_series[mask].mean()
+                > 2.0 * result.rps_series[~mask].mean())
+
+    def test_sla_collapses_during_flash(self, result):
+        """The crowd 'clearly exceeds the capacity of the system'."""
+        assert result.sla_dip_during_flash > 0.3
+
+    def test_deconsolidation_under_load(self, result):
+        """Observation 1: more PMs on when request rate is high."""
+        assert result.deconsolidation_correlation > 0.0
+
+    def test_consolidation_in_troughs(self, result):
+        """Observation 2: the system runs on fewer PMs than the fleet
+        during low-load periods."""
+        assert result.pms_on_series.min() <= 2
+
+    def test_migrations_bounded(self, result):
+        """Observation 3: no pointless churn (at most ~1 move per VM per
+        scheduling round on average)."""
+        n_vms = 5
+        assert result.summary.n_migrations < n_vms * len(result.sla_series) / 3

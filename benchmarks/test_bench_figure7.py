@@ -1,0 +1,35 @@
+"""Bench F7 — regenerate Figure 7 (static vs dynamic time series)."""
+
+import pytest
+
+from repro.experiments.figure7 import format_figure7, run_figure7
+
+
+@pytest.fixture(scope="module")
+def result(paper_config, paper_models):
+    return run_figure7(paper_config, models=paper_models)
+
+
+def test_bench_figure7(benchmark, paper_config, paper_models):
+    out = benchmark.pedantic(
+        lambda: run_figure7(paper_config, models=paper_models),
+        rounds=1, iterations=1)
+    print()
+    print(format_figure7(out))
+
+
+class TestShape:
+    def test_dynamic_below_static_most_of_the_day(self, result):
+        assert result.fraction_intervals_saving_energy > 0.7
+
+    def test_total_saving_large(self, result):
+        """Paper: ~42 % energy saved."""
+        assert result.table3.energy_saving_fraction > 0.20
+
+    def test_sla_series_comparable(self, result):
+        """Dynamic SLA stays in the static band on average."""
+        assert abs(result.dynamic_sla.mean()
+                   - result.static_sla.mean()) < 0.03
+
+    def test_series_full_day(self, result):
+        assert len(result.static_watts) == 144

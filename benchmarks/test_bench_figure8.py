@@ -1,0 +1,47 @@
+"""Bench F8 — regenerate Figure 8 (SLA vs energy vs load characteristic).
+
+Paper: "given the amount of load, as we want to improve the SLA fulfillment
+we are forced to consume more energy"; each load level has its own
+SLA-vs-energy characteristic.
+"""
+
+import pytest
+
+from repro.experiments.figure8 import format_figure8, run_figure8
+
+
+@pytest.fixture(scope="module")
+def result(paper_config, paper_models):
+    return run_figure8(paper_config, models=paper_models)
+
+
+def test_bench_figure8(benchmark, paper_config, paper_models):
+    out = benchmark.pedantic(
+        lambda: run_figure8(paper_config, models=paper_models),
+        rounds=1, iterations=1)
+    print()
+    print(format_figure8(out))
+
+
+class TestShape:
+    def test_grid_complete(self, result):
+        assert len(result.points) == 3 * 4
+
+    def test_energy_buys_sla_within_load_level(self, result):
+        """More energy => at least as much SLA, on most frontier steps."""
+        assert result.monotone_fraction() > 0.55
+
+    def test_energy_weight_reduces_watts(self, result):
+        for scale in result.scales:
+            pts = sorted((p for p in result.points if p.scale == scale),
+                         key=lambda p: p.energy_weight)
+            assert pts[-1].avg_watts <= pts[0].avg_watts + 1e-6
+
+    def test_higher_load_needs_more_energy_for_best_sla(self, result):
+        """Compare the least-stingy operating point across load levels."""
+        frontier = {scale: max((p for p in result.points
+                                if p.scale == scale),
+                               key=lambda p: p.avg_sla)
+                    for scale in result.scales}
+        lo, hi = min(result.scales), max(result.scales)
+        assert frontier[hi].avg_watts >= frontier[lo].avg_watts - 5.0

@@ -1,0 +1,54 @@
+"""Bench T1 — regenerate Table I (per-predictor learning quality).
+
+Runs the full pipeline — exploration harvest, 66/34 split, training the
+seven paper models — and prints the reproduced table.  Shape assertions
+encode the paper's claims: high correlations throughout, heavy-tailed RT
+errors (err-std >> MAE), SLA predicted on a bounded range.
+"""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_table1()
+
+
+def test_bench_table1(benchmark, result):
+    out = benchmark.pedantic(lambda: run_table1(), rounds=1, iterations=1)
+    print()
+    print(format_table1(out))
+
+
+class TestShape:
+    """Paper Table I: correlations 0.777-0.994 across the seven elements."""
+
+    def test_all_correlations_high(self, result):
+        for report in result.reports:
+            assert report.correlation > 0.65, report.name
+
+    def test_mem_is_most_linear(self, result):
+        by_name = {r.name: r for r in result.reports}
+        assert by_name["Predict VM MEM"].correlation > 0.95
+
+    def test_rt_errors_heavy_tailed(self, result):
+        """Paper: RT err-std (1.279 s) dwarfs RT MAE (0.234 s)."""
+        rt = next(r for r in result.reports if r.name == "Predict VM RT")
+        assert rt.err_std > 1.5 * rt.mae
+
+    def test_sla_bounded_range(self, result):
+        sla = next(r for r in result.reports if r.name == "Predict VM SLA")
+        assert sla.data_min >= 0.0 and sla.data_max <= 1.0
+
+    def test_sla_direct_beats_via_rt(self, result):
+        """Paper §IV.B: 'better results are obtained if SLA is predicted
+        directly'."""
+        assert result.direct_wins
+
+    def test_vm_cpu_range_matches_paper_envelope(self, result):
+        """Paper range [0, 400] %CPU."""
+        cpu = next(r for r in result.reports if r.name == "Predict VM CPU")
+        assert cpu.data_min >= 0.0
+        assert cpu.data_max <= 450.0  # capped by the 4-core host + noise

@@ -1,0 +1,15 @@
+"""Bench T2 — regenerate Table II (prices and latencies)."""
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(run_table2)
+    print()
+    print(format_table2(result))
+    # Pin the paper's constants.
+    assert result.energy_eur_kwh == {"BRS": 0.1314, "BNG": 0.1218,
+                                     "BCN": 0.1513, "BST": 0.1120}
+    assert result.latency_ms[("BCN", "BST")] == 90.0
+    assert result.latency_ms[("BRS", "BCN")] == 390.0
+    assert result.bandwidth_gbps == 10.0

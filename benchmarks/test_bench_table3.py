@@ -1,0 +1,45 @@
+"""Bench T3 — regenerate Table III (static vs dynamic multi-DC).
+
+Paper:  Static-Global 0.745 EUR/h, 175.9 W, SLA 0.921
+        Dynamic       0.757 EUR/h, 102.0 W, SLA 0.930
+
+Shape: the dynamic scheduler saves a large energy fraction (paper ~42 %)
+while holding SLA and profit at least even.
+"""
+
+import pytest
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def result(paper_config, paper_models):
+    return run_table3(paper_config, models=paper_models)
+
+
+def test_bench_table3(benchmark, paper_config, paper_models):
+    out = benchmark.pedantic(
+        lambda: run_table3(paper_config, models=paper_models),
+        rounds=1, iterations=1)
+    print()
+    print(format_table3(out))
+
+
+class TestShape:
+    def test_static_watts_near_paper(self, result):
+        """4 always-on Atom PMs with cooling: the paper measured 175.9 W."""
+        assert 150.0 <= result.static_summary.avg_watts <= 210.0
+
+    def test_dynamic_saves_substantial_energy(self, result):
+        assert result.energy_saving_fraction > 0.20
+
+    def test_sla_roughly_held(self, result):
+        """Paper: +0.009; we accept a small band around zero."""
+        assert abs(result.sla_delta) < 0.03
+
+    def test_profit_not_worse(self, result):
+        assert result.profit_delta_eur_h > -0.01
+
+    def test_dynamic_migrates_static_does_not(self, result):
+        assert result.static_summary.n_migrations == 0
+        assert result.dynamic_summary.n_migrations > 0

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments lacking the ``wheel`` package (legacy ``setup.py develop``
+editable installs need no wheel building).
+"""
+
+from setuptools import setup
+
+setup()

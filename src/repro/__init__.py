@@ -1,0 +1,21 @@
+"""repro — reproduction of *Power-Aware Multi-DataCenter Management using
+Machine Learning* (Berral, Gavaldà, Torres; ICPP 2013).
+
+Layers:
+
+* :mod:`repro.sim` — multi-DC simulator substrate (machines, power, RT,
+  network, tariffs, monitoring, engine).
+* :mod:`repro.workload` — Li-BCN-like synthetic web workload generation.
+* :mod:`repro.ml` — from-scratch M5P / k-NN / linear regression and the
+  paper's seven predictors (Table I).
+* :mod:`repro.core` — the profit-driven scheduling model (Figure 3),
+  Ordered Best-Fit (Algorithm 1), exact solver, hierarchical scheduler.
+* :mod:`repro.experiments` — canonical scenarios and one module per paper
+  table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, ml, sim, workload
+
+__all__ = ["core", "ml", "sim", "workload", "__version__"]

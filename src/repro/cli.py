@@ -1,0 +1,131 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table1
+    python -m repro.cli table3 --intervals 72 --scale 3.0
+    python -m repro.cli all
+
+Each artifact command runs the corresponding experiment module and prints
+the same report the benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from .experiments import (format_delocation, format_figure4, format_figure5,
+                          format_figure6, format_figure7, format_figure8,
+                          format_table1, format_table2, format_table3,
+                          run_delocation, run_figure4, run_figure5,
+                          run_figure6, run_figure7, run_figure8, run_table1,
+                          run_table2, run_table3)
+from .experiments.scenario import ScenarioConfig
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(n_intervals=args.intervals, scale=args.scale,
+                          seed=args.seed)
+
+
+def _run_table1(args):
+    return format_table1(run_table1(_config_from_args(args),
+                                    seed=args.seed))
+
+
+def _run_table2(args):
+    return format_table2(run_table2())
+
+
+def _run_table3(args):
+    return format_table3(run_table3(_config_from_args(args),
+                                    seed=args.seed))
+
+
+def _run_figure4(args):
+    return format_figure4(run_figure4(n_intervals=args.intervals,
+                                      seed=args.seed))
+
+
+def _run_figure5(args):
+    return format_figure5(run_figure5(n_intervals=args.intervals,
+                                      seed=args.seed))
+
+
+def _run_figure6(args):
+    from .workload.patterns import PAPER_FLASH_CROWD
+    config = ScenarioConfig(n_intervals=args.intervals, scale=args.scale,
+                            seed=args.seed,
+                            flash_crowds=(PAPER_FLASH_CROWD,))
+    return format_figure6(run_figure6(config, seed=args.seed))
+
+
+def _run_figure7(args):
+    return format_figure7(run_figure7(_config_from_args(args),
+                                      seed=args.seed))
+
+
+def _run_figure8(args):
+    return format_figure8(run_figure8(_config_from_args(args),
+                                      seed=args.seed))
+
+
+def _run_delocation(args):
+    return format_delocation(run_delocation(n_intervals=args.intervals,
+                                            seed=args.seed))
+
+
+#: Artifact name -> (runner, description).
+ARTIFACTS: Dict[str, tuple] = {
+    "table1": (_run_table1, "Table I — per-predictor learning quality"),
+    "table2": (_run_table2, "Table II — prices and latencies"),
+    "table3": (_run_table3, "Table III — static vs dynamic multi-DC"),
+    "figure4": (_run_figure4, "Figure 4 — intra-DC BF / BF-OB / BF-ML"),
+    "figure5": (_run_figure5, "Figure 5 — follow-the-load trace"),
+    "figure6": (_run_figure6, "Figure 6 — full inter-DC with flash crowd"),
+    "figure7": (_run_figure7, "Figure 7 — static vs dynamic time series"),
+    "figure8": (_run_figure8, "Figure 8 — SLA vs energy vs load"),
+    "delocation": (_run_delocation, "§V.C — de-location benefit"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("artifact",
+                        choices=sorted(ARTIFACTS) + ["all", "list"],
+                        help="which artifact to regenerate")
+    parser.add_argument("--intervals", type=int, default=144,
+                        help="scheduling rounds (default: 144 = 24 h)")
+    parser.add_argument("--scale", type=float, default=3.0,
+                        help="workload scale factor")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="experiment seed")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        for name in sorted(ARTIFACTS):
+            print(f"{name:<12} {ARTIFACTS[name][1]}")
+        return 0
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        runner, description = ARTIFACTS[name]
+        print(f"== {name}: {description} ==")
+        t0 = time.perf_counter()
+        print(runner(args))
+        print(f"[{name} regenerated in {time.perf_counter() - t0:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,403 @@
+"""The mathematical model (paper Figure 3) as evaluatable objects.
+
+A :class:`SchedulingProblem` carries everything one scheduling round sees:
+the VMs to place (:class:`VMRequest`, with per-source expected loads and the
+previous schedule), the candidate hosts (:class:`HostView` snapshots with any
+out-of-scope VMs still committed), the network, the tariffs and an
+:class:`~repro.core.estimators.Estimator` supplying the learned/observed
+functions of constraints 5-7.
+
+:func:`placement_profit` scores one tentative (VM, host) pair with the
+objective:
+
+    profit = f_revenue(SLA) - f_penalty(Migr, Migl, ISize) - f_energycost
+
+where the SLA term honours constraint 6 (production RT plus per-source
+transport latency) and the energy term is the *marginal* facility power the
+move adds on the target host — which is how consolidation wins emerge: the
+first VM on a sleeping host pays the idle-power jump, co-located VMs pay only
+the shallow slope of the Atom curve.
+
+:func:`evaluate_schedule` scores a complete assignment (used by the exact
+solver and by tests), and :func:`check_schedule` verifies the hard
+constraints (1: one host per VM; 2: capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.demand import LoadVector
+from ..sim.machines import PhysicalMachine, Resources, VirtualMachine
+from ..sim.network import NetworkModel
+from ..sim.power import PowerModel
+from .estimators import Estimator
+from .profit import PriceBook, energy_cost_eur, migration_penalty_eur
+from .sla import SLAContract, weighted_sla
+
+__all__ = ["ObjectiveWeights", "VMRequest", "HostView",
+           "SchedulingProblem", "PlacementEvaluation", "placement_profit",
+           "evaluate_schedule", "check_schedule", "ScheduleViolation"]
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """Relative weights of the objective terms.
+
+    The paper's sanity checks use degenerate settings: follow-the-load is
+    revenue-only (``energy = migration = 0``); the full scheduler uses all
+    ones.
+    """
+
+    revenue: float = 1.0
+    energy: float = 1.0
+    migration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.revenue, self.energy, self.migration) < 0:
+            raise ValueError("weights must be non-negative")
+
+
+@dataclass
+class VMRequest:
+    """One VM in scope for this scheduling round."""
+
+    vm: VirtualMachine
+    contract: SLAContract
+    loads: Dict[str, LoadVector]
+    current_pm: Optional[str] = None
+    current_location: Optional[str] = None
+    queue_len: float = 0.0
+
+    @property
+    def vm_id(self) -> str:
+        return self.vm.vm_id
+
+    @property
+    def aggregate_load(self) -> LoadVector:
+        return LoadVector.combine(self.loads.values())
+
+    @property
+    def total_rps(self) -> float:
+        return sum(l.rps for l in self.loads.values())
+
+
+@dataclass
+class HostView:
+    """A tentative-packing view of one PM.
+
+    Bookkeeping is *demand*-side: ``committed`` maps each VM (out-of-scope
+    residents plus in-scope VMs packed so far) to the resources its load
+    requires.  Grants follow the hypervisor's work-conserving sharing (see
+    :func:`repro.sim.multidc.proportional_allocation`): spare CPU/bandwidth
+    bursts pro-rata, contention scales everyone down.  Demands may exceed
+    capacity — that is not a packing error but an overload the profit
+    function punishes through collapsing SLA.
+    """
+
+    pm_id: str
+    location: str
+    capacity: Resources
+    power_model: PowerModel
+    energy_price_eur_kwh: float
+    initially_on: bool = True
+    committed: Dict[str, Resources] = field(default_factory=dict)
+    committed_used_cpu: Dict[str, float] = field(default_factory=dict)
+
+    @staticmethod
+    def of(pm: PhysicalMachine, location: str,
+           energy_price_eur_kwh: float,
+           exclude_vms: Sequence[str] = (),
+           demands: Optional[Mapping[str, Resources]] = None) -> "HostView":
+        """Snapshot a PM, releasing the VMs being rescheduled this round.
+
+        ``demands`` supplies the last known resource demand per VM (from
+        :attr:`repro.sim.multidc.MultiDCSystem.last_demands`); hosted VMs
+        missing from it fall back to their recorded grant.
+        """
+        view = HostView(pm_id=pm.pm_id, location=location,
+                        capacity=pm.capacity, power_model=pm.power_model,
+                        energy_price_eur_kwh=energy_price_eur_kwh,
+                        initially_on=pm.on)
+        for vm_id, grant in pm.granted.items():
+            if vm_id in exclude_vms:
+                continue
+            demand = demands.get(vm_id, grant) if demands else grant
+            view.committed[vm_id] = demand
+            view.committed_used_cpu[vm_id] = min(demand.cpu, grant.cpu)
+        return view
+
+    @property
+    def used(self) -> Resources:
+        total = Resources()
+        for r in self.committed.values():
+            total = total + r
+        return total
+
+    @property
+    def free(self) -> Resources:
+        return (self.capacity - self.used).clip_nonnegative()
+
+    def would_be_on(self, auto_power_off: bool = True) -> bool:
+        """Whether the host runs under the tentative packing.
+
+        With ``auto_power_off`` (the system default), a host that ends the
+        round empty is switched off, so only committed VMs keep it
+        running — which is what lets the profit function credit
+        consolidation with the full idle-power saving.
+        """
+        return bool(self.committed) or (self.initially_on
+                                        and not auto_power_off)
+
+    def grantable(self, required: Resources) -> Resources:
+        """The grant the sharing model would give this VM if placed here.
+
+        CPU/bandwidth burst into spare capacity pro-rata (grant =
+        demand * capacity / total_demand, at most the full machine);
+        memory gets demand when it fits and a proportional share when the
+        host is over-committed.
+        """
+        used = self.used
+
+        def burst(demand: float, other: float, cap: float) -> float:
+            # demand * cap / total both bursts (total < cap) and throttles
+            # (total > cap); a lone VM may take the whole machine.
+            total = demand + other
+            if demand <= 0.0 or total <= 0.0:
+                return 0.0
+            return min(cap, demand * cap / total)
+
+        def share(demand: float, other: float, cap: float) -> float:
+            total = demand + other
+            if demand <= 0.0:
+                return 0.0
+            if total <= cap:
+                return demand
+            return demand * cap / total
+
+        return Resources(
+            cpu=burst(required.cpu, used.cpu, self.capacity.cpu),
+            mem=share(required.mem, used.mem, self.capacity.mem),
+            bw=burst(required.bw, used.bw, self.capacity.bw))
+
+    def commit(self, vm_id: str, demand: Resources, used_cpu: float) -> None:
+        """Record a packed VM's demand (overload allowed; see class doc)."""
+        if vm_id in self.committed:
+            raise ValueError(f"VM {vm_id!r} already committed to {self.pm_id!r}")
+        self.committed[vm_id] = demand.clip_nonnegative()
+        self.committed_used_cpu[vm_id] = used_cpu
+
+    def release(self, vm_id: str) -> None:
+        self.committed.pop(vm_id, None)
+        self.committed_used_cpu.pop(vm_id, None)
+
+
+@dataclass
+class SchedulingProblem:
+    """One scheduling round's full input."""
+
+    requests: List[VMRequest]
+    hosts: List[HostView]
+    network: NetworkModel
+    prices: PriceBook
+    estimator: Estimator
+    interval_s: float = 600.0
+    weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
+    #: Mirror of :attr:`repro.sim.multidc.MultiDCSystem.auto_power_off`.
+    auto_power_off: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        ids = [h.pm_id for h in self.hosts]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate host ids")
+        vms = [r.vm_id for r in self.requests]
+        if len(set(vms)) != len(vms):
+            raise ValueError("duplicate VM requests")
+
+    def host(self, pm_id: str) -> HostView:
+        for h in self.hosts:
+            if h.pm_id == pm_id:
+                return h
+        raise KeyError(f"no host {pm_id!r} in problem")
+
+
+@dataclass(frozen=True)
+class PlacementEvaluation:
+    """Outcome of scoring one tentative (VM, host) pair."""
+
+    profit_eur: float
+    revenue_eur: float
+    energy_cost_eur: float
+    migration_penalty_eur: float
+    sla: float
+    required: Resources
+    given: Resources
+    used_cpu: float
+    migration_seconds: float
+
+    @property
+    def fits(self) -> bool:
+        """Whether the host granted everything the estimator asked for."""
+        return self.required.fits_in(self.given, slack=1e-6)
+
+
+def _placement_sla(request: VMRequest, host: HostView,
+                   network: NetworkModel, estimator: Estimator,
+                   required: Resources, given: Resources) -> float:
+    """Constraints 6-7: production + transport RT, per-source weighted SLA.
+
+    Uses the estimator's RT when it has one; otherwise converts its direct
+    SLA score into the contract's equivalent RT so transport latency can be
+    added per source (a conservative, monotone composition).
+    """
+    agg = request.aggregate_load
+    contract = request.contract
+    rt_proc = estimator.process_rt(request.vm, agg, required, given,
+                                   queue_len=request.queue_len)
+    if rt_proc is not None:
+        eq_rt = float(rt_proc)
+    else:
+        sla_proc = estimator.process_sla(request.vm, agg, required, given,
+                                         contract,
+                                         queue_len=request.queue_len)
+        eq_rt = contract.rt_for_fulfillment(sla_proc)
+    rt_by_source = {
+        src: eq_rt + network.host_to_source_ms(host.location, src) / 1000.0
+        for src in request.loads}
+    return weighted_sla(rt_by_source,
+                        {s: l.rps for s, l in request.loads.items()},
+                        contract)
+
+
+def placement_profit(problem: SchedulingProblem, request: VMRequest,
+                     host: HostView,
+                     required: Optional[Resources] = None
+                     ) -> PlacementEvaluation:
+    """Score placing ``request`` on ``host`` given current commitments.
+
+    ``required`` may be passed in to avoid recomputing it across hosts.
+    """
+    est = problem.estimator
+    vm = request.vm
+    agg = request.aggregate_load
+    if required is None:
+        # Deliberately uncapped (matches the schedulers): overload must be
+        # visible as demand beyond the host, not silently truncated.
+        required = est.required_resources(vm, agg, float("inf"))
+    given = host.grantable(required)
+    used_cpu = min(required.cpu, given.cpu)
+
+    # SLA -> revenue (with migration blackout haircut).
+    sla = _placement_sla(request, host, problem.network, est, required, given)
+    hours = problem.interval_s / 3600.0
+    migration_s = 0.0
+    penalty = 0.0
+    if request.current_pm is not None and request.current_pm != host.pm_id:
+        migration_s = problem.network.migration_seconds(
+            vm.image_size_mb, request.current_location or host.location,
+            host.location)
+        penalty = migration_penalty_eur(
+            migration_s, problem.prices.migration_penalty_rate)
+        sla = sla * max(0.0, 1.0 - migration_s / problem.interval_s)
+    revenue = request.contract.price_eur_per_hour * sla * hours
+
+    # Marginal energy on the target host.
+    cpu_before = est.pm_cpu(list(host.committed_used_cpu.values()))
+    cpu_after = est.pm_cpu(
+        list(host.committed_used_cpu.values()) + [used_cpu])
+    running = host.would_be_on(problem.auto_power_off)
+    watts_before = (host.power_model.facility_watts(
+        min(cpu_before, host.capacity.cpu)) if running else 0.0)
+    watts_after = host.power_model.facility_watts(
+        min(cpu_after, host.capacity.cpu))
+    energy = energy_cost_eur(max(0.0, watts_after - watts_before),
+                             problem.interval_s, host.energy_price_eur_kwh)
+
+    w = problem.weights
+    profit = (w.revenue * revenue - w.energy * energy
+              - w.migration * penalty)
+    return PlacementEvaluation(
+        profit_eur=profit, revenue_eur=revenue, energy_cost_eur=energy,
+        migration_penalty_eur=penalty, sla=sla, required=required,
+        given=given, used_cpu=used_cpu, migration_seconds=migration_s)
+
+
+def evaluate_schedule(problem: SchedulingProblem,
+                      assignment: Mapping[str, str]) -> float:
+    """Total objective of a complete assignment ``{vm_id: pm_id}``.
+
+    Requests are packed in the given assignment's problem order, mirroring
+    what executing the schedule would grant.  Raises on VMs without an
+    assignment (constraint 1).
+    """
+    missing = {r.vm_id for r in problem.requests} - set(assignment)
+    if missing:
+        raise ValueError(f"unassigned VMs: {sorted(missing)}")
+    # Work on copies so scoring never mutates the problem.
+    views = {h.pm_id: HostView(
+        pm_id=h.pm_id, location=h.location, capacity=h.capacity,
+        power_model=h.power_model,
+        energy_price_eur_kwh=h.energy_price_eur_kwh,
+        initially_on=h.initially_on, committed=dict(h.committed),
+        committed_used_cpu=dict(h.committed_used_cpu))
+        for h in problem.hosts}
+    total = 0.0
+    for request in problem.requests:
+        host = views[assignment[request.vm_id]]
+        ev = placement_profit(problem, request, host)
+        host.commit(request.vm_id, ev.required, ev.used_cpu)
+        total += ev.profit_eur
+    return total
+
+
+@dataclass(frozen=True)
+class ScheduleViolation:
+    """One broken hard constraint."""
+
+    kind: str
+    detail: str
+
+
+def check_schedule(problem: SchedulingProblem,
+                   assignment: Mapping[str, str]) -> List[ScheduleViolation]:
+    """Verify Figure 3 constraints 1 and 2 for an assignment."""
+    violations: List[ScheduleViolation] = []
+    host_ids = {h.pm_id for h in problem.hosts}
+    for request in problem.requests:
+        pm_id = assignment.get(request.vm_id)
+        if pm_id is None:
+            violations.append(ScheduleViolation(
+                "unassigned", f"VM {request.vm_id!r} has no host"))
+        elif pm_id not in host_ids:
+            violations.append(ScheduleViolation(
+                "unknown-host", f"VM {request.vm_id!r} -> {pm_id!r}"))
+    # Constraint 2 on *grants* holds by construction (the sharing model
+    # never hands out more than capacity); what we can flag is demand
+    # overcommit — hosts whose packed demand exceeds capacity and will
+    # therefore throttle their VMs.
+    views = {h.pm_id: HostView(
+        pm_id=h.pm_id, location=h.location, capacity=h.capacity,
+        power_model=h.power_model,
+        energy_price_eur_kwh=h.energy_price_eur_kwh,
+        initially_on=h.initially_on, committed=dict(h.committed),
+        committed_used_cpu=dict(h.committed_used_cpu))
+        for h in problem.hosts}
+    for request in problem.requests:
+        pm_id = assignment.get(request.vm_id)
+        if pm_id not in views:
+            continue
+        host = views[pm_id]
+        ev = placement_profit(problem, request, host)
+        host.commit(request.vm_id, ev.required, ev.used_cpu)
+    for host in views.values():
+        if not host.used.fits_in(host.capacity, slack=1e-6):
+            violations.append(ScheduleViolation(
+                "overcommit",
+                f"host {host.pm_id!r} demand {host.used} exceeds capacity "
+                f"{host.capacity}"))
+    return violations

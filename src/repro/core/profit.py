@@ -1,0 +1,123 @@
+"""The economic objective: revenue, migration penalty, energy cost.
+
+Figure 3's objective function:
+
+    Profit = sum_i f_revenue(SLA[i])
+           - sum_i f_penalty(Migr[i], Migl[i], ISize[i])
+           - sum_h f_energycost(Power[h])
+
+The concrete function shapes are provider/customer agreements; the paper uses
+an EC2-like linear revenue (0.17 EUR per fully-compliant VM-hour), treats a
+migrating VM as fully unavailable (SLA = 0) for the duration of the move, and
+prices energy at the hosting DC's local tariff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .sla import SLAContract
+
+__all__ = ["PriceBook", "revenue_eur", "migration_penalty_eur",
+           "energy_cost_eur", "ProfitBreakdown"]
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """All tariffs the objective needs.
+
+    Parameters
+    ----------
+    vm_price_eur_per_hour:
+        Revenue for one fully-SLA-compliant VM-hour.
+    energy_price_eur_kwh:
+        Electricity tariff per DC location.
+    migration_penalty_eur_per_violation_hour:
+        Extra contractual penalty per hour of migration blackout, on top of
+        the revenue lost; defaults to the VM price (the provider refunds the
+        affected time at the sale price).
+    """
+
+    vm_price_eur_per_hour: float = 0.17
+    energy_price_eur_kwh: Mapping[str, float] = field(default_factory=dict)
+    migration_penalty_eur_per_violation_hour: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.vm_price_eur_per_hour < 0:
+            raise ValueError("vm price must be non-negative")
+        for loc, p in self.energy_price_eur_kwh.items():
+            if p < 0:
+                raise ValueError(f"negative energy price for {loc!r}")
+
+    @property
+    def migration_penalty_rate(self) -> float:
+        rate = self.migration_penalty_eur_per_violation_hour
+        return self.vm_price_eur_per_hour if rate is None else rate
+
+    def energy_price(self, location: str) -> float:
+        try:
+            return self.energy_price_eur_kwh[location]
+        except KeyError:
+            raise KeyError(f"no energy tariff for location {location!r}") from None
+
+
+def revenue_eur(sla_fulfillment: float, hours: float,
+                price_eur_per_hour: float) -> float:
+    """f_revenue: linear in fulfillment and billed time."""
+    if not 0.0 <= sla_fulfillment <= 1.0 + 1e-9:
+        raise ValueError(f"fulfillment {sla_fulfillment} outside [0, 1]")
+    if hours < 0:
+        raise ValueError("hours must be non-negative")
+    return price_eur_per_hour * min(sla_fulfillment, 1.0) * hours
+
+
+def migration_penalty_eur(migration_seconds: float,
+                          penalty_eur_per_hour: float) -> float:
+    """f_penalty: proportional to the blackout duration.
+
+    The blackout duration already reflects image size and inter-DC latency
+    (Figure 3 parameters ``ISize`` and ``Migl``) via
+    :meth:`repro.sim.network.NetworkModel.migration_seconds`.
+    """
+    if migration_seconds < 0:
+        raise ValueError("migration_seconds must be non-negative")
+    return penalty_eur_per_hour * migration_seconds / 3600.0
+
+
+def energy_cost_eur(watts: float, seconds: float,
+                    eur_per_kwh: float) -> float:
+    """f_energycost: facility watt-hours at the local tariff."""
+    if watts < 0 or seconds < 0 or eur_per_kwh < 0:
+        raise ValueError("watts, seconds and tariff must be non-negative")
+    return watts * seconds / 3600.0 / 1000.0 * eur_per_kwh
+
+
+@dataclass
+class ProfitBreakdown:
+    """Accumulated objective terms over a run or a single interval."""
+
+    revenue_eur: float = 0.0
+    migration_penalty_eur: float = 0.0
+    energy_cost_eur: float = 0.0
+
+    @property
+    def profit_eur(self) -> float:
+        return (self.revenue_eur - self.migration_penalty_eur
+                - self.energy_cost_eur)
+
+    def __add__(self, other: "ProfitBreakdown") -> "ProfitBreakdown":
+        return ProfitBreakdown(
+            self.revenue_eur + other.revenue_eur,
+            self.migration_penalty_eur + other.migration_penalty_eur,
+            self.energy_cost_eur + other.energy_cost_eur,
+        )
+
+    def add_revenue(self, eur: float) -> None:
+        self.revenue_eur += eur
+
+    def add_migration_penalty(self, eur: float) -> None:
+        self.migration_penalty_eur += eur
+
+    def add_energy_cost(self, eur: float) -> None:
+        self.energy_cost_eur += eur

@@ -1,0 +1,105 @@
+"""Service Level Agreement model.
+
+The paper's "RT to QoS" function (§III.C): fulfillment is 1 up to the agreed
+baseline response time RT0, falls linearly to 0 at ``alpha * RT0``, and is 0
+beyond.  The paper uses RT0 = 0.1 s and alpha = 10 in all experiments.
+
+SLA fulfillment can be evaluated per load source and aggregated weighting by
+request volume (§IV.A constraint 7: "over the average RT, weighting the
+different load sources").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SLAContract", "sla_fulfillment", "weighted_sla", "PAPER_SLA"]
+
+
+def sla_fulfillment(rt, rt0: float, alpha: float):
+    """The paper's piecewise SLA(RT) function; scalar or vectorized.
+
+    ``SLA(RT) = 1`` for ``RT <= RT0``; ``0`` for ``RT > alpha*RT0``;
+    linear in between.
+    """
+    if rt0 <= 0:
+        raise ValueError("rt0 must be positive")
+    if alpha <= 1:
+        raise ValueError("alpha must exceed 1")
+    rt_arr = np.asarray(rt, dtype=float)
+    if np.any(rt_arr < 0):
+        raise ValueError("response time must be non-negative")
+    degraded = 1.0 - (rt_arr - rt0) / ((alpha - 1.0) * rt0)
+    out = np.clip(degraded, 0.0, 1.0)
+    if np.ndim(rt) == 0:
+        return float(out)
+    return out
+
+
+@dataclass(frozen=True)
+class SLAContract:
+    """One VM's SLA: baseline RT0, tolerance alpha, revenue at fulfillment 1.
+
+    ``price_eur_per_hour`` is the Amazon-EC2-like VM-hour price the paper
+    uses (0.17 EUR/VMh).  Revenue scales with fulfillment; see
+    :mod:`repro.core.profit`.
+    """
+
+    rt0: float = 0.1
+    alpha: float = 10.0
+    price_eur_per_hour: float = 0.17
+
+    def __post_init__(self) -> None:
+        if self.rt0 <= 0:
+            raise ValueError("rt0 must be positive")
+        if self.alpha <= 1:
+            raise ValueError("alpha must exceed 1")
+        if self.price_eur_per_hour < 0:
+            raise ValueError("price must be non-negative")
+
+    @property
+    def cutoff_rt(self) -> float:
+        """RT beyond which fulfillment is zero."""
+        return self.alpha * self.rt0
+
+    def fulfillment(self, rt):
+        """SLA fulfillment for a response time (scalar or array)."""
+        return sla_fulfillment(rt, self.rt0, self.alpha)
+
+    def rt_for_fulfillment(self, level: float) -> float:
+        """Inverse: the largest RT achieving at least ``level`` fulfillment."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError("level must lie in [0, 1]")
+        if level >= 1.0:
+            return self.rt0
+        return self.rt0 + (1.0 - level) * (self.alpha - 1.0) * self.rt0
+
+
+def weighted_sla(rt_by_source: Mapping[str, float],
+                 rps_by_source: Mapping[str, float],
+                 contract: SLAContract) -> float:
+    """Aggregate per-source fulfillment weighted by request volume.
+
+    Sources with zero rate carry no weight; with no traffic at all the VM is
+    considered fully compliant (there was nothing to violate).
+    """
+    total = 0.0
+    weight = 0.0
+    for src, rt in rt_by_source.items():
+        rps = rps_by_source.get(src, 0.0)
+        if rps < 0:
+            raise ValueError(f"negative rps for source {src!r}")
+        if rps == 0.0:
+            continue
+        total += contract.fulfillment(rt) * rps
+        weight += rps
+    if weight == 0.0:
+        return 1.0
+    return total / weight
+
+
+#: The contract used across the paper's experiments.
+PAPER_SLA = SLAContract(rt0=0.1, alpha=10.0, price_eur_per_hour=0.17)

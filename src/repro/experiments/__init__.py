@@ -1,0 +1,52 @@
+"""Experiment reproductions, one module per paper artifact.
+
+==========  =====================================================
+Module      Paper artifact
+==========  =====================================================
+table1      Table I — per-predictor learning quality
+table2      Table II — prices and latencies (inputs)
+table3      Table III — static vs dynamic multi-DC summary
+figure4     Figure 4 — intra-DC BF / BF-OB / BF-ML comparison
+figure5     Figure 5 — follow-the-load placement trace
+delocation  §V.C — benefit of de-locating an overloaded DC
+figure6     Figure 6 — full inter-DC run with flash crowd
+figure7     Figure 7 — static vs dynamic time series
+figure8     Figure 8 — SLA vs energy vs load characteristic
+==========  =====================================================
+
+Every module exposes ``run_*`` returning a structured result and
+``format_*`` rendering it like the paper's table/figure; running the module
+as a script prints the report.
+"""
+
+from .delocation import DelocationResult, format_delocation, run_delocation
+from .figure4 import Figure4Result, format_figure4, run_figure4
+from .figure5 import Figure5Result, format_figure5, run_figure5
+from .figure6 import Figure6Result, format_figure6, run_figure6
+from .figure7 import Figure7Result, format_figure7, run_figure7
+from .figure8 import Figure8Point, Figure8Result, format_figure8, run_figure8
+from .scenario import (DAY_INTERVALS, ScenarioConfig, intra_dc_system,
+                       intra_dc_trace, make_vms, multidc_system,
+                       multidc_trace, single_dc_system)
+from .scaling import (ScalingPoint, ScalingResult, format_scaling,
+                      run_scaling)
+from .table1 import Table1Result, format_table1, run_table1
+from .table2 import Table2Result, format_table2, run_table2
+from .table3 import Table3Result, format_table3, run_table3
+from .training import harvest, random_placement_scheduler, train_paper_models
+
+__all__ = [
+    "DelocationResult", "format_delocation", "run_delocation",
+    "Figure4Result", "format_figure4", "run_figure4",
+    "Figure5Result", "format_figure5", "run_figure5",
+    "Figure6Result", "format_figure6", "run_figure6",
+    "Figure7Result", "format_figure7", "run_figure7",
+    "Figure8Point", "Figure8Result", "format_figure8", "run_figure8",
+    "DAY_INTERVALS", "ScenarioConfig", "intra_dc_system", "intra_dc_trace",
+    "make_vms", "multidc_system", "multidc_trace", "single_dc_system",
+    "ScalingPoint", "ScalingResult", "format_scaling", "run_scaling",
+    "Table1Result", "format_table1", "run_table1",
+    "Table2Result", "format_table2", "run_table2",
+    "Table3Result", "format_table3", "run_table3",
+    "harvest", "random_placement_scheduler", "train_paper_models",
+]

@@ -1,0 +1,88 @@
+"""Figure 7 — static vs dynamic inter-DC, as time series.
+
+Same experiment as Table III (the result object of
+:func:`repro.experiments.table3.run_table3` carries both run histories);
+this module extracts the series the paper plots — energy, SLA and profit
+over the day — and the summary statistics that make the comparison
+checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..ml.predictors import ModelSet
+from .scenario import ScenarioConfig
+from .table3 import Table3Result, run_table3
+
+__all__ = ["Figure7Result", "run_figure7", "format_figure7"]
+
+
+@dataclass
+class Figure7Result:
+    table3: Table3Result
+    static_watts: np.ndarray
+    dynamic_watts: np.ndarray
+    static_sla: np.ndarray
+    dynamic_sla: np.ndarray
+    static_profit: np.ndarray
+    dynamic_profit: np.ndarray
+
+    @property
+    def watts_saved_series(self) -> np.ndarray:
+        return self.static_watts - self.dynamic_watts
+
+    @property
+    def fraction_intervals_saving_energy(self) -> float:
+        """Share of intervals where the dynamic run draws less power."""
+        if len(self.static_watts) == 0:
+            return 0.0
+        return float(np.mean(self.dynamic_watts < self.static_watts))
+
+
+def run_figure7(config: ScenarioConfig = ScenarioConfig(),
+                models: Optional[ModelSet] = None,
+                seed: int = 7) -> Figure7Result:
+    t3 = run_table3(config=config, models=models, seed=seed)
+    return Figure7Result(
+        table3=t3,
+        static_watts=t3.static_history.watts_series(),
+        dynamic_watts=t3.dynamic_history.watts_series(),
+        static_sla=t3.static_history.sla_series(),
+        dynamic_sla=t3.dynamic_history.sla_series(),
+        static_profit=t3.static_history.profit_series(),
+        dynamic_profit=t3.dynamic_history.profit_series())
+
+
+def _spark(values: np.ndarray, width: int = 72) -> str:
+    ticks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    v = np.asarray(values, dtype=float)[::step]
+    lo, hi = float(v.min()), float(v.max())
+    if hi <= lo:
+        return ticks[1] * len(v)
+    idx = ((v - lo) / (hi - lo) * (len(ticks) - 1)).astype(int)
+    return "".join(ticks[i] for i in idx)
+
+
+def format_figure7(result: Figure7Result) -> str:
+    t3 = result.table3
+    return "\n".join([
+        "Figure 7: static vs dynamic inter-DC (time series)",
+        f"  watts  static  |{_spark(result.static_watts)}|",
+        f"  watts  dynamic |{_spark(result.dynamic_watts)}|",
+        f"  SLA    static  |{_spark(result.static_sla)}|",
+        f"  SLA    dynamic |{_spark(result.dynamic_sla)}|",
+        "",
+        f"  energy saved in {100 * result.fraction_intervals_saving_energy:.0f} % "
+        f"of intervals; total saving "
+        f"{100 * t3.energy_saving_fraction:.1f} % "
+        f"(paper: ~42 %), SLA delta {t3.sla_delta:+.3f}",
+    ])
+
+
+if __name__ == "__main__":
+    print(format_figure7(run_figure7()))

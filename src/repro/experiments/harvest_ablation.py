@@ -1,0 +1,99 @@
+"""Ablation: how much exploration data do the models need?
+
+The paper trains on 959-1887 instances per element (Table I) without
+discussing sensitivity to training-set size.  This ablation sweeps the
+harvest volume (number of exploration intervals) and tracks both the
+validation quality of the SLA predictor and the *scheduling* outcome of
+BF-ML driven by each model set — locating the knee where more monitoring
+stops paying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.policies import bf_ml_scheduler
+from ..ml.predictors import train_model_set
+from ..sim.engine import run_simulation
+from .scenario import ScenarioConfig, multidc_system, multidc_trace
+from .training import harvest
+
+__all__ = ["HarvestPoint", "HarvestAblationResult", "run_harvest_ablation",
+           "format_harvest_ablation"]
+
+
+@dataclass(frozen=True)
+class HarvestPoint:
+    """Outcome at one training-set size."""
+
+    harvest_intervals: int
+    n_samples: int
+    sla_model_corr: float
+    sla_model_mae: float
+    run_avg_sla: float
+    run_avg_watts: float
+    run_profit_eur_h: float
+
+
+@dataclass
+class HarvestAblationResult:
+    points: List[HarvestPoint]
+    eval_config: ScenarioConfig
+
+    def corr_improves_with_data(self) -> bool:
+        if len(self.points) < 2:
+            return True
+        return (self.points[-1].sla_model_corr
+                >= self.points[0].sla_model_corr - 0.02)
+
+
+def run_harvest_ablation(config: ScenarioConfig = ScenarioConfig(),
+                         harvest_intervals: Sequence[int] = (12, 36, 144),
+                         scales: Sequence[float] = (0.7, 1.4, 2.2),
+                         seed: int = 7) -> HarvestAblationResult:
+    """Sweep harvest length; evaluate each model set on the same day."""
+    eval_trace = multidc_trace(config)
+    points: List[HarvestPoint] = []
+    for n in harvest_intervals:
+        harvest_config = replace(config, n_intervals=n)
+        monitor = harvest(lambda: multidc_system(harvest_config),
+                          multidc_trace(harvest_config),
+                          scales=scales, seed=seed)
+        models = train_model_set(monitor,
+                                 rng=np.random.default_rng(seed + 2))
+        sla_report = models["vm_sla"].report
+        history = run_simulation(multidc_system(config), eval_trace,
+                                 scheduler=bf_ml_scheduler(models))
+        summary = history.summary()
+        points.append(HarvestPoint(
+            harvest_intervals=n,
+            n_samples=len(monitor.vm_samples),
+            sla_model_corr=sla_report.correlation,
+            sla_model_mae=sla_report.mae,
+            run_avg_sla=summary.avg_sla,
+            run_avg_watts=summary.avg_watts,
+            run_profit_eur_h=summary.avg_eur_per_hour))
+    return HarvestAblationResult(points=points, eval_config=config)
+
+
+def format_harvest_ablation(result: HarvestAblationResult) -> str:
+    lines = [
+        "Harvest-size ablation: training data vs model and scheduling "
+        "quality",
+        f"{'intervals':>9} {'samples':>8} {'SLA corr':>9} {'SLA MAE':>8} "
+        f"{'run SLA':>8} {'run W':>7} {'EUR/h':>7}",
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.harvest_intervals:>9} {p.n_samples:>8} "
+            f"{p.sla_model_corr:>9.3f} {p.sla_model_mae:>8.4f} "
+            f"{p.run_avg_sla:>8.3f} {p.run_avg_watts:>7.1f} "
+            f"{p.run_profit_eur_h:>7.3f}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_harvest_ablation(run_harvest_ablation()))

@@ -1,0 +1,112 @@
+"""Scheduler scalability measurements (paper §IV.C / §VI.1).
+
+The paper's scalability story: Best-Fit from scratch costs O(VMs x PMs) per
+round; the hierarchical decomposition (per-DC problems plus a narrow global
+problem) "largely reduces solving cost"; and future work asks "how many
+PMs/VMs we can manage per scheduling round".  This module measures exactly
+that: wall-clock per scheduling round for the flat and hierarchical
+schedulers across fleet sizes, using the oracle estimator so model
+inference cost does not confound the scheduling cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bestfit import build_problem, descending_best_fit
+from ..core.estimators import OracleEstimator
+from ..core.hierarchical import HierarchicalScheduler
+from .scenario import ScenarioConfig, multidc_system, multidc_trace
+
+__all__ = ["ScalingPoint", "ScalingResult", "run_scaling", "format_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One fleet size's per-round cost."""
+
+    n_vms: int
+    n_pms: int
+    flat_ms: float
+    hierarchical_ms: float
+    global_hosts_offered: int
+
+    @property
+    def speedup(self) -> float:
+        if self.hierarchical_ms <= 0:
+            return float("inf")
+        return self.flat_ms / self.hierarchical_ms
+
+
+@dataclass
+class ScalingResult:
+    points: List[ScalingPoint]
+
+    def flat_cost_ratio(self) -> float:
+        """Cost growth of flat Best-Fit from smallest to largest fleet."""
+        if len(self.points) < 2 or self.points[0].flat_ms <= 0:
+            return 1.0
+        return self.points[-1].flat_ms / self.points[0].flat_ms
+
+
+def _time_call(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000.0
+
+
+def run_scaling(sizes: Sequence[Tuple[int, int]] = ((5, 1), (10, 2),
+                                                    (20, 4), (40, 8)),
+                seed: int = 23) -> ScalingResult:
+    """Measure per-round cost at each (n_vms, pms_per_dc) size."""
+    points: List[ScalingPoint] = []
+    for n_vms, pms_per_dc in sizes:
+        config = ScenarioConfig(pms_per_dc=pms_per_dc, n_vms=n_vms,
+                                n_intervals=4, scale=3.0, seed=seed)
+        trace = multidc_trace(config)
+        system = multidc_system(config)
+        system.step(trace, 0)  # populate demands
+
+        estimator = OracleEstimator()
+
+        def flat_round():
+            problem = build_problem(system, trace, 1, estimator)
+            descending_best_fit(problem)
+
+        hier = HierarchicalScheduler(estimator=estimator,
+                                     sla_move_threshold=0.9)
+
+        def hier_round():
+            hier(system, trace, 1)
+
+        flat_ms = _time_call(flat_round)
+        hier_ms = _time_call(hier_round)
+        points.append(ScalingPoint(
+            n_vms=n_vms, n_pms=pms_per_dc * len(config.locations),
+            flat_ms=flat_ms, hierarchical_ms=hier_ms,
+            global_hosts_offered=len(hier.last_round.offered_hosts)))
+    return ScalingResult(points=points)
+
+
+def format_scaling(result: ScalingResult) -> str:
+    lines = [
+        "Scheduler scalability (per-round wall clock, oracle estimator)",
+        f"{'VMs':>4} {'PMs':>4} {'flat ms':>9} {'hier ms':>9} "
+        f"{'offered':>8}",
+    ]
+    for p in result.points:
+        lines.append(f"{p.n_vms:>4} {p.n_pms:>4} {p.flat_ms:>9.2f} "
+                     f"{p.hierarchical_ms:>9.2f} "
+                     f"{p.global_hosts_offered:>8}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_scaling(run_scaling()))

@@ -1,0 +1,156 @@
+"""Canonical experiment scenarios (paper §V.A).
+
+The paper's case study: four DCs on different continents (Brisbane,
+Bangaluru, Barcelona, Boston) joined by a 10 Gbps backbone with Table II
+latencies and local electricity tariffs, hosting five web-service VMs fed by
+Li-BCN-like workloads scaled per region and phase-shifted by timezone, with
+EC2-like pricing (0.17 EUR/VMh) and the RT0 = 0.1 s / alpha = 10 SLA.
+
+Every builder takes an explicit seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.profit import PriceBook
+from ..sim.datacenter import PAPER_ENERGY_PRICES, build_datacenter
+from ..sim.machines import Resources, VirtualMachine
+from ..sim.multidc import MultiDCSystem
+from ..sim.network import PAPER_LOCATIONS, NetworkModel, paper_network_model
+from ..workload.libcn import SERVICE_PROFILES, LiBCNGenerator, ServiceProfile
+from ..workload.patterns import FlashCrowd
+from ..workload.traces import WorkloadTrace
+
+__all__ = ["ScenarioConfig", "make_vms", "multidc_system", "multidc_trace",
+           "intra_dc_system", "intra_dc_trace", "single_dc_system",
+           "DAY_INTERVALS"]
+
+#: A 24-hour run at the paper's 10-minute scheduling rounds.
+DAY_INTERVALS = 144
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the canonical 4-DC / 5-VM scenario."""
+
+    locations: Tuple[str, ...] = PAPER_LOCATIONS
+    pms_per_dc: int = 1
+    n_vms: int = 5
+    n_intervals: int = DAY_INTERVALS
+    interval_s: float = 600.0
+    #: Request-rate multiplier ("properly scaled to create heavy load").
+    scale: float = 3.0
+    #: Extra weight of each VM's home region in its client mix.
+    affinity_boost: float = 2.0
+    seed: int = 42
+    flash_crowds: Tuple[FlashCrowd, ...] = ()
+
+    def vm_ids(self) -> List[str]:
+        return [f"vm{i}" for i in range(self.n_vms)]
+
+    def home_of(self, vm_id: str) -> str:
+        i = int(vm_id[2:])
+        return self.locations[i % len(self.locations)]
+
+    def profile_of(self, vm_id: str) -> ServiceProfile:
+        i = int(vm_id[2:])
+        profiles = list(SERVICE_PROFILES.values())
+        return profiles[i % len(profiles)]
+
+
+def make_vms(config: ScenarioConfig) -> Dict[str, VirtualMachine]:
+    """The scenario's VM fleet with the paper's SLA and pricing."""
+    return {vm_id: VirtualMachine(vm_id=vm_id, image_size_mb=4096.0,
+                                  base_mem_mb=256.0, rt0=0.1, alpha=10.0,
+                                  price_eur_per_hour=0.17)
+            for vm_id in config.vm_ids()}
+
+
+def multidc_system(config: ScenarioConfig = ScenarioConfig(),
+                   deploy_home: bool = True) -> MultiDCSystem:
+    """The 4-DC system, VMs deployed at their home DC's first PM."""
+    dcs = [build_datacenter(loc, config.pms_per_dc)
+           for loc in config.locations]
+    vms = make_vms(config)
+    system = MultiDCSystem(
+        datacenters=dcs, vms=vms, network=paper_network_model(),
+        prices=PriceBook(energy_price_eur_kwh=PAPER_ENERGY_PRICES))
+    if deploy_home:
+        for vm_id in config.vm_ids():
+            system.deploy(vm_id, f"{config.home_of(vm_id)}-pm0")
+    return system
+
+
+def multidc_trace(config: ScenarioConfig = ScenarioConfig(),
+                  rng: Optional[np.random.Generator] = None) -> WorkloadTrace:
+    """Timezone-shifted per-region load for every VM."""
+    rng = rng or np.random.default_rng(config.seed)
+    gen = LiBCNGenerator(rng=rng, interval_s=config.interval_s)
+    profiles = {vm_id: config.profile_of(vm_id)
+                for vm_id in config.vm_ids()}
+    affinity = {vm_id: config.home_of(vm_id) for vm_id in config.vm_ids()}
+    return gen.trace(profiles, list(config.locations), config.n_intervals,
+                     scale=config.scale, vm_region_affinity=affinity,
+                     affinity_boost=config.affinity_boost,
+                     flash_crowds=list(config.flash_crowds))
+
+
+# -- intra-DC scenario (Figure 4: 4 PMs, 5 VMs, one DC) -------------------------
+
+def intra_dc_system(location: str = "BCN", n_pms: int = 4,
+                    n_vms: int = 5) -> MultiDCSystem:
+    """One DC with ``n_pms`` Atom hosts; all VMs deployed round-robin."""
+    config = ScenarioConfig(locations=(location,), pms_per_dc=n_pms,
+                            n_vms=n_vms)
+    dc = build_datacenter(location, n_pms)
+    vms = make_vms(config)
+    system = MultiDCSystem(
+        datacenters=[dc], vms=vms, network=paper_network_model(),
+        prices=PriceBook(energy_price_eur_kwh=PAPER_ENERGY_PRICES))
+    for i, vm_id in enumerate(config.vm_ids()):
+        system.deploy(vm_id, f"{location}-pm{i % n_pms}")
+    return system
+
+
+def intra_dc_trace(location: str = "BCN", n_vms: int = 5,
+                   n_intervals: int = DAY_INTERVALS, scale: float = 16.0,
+                   seed: int = 42,
+                   flash_crowds: Sequence[FlashCrowd] = ()) -> WorkloadTrace:
+    """Local-clients-only load, scaled to stress 4 Atom hosts."""
+    rng = np.random.default_rng(seed)
+    gen = LiBCNGenerator(rng=rng)
+    config = ScenarioConfig(locations=(location,), n_vms=n_vms)
+    profiles = {vm_id: config.profile_of(vm_id)
+                for vm_id in config.vm_ids()}
+    return gen.trace(profiles, [location], n_intervals, scale=scale,
+                     flash_crowds=list(flash_crowds))
+
+
+# -- de-location scenario (§V.C: one overloaded home DC vs remote help) ---------
+
+def single_dc_system(home: str = "BCN", n_home_pms: int = 1,
+                     n_vms: int = 5,
+                     remote_locations: Sequence[str] = (),
+                     remote_pms: int = 1) -> MultiDCSystem:
+    """A home DC plus optional empty remote DCs for de-location.
+
+    With ``remote_locations`` empty this is the paper's fixed single-DC
+    baseline; with remotes, the scheduler may temporarily de-locate VMs
+    when the home DC is overloaded.
+    """
+    config = ScenarioConfig(locations=(home,), pms_per_dc=n_home_pms,
+                            n_vms=n_vms)
+    dcs = [build_datacenter(home, n_home_pms)]
+    for loc in remote_locations:
+        dcs.append(build_datacenter(loc, remote_pms))
+    vms = make_vms(config)
+    system = MultiDCSystem(
+        datacenters=dcs, vms=vms, network=paper_network_model(),
+        prices=PriceBook(energy_price_eur_kwh=PAPER_ENERGY_PRICES))
+    for i, vm_id in enumerate(config.vm_ids()):
+        system.deploy(vm_id, f"{home}-pm{i % n_home_pms}")
+    return system

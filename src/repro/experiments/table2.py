@@ -1,0 +1,65 @@
+"""Table II — prices and latencies used in the experiments.
+
+These are inputs, not measurements: the electricity tariff at each DC
+location and the round-trip backbone latencies between locations (Verizon
+intercontinental network, 10 Gbps lines).  The experiment module exists so
+the benchmark harness regenerates *every* table, inputs included, and so a
+test pins the constants to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.datacenter import PAPER_ENERGY_PRICES
+from ..sim.network import (PAPER_BANDWIDTH_GBPS, PAPER_LOCATIONS,
+                           paper_latency_matrix)
+
+__all__ = ["Table2Result", "run_table2", "format_table2", "LOCATION_NAMES"]
+
+LOCATION_NAMES: Dict[str, str] = {
+    "BRS": "Brisbane",
+    "BNG": "Bangaluru",
+    "BCN": "Barcelona",
+    "BST": "Boston",
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    locations: Tuple[str, ...]
+    energy_eur_kwh: Dict[str, float]
+    latency_ms: Dict[Tuple[str, str], float]
+    bandwidth_gbps: float
+
+
+def run_table2() -> Table2Result:
+    matrix = paper_latency_matrix()
+    latency = {(a, b): matrix.ms(a, b)
+               for a in PAPER_LOCATIONS for b in PAPER_LOCATIONS}
+    return Table2Result(locations=PAPER_LOCATIONS,
+                        energy_eur_kwh=dict(PAPER_ENERGY_PRICES),
+                        latency_ms=latency,
+                        bandwidth_gbps=PAPER_BANDWIDTH_GBPS)
+
+
+def format_table2(result: Table2Result) -> str:
+    header = (f"{'Location':<16} {'EUR/kWh':>8} "
+              + " ".join(f"Lat{loc:>4}" for loc in result.locations))
+    lines = [
+        f"Table II: prices and latencies "
+        f"(latencies in ms, {result.bandwidth_gbps:g} Gbps lines)",
+        header,
+    ]
+    for a in result.locations:
+        name = f"{LOCATION_NAMES.get(a, a)} ({a})"
+        row = (f"{name:<16} {result.energy_eur_kwh[a]:>8.4f} "
+               + " ".join(f"{result.latency_ms[(a, b)]:>7.0f}"
+                          for b in result.locations))
+        lines.append(row)
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_table2(run_table2()))

@@ -1,0 +1,65 @@
+"""Training-data harvests and model training for the experiments.
+
+The Table I models must see the situations the scheduler will ask about:
+consolidated hosts, contended hosts, under- and over-provisioned grants.  A
+single well-behaved run never visits those, so the harvest replays the
+workload at several scales under an *exploration* scheduler that places VMs
+uniformly at random each round — the paper's equivalent is the many
+configurations their testbed visited while experimenting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.predictors import ModelSet, train_model_set
+from ..sim.engine import run_simulation
+from ..sim.monitor import Monitor
+from ..sim.multidc import MultiDCSystem
+from ..workload.traces import WorkloadTrace
+
+__all__ = ["random_placement_scheduler", "harvest", "train_paper_models"]
+
+
+def random_placement_scheduler(rng: np.random.Generator):
+    """An exploration scheduler: every VM to a uniformly random host."""
+
+    def schedule(system: MultiDCSystem, trace: WorkloadTrace, t: int):
+        pm_ids = [pm.pm_id for pm in system.pms]
+        return {vm_id: pm_ids[rng.integers(len(pm_ids))]
+                for vm_id in system.vms}
+
+    return schedule
+
+
+def harvest(system_factory: Callable[[], MultiDCSystem],
+            trace: WorkloadTrace,
+            scales: Sequence[float] = (0.5, 1.0, 2.0),
+            seed: int = 7,
+            monitor: Optional[Monitor] = None) -> Monitor:
+    """Collect monitored samples over exploration runs at several scales.
+
+    ``system_factory`` must build a *fresh* system per run (runs mutate
+    placement state).  Returns the filled monitor.
+    """
+    monitor = monitor or Monitor(rng=np.random.default_rng(seed))
+    explore_rng = np.random.default_rng(seed + 1)
+    for scale in scales:
+        system = system_factory()
+        run_simulation(system, trace.scaled(scale),
+                       scheduler=random_placement_scheduler(explore_rng),
+                       monitor=monitor)
+    return monitor
+
+
+def train_paper_models(system_factory: Callable[[], MultiDCSystem],
+                       trace: WorkloadTrace,
+                       scales: Sequence[float] = (0.5, 1.0, 2.0),
+                       seed: int = 7) -> Tuple[ModelSet, Monitor]:
+    """Harvest and train the seven Table I predictors in one call."""
+    monitor = harvest(system_factory, trace, scales=scales, seed=seed)
+    models = train_model_set(monitor, rng=np.random.default_rng(seed + 2))
+    return models, monitor

@@ -1,0 +1,32 @@
+"""From-scratch machine-learning layer (WEKA-equivalent methods).
+
+* :class:`~repro.ml.m5p.M5PRegressor` — M5 model trees (paper's main method).
+* :class:`~repro.ml.knn.KNNRegressor` — k-NN regression (SLA prediction).
+* :class:`~repro.ml.linreg.LinearRegression` — OLS (memory prediction).
+* :mod:`~repro.ml.metrics` — Table I validation metrics.
+* :mod:`~repro.ml.predictors` — the seven paper predictors and
+  :class:`~repro.ml.predictors.ModelSet`.
+"""
+
+from .dataset import Dataset, Standardizer, train_test_split
+from .ensemble import BaggingRegressor, bagged_m5p
+from .knn import KNNRegressor
+from .linreg import LinearRegression
+from .m5p import M5PRegressor
+from .metrics import (EvalReport, correlation, error_std, evaluate,
+                      mean_absolute_error, r_squared,
+                      root_mean_squared_error)
+from .persistence import load_model_set, save_model_set
+from .predictors import (PREDICTOR_SPECS, ModelSet, PredictorSpec,
+                         TrainedPredictor, train_model_set, train_predictor)
+
+__all__ = [
+    "Dataset", "Standardizer", "train_test_split",
+    "BaggingRegressor", "bagged_m5p",
+    "KNNRegressor", "LinearRegression", "M5PRegressor",
+    "EvalReport", "correlation", "error_std", "evaluate",
+    "mean_absolute_error", "r_squared", "root_mean_squared_error",
+    "load_model_set", "save_model_set",
+    "PREDICTOR_SPECS", "ModelSet", "PredictorSpec", "TrainedPredictor",
+    "train_model_set", "train_predictor",
+]

@@ -1,0 +1,96 @@
+"""Feature-matrix container and the paper's 66/34 train/validation split."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "train_test_split", "Standardizer"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An (X, y) pair with named feature columns."""
+
+    X: np.ndarray
+    y: np.ndarray
+    feature_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=float)
+        y = np.asarray(self.y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows, y has {y.shape[0]}")
+        if len(self.feature_names) != X.shape[1]:
+            raise ValueError("feature_names length must match X columns")
+        if not np.all(np.isfinite(X)) or not np.all(np.isfinite(y)):
+            raise ValueError("X and y must be finite")
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+        object.__setattr__(self, "feature_names", tuple(self.feature_names))
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    def subset(self, idx) -> "Dataset":
+        return Dataset(self.X[idx], self.y[idx], self.feature_names)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            j = self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(f"no feature named {name!r}") from None
+        return self.X[:, j]
+
+
+def train_test_split(data: Dataset, train_fraction: float = 0.66,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[Dataset, Dataset]:
+    """Random split; the paper uses 66 % training / 34 % validation.
+
+    Deterministic given ``rng``; with ``rng=None`` the split is a plain
+    prefix split (no shuffle), useful for time-ordered evaluation.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must lie in (0, 1)")
+    n = len(data)
+    n_train = max(1, min(n - 1, int(round(n * train_fraction))))
+    if rng is None:
+        idx = np.arange(n)
+    else:
+        idx = rng.permutation(n)
+    return data.subset(idx[:n_train]), data.subset(idx[n_train:])
+
+
+@dataclass
+class Standardizer:
+    """Z-normalization fitted on training data (constant columns pass through)."""
+
+    mean_: Optional[np.ndarray] = field(default=None, init=False)
+    scale_: Optional[np.ndarray] = field(default=None, init=False)
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError("X must be a non-empty 2-D array")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("Standardizer not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

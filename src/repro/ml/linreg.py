@@ -1,0 +1,70 @@
+"""Ordinary least-squares linear regression.
+
+The paper's "Predict VM MEM" model is a plain linear regression (memory of a
+PM is, to good approximation, the sum of its VMs' allocations, each linear in
+load).  Implemented with a ridge-stabilized normal-equation solve so
+collinear or constant features never blow up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearRegression"]
+
+
+@dataclass
+class LinearRegression:
+    """OLS with intercept and a tiny L2 stabilizer.
+
+    Parameters
+    ----------
+    l2:
+        Ridge term added to the normal equations (not applied to the
+        intercept).  The default is small enough to be numerically
+        invisible on well-posed problems.
+    """
+
+    l2: float = 1e-8
+    coef_: Optional[np.ndarray] = field(default=None, init=False)
+    intercept_: float = field(default=0.0, init=False)
+
+    def fit(self, X, y) -> "LinearRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y row counts differ")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        n, d = X.shape
+        # Center so the intercept absorbs the means; keeps the ridge term
+        # from biasing the offset.
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        gram = Xc.T @ Xc + self.l2 * np.eye(d)
+        try:
+            beta = np.linalg.solve(gram, Xc.T @ yc)
+        except np.linalg.LinAlgError:
+            beta, *_ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self.coef_ = beta
+        self.intercept_ = float(y_mean - x_mean @ beta)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"expected {self.coef_.shape[0]} features, got {X.shape[1]}")
+        return X @ self.coef_ + self.intercept_
+
+    def predict_one(self, x) -> float:
+        return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])

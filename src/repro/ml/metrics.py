@@ -1,0 +1,103 @@
+"""Validation metrics for the learned models.
+
+Table I of the paper reports, per predicted element: the ML method, the
+correlation between real and predicted values on the validation split, the
+mean absolute error, the error standard deviation, the train/validation
+instance counts and the data range.  This module computes exactly those
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["correlation", "mean_absolute_error", "error_std",
+           "root_mean_squared_error", "r_squared", "EvalReport", "evaluate"]
+
+
+def _check(y_true, y_pred) -> Tuple[np.ndarray, np.ndarray]:
+    yt = np.asarray(y_true, dtype=float).ravel()
+    yp = np.asarray(y_pred, dtype=float).ravel()
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    if yt.size == 0:
+        raise ValueError("empty arrays")
+    return yt, yp
+
+
+def correlation(y_true, y_pred) -> float:
+    """Pearson correlation between real and predicted values.
+
+    Degenerate (zero-variance) inputs return 0 — the model carries no
+    usable signal there, which is what the metric should convey.
+    """
+    yt, yp = _check(y_true, y_pred)
+    st, sp = yt.std(), yp.std()
+    if st == 0.0 or sp == 0.0:
+        return 0.0
+    return float(np.corrcoef(yt, yp)[0, 1])
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    yt, yp = _check(y_true, y_pred)
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def error_std(y_true, y_pred) -> float:
+    """Standard deviation of the signed prediction error."""
+    yt, yp = _check(y_true, y_pred)
+    return float(np.std(yt - yp))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    yt, yp = _check(y_true, y_pred)
+    return float(np.sqrt(np.mean((yt - yp) ** 2)))
+
+
+def r_squared(y_true, y_pred) -> float:
+    """Coefficient of determination; 0 for zero-variance targets."""
+    yt, yp = _check(y_true, y_pred)
+    ss_tot = float(np.sum((yt - yt.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0
+    ss_res = float(np.sum((yt - yp) ** 2))
+    return 1.0 - ss_res / ss_tot
+
+
+@dataclass(frozen=True)
+class EvalReport:
+    """One Table I row."""
+
+    name: str
+    method: str
+    correlation: float
+    mae: float
+    err_std: float
+    n_train: int
+    n_val: int
+    data_min: float
+    data_max: float
+
+    def row(self) -> str:
+        """Rendered like the paper's table."""
+        return (f"{self.name:<16} {self.method:<16} "
+                f"{self.correlation:6.3f} {self.mae:12.4g} "
+                f"{self.err_std:12.4g} {self.n_train:>5}/{self.n_val:<5} "
+                f"[{self.data_min:.4g}, {self.data_max:.4g}]")
+
+
+def evaluate(name: str, method: str, y_train, y_val, y_pred) -> EvalReport:
+    """Build a Table I row from validation predictions."""
+    yv = np.asarray(y_val, dtype=float)
+    yt = np.asarray(y_train, dtype=float)
+    all_y = np.concatenate([yt, yv])
+    return EvalReport(
+        name=name, method=method,
+        correlation=correlation(yv, y_pred),
+        mae=mean_absolute_error(yv, y_pred),
+        err_std=error_std(yv, y_pred),
+        n_train=int(yt.size), n_val=int(yv.size),
+        data_min=float(all_y.min()), data_max=float(all_y.max()))

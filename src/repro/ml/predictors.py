@@ -1,0 +1,304 @@
+"""The paper's seven predictors and the ModelSet the scheduler consumes.
+
+Table I of the paper trains one model per predicted element:
+
+===============  =================  =========================================
+Element          Method             Features (monitored, gateway-visible)
+===============  =================  =========================================
+Predict VM CPU   M5P (M = 4)        load: rps, bytes/req, cpu-time/req
+Predict VM MEM   Linear Regression  load
+Predict VM IN    M5P (M = 2)        load
+Predict VM OUT   M5P (M = 2)        load
+Predict PM CPU   M5P (M = 4)        #VMs, sum of VM CPU
+Predict VM RT    M5P (M = 4)        load + queue + granted resources
+Predict VM SLA   K-NN (K = 4)       load + queue + granted resources
+===============  =================  =========================================
+
+All models train on the noisy :class:`~repro.sim.monitor.Monitor` samples
+with the paper's 66/34 train/validation split and report Table I's metrics
+(correlation, MAE, error standard deviation).
+
+:class:`ModelSet` packages the trained models behind the exact queries the
+ML-enhanced scheduler needs: *required resources for an expected load*,
+*PM CPU for a tentative co-location*, and *RT / SLA for a tentative
+placement*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.demand import LoadVector
+from ..sim.machines import Resources
+from ..sim.monitor import Monitor
+from .dataset import Dataset, train_test_split
+from .knn import KNNRegressor
+from .linreg import LinearRegression
+from .m5p import M5PRegressor
+from .metrics import EvalReport, evaluate
+
+__all__ = ["PredictorSpec", "TrainedPredictor", "ModelSet",
+           "train_model_set", "PREDICTOR_SPECS"]
+
+
+# -- feature construction ------------------------------------------------------
+
+def _load_features(rps, bytes_per_req, cpu_time_per_req) -> np.ndarray:
+    """Gateway-visible load features, plus the naive CPU-demand interaction.
+
+    The interaction term ``rps * cpu_time * 100`` is the zeroth-order CPU
+    estimate; giving it to the learners makes the piecewise corrections they
+    must learn (dispatch overhead, saturation) shallow.
+    """
+    rps = np.asarray(rps, dtype=float)
+    b = np.asarray(bytes_per_req, dtype=float)
+    c = np.asarray(cpu_time_per_req, dtype=float)
+    return np.column_stack([rps, b, c, rps * c * 100.0, rps * b / 1024.0])
+
+
+LOAD_FEATURE_NAMES = ("rps", "bytes_per_req", "cpu_time_per_req",
+                      "naive_cpu", "payload_kbps")
+
+
+def _placement_features(rps, bytes_per_req, cpu_time_per_req, queue_len,
+                        given_cpu, given_mem, given_bw) -> np.ndarray:
+    """Features for RT / SLA prediction of a tentative placement.
+
+    Combines the load description with the resources the placement would
+    grant, plus the stress ratio (naive demand over granted CPU) which is
+    the pivotal quantity of the ground-truth contention model — exactly the
+    kind of derived metric a datacenter monitor exposes.
+    """
+    rps = np.asarray(rps, dtype=float)
+    b = np.asarray(bytes_per_req, dtype=float)
+    c = np.asarray(cpu_time_per_req, dtype=float)
+    q = np.asarray(queue_len, dtype=float)
+    gc = np.asarray(given_cpu, dtype=float)
+    gm = np.asarray(given_mem, dtype=float)
+    gb = np.asarray(given_bw, dtype=float)
+    naive_cpu = rps * c * 100.0
+    stress = naive_cpu / np.maximum(gc, 1e-9)
+    return np.column_stack([rps, b, c, q, gc, gm, gb, naive_cpu, stress])
+
+
+PLACEMENT_FEATURE_NAMES = ("rps", "bytes_per_req", "cpu_time_per_req",
+                           "queue_len", "given_cpu", "given_mem", "given_bw",
+                           "naive_cpu", "stress")
+
+
+# -- specs ---------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """How one Table I element is learned."""
+
+    name: str
+    method: str
+    model_factory: Callable[[], object]
+    dataset_builder: Callable[[Monitor], Dataset]
+
+    def build(self, monitor: Monitor) -> Dataset:
+        return self.dataset_builder(monitor)
+
+
+def _vm_dataset(monitor: Monitor, target: str) -> Dataset:
+    m = monitor.vm_matrix()
+    X = _load_features(m["rps"], m["bytes_per_req"], m["cpu_time_per_req"])
+    return Dataset(X, m[target], LOAD_FEATURE_NAMES)
+
+
+def _pm_dataset(monitor: Monitor) -> Dataset:
+    m = monitor.pm_matrix()
+    X = np.column_stack([m["n_vms"], m["sum_vm_cpu"]])
+    return Dataset(X, m["pm_cpu"], ("n_vms", "sum_vm_cpu"))
+
+
+def _placement_dataset(monitor: Monitor, target: str) -> Dataset:
+    m = monitor.vm_matrix()
+    X = _placement_features(m["rps"], m["bytes_per_req"],
+                            m["cpu_time_per_req"], m["queue_len"],
+                            m["given_cpu"], m["given_mem"], m["given_bw"])
+    return Dataset(X, m[target], PLACEMENT_FEATURE_NAMES)
+
+
+# Named (picklable) factories and builders — ModelSet persistence pickles
+# the specs, so no lambdas here.
+def _make_m5p_m4() -> M5PRegressor:
+    return M5PRegressor(min_leaf=4)
+
+
+def _make_m5p_m2() -> M5PRegressor:
+    return M5PRegressor(min_leaf=2)
+
+
+def _make_linreg() -> LinearRegression:
+    return LinearRegression()
+
+
+def _make_knn_k4() -> KNNRegressor:
+    return KNNRegressor(k=4)
+
+
+def _ds_vm_cpu(mon: Monitor) -> Dataset:
+    return _vm_dataset(mon, "used_cpu")
+
+
+def _ds_vm_mem(mon: Monitor) -> Dataset:
+    return _vm_dataset(mon, "used_mem")
+
+
+def _ds_vm_in(mon: Monitor) -> Dataset:
+    return _vm_dataset(mon, "net_in")
+
+
+def _ds_vm_out(mon: Monitor) -> Dataset:
+    return _vm_dataset(mon, "net_out")
+
+
+def _ds_vm_rt(mon: Monitor) -> Dataset:
+    return _placement_dataset(mon, "rt")
+
+
+def _ds_vm_sla(mon: Monitor) -> Dataset:
+    return _placement_dataset(mon, "sla")
+
+
+PREDICTOR_SPECS: Dict[str, PredictorSpec] = {
+    "vm_cpu": PredictorSpec("Predict VM CPU", "M5P (M = 4)",
+                            _make_m5p_m4, _ds_vm_cpu),
+    "vm_mem": PredictorSpec("Predict VM MEM", "Linear Reg.",
+                            _make_linreg, _ds_vm_mem),
+    "vm_in": PredictorSpec("Predict VM IN", "M5P (M = 2)",
+                           _make_m5p_m2, _ds_vm_in),
+    "vm_out": PredictorSpec("Predict VM OUT", "M5P (M = 2)",
+                            _make_m5p_m2, _ds_vm_out),
+    "pm_cpu": PredictorSpec("Predict PM CPU", "M5P (M = 4)",
+                            _make_m5p_m4, _pm_dataset),
+    "vm_rt": PredictorSpec("Predict VM RT", "M5P (M = 4)",
+                           _make_m5p_m4, _ds_vm_rt),
+    "vm_sla": PredictorSpec("Predict VM SLA", "K-NN (K = 4)",
+                            _make_knn_k4, _ds_vm_sla),
+}
+
+
+@dataclass
+class TrainedPredictor:
+    """A fitted model plus its Table I validation report."""
+
+    spec: PredictorSpec
+    model: object
+    report: EvalReport
+
+    def predict(self, X) -> np.ndarray:
+        return self.model.predict(X)
+
+    def predict_one(self, x) -> float:
+        return float(self.model.predict(np.atleast_2d(
+            np.asarray(x, dtype=float)))[0])
+
+
+def train_predictor(spec: PredictorSpec, monitor: Monitor,
+                    rng: Optional[np.random.Generator] = None,
+                    train_fraction: float = 0.66) -> TrainedPredictor:
+    """Fit one Table I element with the paper's split and metrics."""
+    data = spec.build(monitor)
+    train, val = train_test_split(data, train_fraction=train_fraction,
+                                  rng=rng)
+    model = spec.model_factory()
+    model.fit(train.X, train.y)
+    report = evaluate(spec.name, spec.method, train.y, val.y,
+                      model.predict(val.X))
+    return TrainedPredictor(spec=spec, model=model, report=report)
+
+
+@dataclass
+class ModelSet:
+    """The trained predictors behind scheduler-friendly queries."""
+
+    predictors: Dict[str, TrainedPredictor]
+
+    def __post_init__(self) -> None:
+        missing = set(PREDICTOR_SPECS) - set(self.predictors)
+        if missing:
+            raise ValueError(f"ModelSet missing predictors: {sorted(missing)}")
+
+    def __getitem__(self, key: str) -> TrainedPredictor:
+        return self.predictors[key]
+
+    # -- scheduler queries ---------------------------------------------------
+    def predict_requirements(self, load: LoadVector,
+                             cpu_cap: float = 400.0,
+                             mem_floor: float = 0.0) -> Resources:
+        """Required <CPU, MEM, BW> for an expected load (paper goal 1).
+
+        Predictions are clipped into physically meaningful ranges; memory
+        never drops below the VM's base footprint.
+        """
+        x = _load_features([load.rps], [load.bytes_per_req],
+                           [load.cpu_time_per_req])
+        cpu = float(np.clip(self.predictors["vm_cpu"].predict(x)[0],
+                            0.0, cpu_cap))
+        mem = max(mem_floor,
+                  float(max(0.0, self.predictors["vm_mem"].predict(x)[0])))
+        net_in = float(max(0.0, self.predictors["vm_in"].predict(x)[0]))
+        net_out = float(max(0.0, self.predictors["vm_out"].predict(x)[0]))
+        return Resources(cpu=cpu, mem=mem, bw=net_in + net_out)
+
+    def predict_pm_cpu(self, vm_cpus: Sequence[float]) -> float:
+        """Total PM CPU for a tentative co-location (paper goal 2)."""
+        vm_cpus = np.asarray(list(vm_cpus), dtype=float)
+        if vm_cpus.size == 0:
+            return 0.0
+        x = np.array([[float(vm_cpus.size), float(vm_cpus.sum())]])
+        return float(max(0.0, self.predictors["pm_cpu"].predict(x)[0]))
+
+    def _placement_row(self, load: LoadVector, given: Resources,
+                       queue_len: float) -> np.ndarray:
+        return _placement_features([load.rps], [load.bytes_per_req],
+                                   [load.cpu_time_per_req], [queue_len],
+                                   [given.cpu], [given.mem], [given.bw])
+
+    def predict_rt(self, load: LoadVector, given: Resources,
+                   queue_len: float = 0.0) -> float:
+        """Expected production RT for a tentative placement (paper goal 3)."""
+        x = self._placement_row(load, given, queue_len)
+        return float(max(0.0, self.predictors["vm_rt"].predict(x)[0]))
+
+    def predict_sla(self, load: LoadVector, given: Resources,
+                    queue_len: float = 0.0) -> float:
+        """Expected SLA fulfillment for a tentative placement.
+
+        The paper predicts SLA directly (bounded range, robust to RT
+        outliers) rather than deriving it from predicted RT.
+        """
+        x = self._placement_row(load, given, queue_len)
+        return float(np.clip(self.predictors["vm_sla"].predict(x)[0],
+                             0.0, 1.0))
+
+    # -- reporting -------------------------------------------------------------
+    def table1(self) -> List[EvalReport]:
+        """Validation reports in the paper's Table I row order."""
+        order = ["vm_cpu", "vm_mem", "vm_in", "vm_out", "pm_cpu",
+                 "vm_rt", "vm_sla"]
+        return [self.predictors[k].report for k in order]
+
+
+def train_model_set(monitor: Monitor,
+                    rng: Optional[np.random.Generator] = None,
+                    train_fraction: float = 0.66) -> ModelSet:
+    """Train all seven Table I predictors from one monitoring harvest."""
+    if len(monitor.vm_samples) < 10:
+        raise ValueError(
+            f"need at least 10 VM samples to train, got "
+            f"{len(monitor.vm_samples)}")
+    if len(monitor.pm_samples) < 10:
+        raise ValueError(
+            f"need at least 10 PM samples to train, got "
+            f"{len(monitor.pm_samples)}")
+    predictors = {key: train_predictor(spec, monitor, rng=rng,
+                                       train_fraction=train_fraction)
+                  for key, spec in PREDICTOR_SPECS.items()}
+    return ModelSet(predictors=predictors)

@@ -1,0 +1,153 @@
+"""Datacenter entity: a location, a set of PMs, an ISP access point, a tariff.
+
+Table II of the paper gives the electricity price at each of the four case-
+study locations.  Every DC has one client access point (ISP): all requests
+originating in the DC's region enter the provider network there and are
+routed over the backbone if the target VM lives elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .machines import PhysicalMachine, Resources
+from .power import atom_power_model
+
+__all__ = ["PAPER_ENERGY_PRICES", "DataCenter", "build_datacenter"]
+
+#: Table II electricity tariffs, EUR per kWh, by location code.
+PAPER_ENERGY_PRICES: Dict[str, float] = {
+    "BRS": 0.1314,  # Brisbane, Australia
+    "BNG": 0.1218,  # Bangaluru, India
+    "BCN": 0.1513,  # Barcelona, Spain
+    "BST": 0.1120,  # Boston, Massachusetts
+}
+
+
+@dataclass
+class DataCenter:
+    """One datacenter: identified by its location code.
+
+    Parameters
+    ----------
+    location:
+        Location code, also the key into latency matrices and tariffs.
+    pms:
+        The physical machines of this DC.
+    energy_price_eur_kwh:
+        Local electricity tariff.
+    """
+
+    location: str
+    pms: List[PhysicalMachine] = field(default_factory=list)
+    energy_price_eur_kwh: float = 0.13
+
+    def __post_init__(self) -> None:
+        if self.energy_price_eur_kwh < 0:
+            raise ValueError("energy price must be non-negative")
+        ids = [pm.pm_id for pm in self.pms]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate PM ids in DC {self.location!r}")
+
+    # -- lookup ----------------------------------------------------------------
+    def pm(self, pm_id: str) -> PhysicalMachine:
+        for pm in self.pms:
+            if pm.pm_id == pm_id:
+                return pm
+        raise KeyError(f"PM {pm_id!r} not in DC {self.location!r}")
+
+    def host_of(self, vm_id: str) -> Optional[PhysicalMachine]:
+        """The PM hosting ``vm_id`` here, or None."""
+        for pm in self.pms:
+            if pm.hosts(vm_id):
+                return pm
+        return None
+
+    @property
+    def vm_ids(self) -> List[str]:
+        out: List[str] = []
+        for pm in self.pms:
+            out.extend(pm.vm_ids)
+        return out
+
+    # -- aggregate state ---------------------------------------------------------
+    @property
+    def total_capacity(self) -> Resources:
+        total = Resources()
+        for pm in self.pms:
+            if pm.on:
+                total = total + pm.capacity
+        return total
+
+    @property
+    def total_used(self) -> Resources:
+        total = Resources()
+        for pm in self.pms:
+            total = total + pm.used
+        return total
+
+    @property
+    def n_on(self) -> int:
+        return sum(1 for pm in self.pms if pm.on)
+
+    def facility_watts(self) -> float:
+        """Current facility power draw of the whole DC."""
+        return sum(pm.facility_watts() for pm in self.pms)
+
+    def energy_cost_eur(self, watts: float, seconds: float) -> float:
+        """Cost of drawing ``watts`` for ``seconds`` at the local tariff."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        kwh = watts * seconds / 3600.0 / 1000.0
+        return kwh * self.energy_price_eur_kwh
+
+    def utilization(self) -> float:
+        """Dominant-share utilization across powered-on capacity (0 when empty)."""
+        cap = self.total_capacity
+        if cap.cpu <= 0:
+            return 0.0 if self.total_used.cpu <= 0 else float("inf")
+        return self.total_used.dominant_share(cap)
+
+    # -- host offers (narrow interface to the global scheduler, §IV.C) ----------
+    def offered_hosts(self, min_free_cpu: float = 50.0,
+                      max_offers: int = 2) -> List[PhysicalMachine]:
+        """PMs this DC offers to the global scheduler as candidates.
+
+        Per the paper's optimizations: skip almost-full hosts that cannot
+        accommodate additional VMs, and collapse identical empty hosts to a
+        single representative.
+        """
+        candidates = [pm for pm in self.pms
+                      if pm.on and pm.free.cpu >= min_free_cpu]
+        # Collapse identical empty machines: offer only one of each capacity.
+        seen_empty = set()
+        offers: List[PhysicalMachine] = []
+        for pm in sorted(candidates, key=lambda p: -p.free.cpu):
+            if pm.n_vms == 0:
+                key = (pm.capacity.cpu, pm.capacity.mem, pm.capacity.bw)
+                if key in seen_empty:
+                    continue
+                seen_empty.add(key)
+            offers.append(pm)
+            if len(offers) >= max_offers:
+                break
+        return offers
+
+
+def build_datacenter(location: str, n_pms: int,
+                     capacity: Optional[Resources] = None,
+                     energy_price_eur_kwh: Optional[float] = None,
+                     pm_prefix: Optional[str] = None) -> DataCenter:
+    """Convenience constructor: ``n_pms`` identical Atom hosts at a location."""
+    if n_pms < 0:
+        raise ValueError("n_pms must be non-negative")
+    capacity = capacity or Resources(cpu=400.0, mem=4096.0, bw=125_000.0)
+    price = (PAPER_ENERGY_PRICES.get(location, 0.13)
+             if energy_price_eur_kwh is None else energy_price_eur_kwh)
+    prefix = pm_prefix if pm_prefix is not None else f"{location}-pm"
+    pms = [PhysicalMachine(pm_id=f"{prefix}{i}", capacity=capacity,
+                           power_model=atom_power_model())
+           for i in range(n_pms)]
+    return DataCenter(location=location, pms=pms,
+                      energy_price_eur_kwh=price)

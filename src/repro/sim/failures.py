@@ -1,0 +1,105 @@
+"""Host-failure injection.
+
+Real multi-DC fleets lose machines; a management policy must reschedule the
+orphaned VMs and route around the dead host until repair.  The paper's
+testbed never crashes, but its framework implies the behaviour (a VM must
+always sit on exactly one live host), so failure injection is the natural
+robustness test for the scheduler stack: orphans must be re-placed by the
+next round and the dead PM must attract no placements.
+
+:class:`FailureInjector` is driven by the engine once per interval, before
+the scheduler runs: it repairs machines whose downtime elapsed, then draws
+fresh failures.  A failed PM is powered off, flagged ``failed`` (placement
+attempts raise), and its VMs become unplaced — they earn zero SLA until the
+scheduler re-deploys them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .multidc import MultiDCSystem
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected host failure."""
+
+    t: int
+    pm_id: str
+    location: str
+    orphaned_vms: tuple
+    repair_at: int
+
+
+@dataclass
+class FailureInjector:
+    """Random PM failures with deterministic seeding.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator; the failure trace is a pure function of it.
+    fail_prob_per_interval:
+        Chance that any single live PM fails in one interval.
+    repair_intervals:
+        Downtime length in intervals.
+    max_down:
+        Never take down more than this many PMs at once (keeps scenarios
+        schedulable).
+    """
+
+    rng: np.random.Generator
+    fail_prob_per_interval: float = 0.01
+    repair_intervals: int = 6
+    max_down: int = 1
+    events: List[FailureEvent] = field(default_factory=list)
+    _down_until: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_prob_per_interval <= 1.0:
+            raise ValueError("fail_prob_per_interval must lie in [0, 1]")
+        if self.repair_intervals < 1:
+            raise ValueError("repair_intervals must be >= 1")
+        if self.max_down < 0:
+            raise ValueError("max_down must be non-negative")
+
+    @property
+    def down_pms(self) -> List[str]:
+        return sorted(self._down_until)
+
+    def step(self, system: MultiDCSystem, t: int) -> List[FailureEvent]:
+        """Repair due machines, then maybe fail live ones."""
+        # Repairs first: a repaired PM comes back off-but-available.
+        for pm_id in [p for p, until in self._down_until.items()
+                      if until <= t]:
+            system.pm(pm_id).repair()
+            del self._down_until[pm_id]
+
+        new_events: List[FailureEvent] = []
+        if self.fail_prob_per_interval <= 0.0:
+            return new_events
+        for dc in system.datacenters:
+            for pm in dc.pms:
+                if len(self._down_until) >= self.max_down:
+                    break
+                if not pm.on or pm.failed:
+                    continue
+                if self.rng.random() >= self.fail_prob_per_interval:
+                    continue
+                orphans = tuple(pm.vm_ids)
+                pm.fail()
+                repair_at = t + self.repair_intervals
+                self._down_until[pm.pm_id] = repair_at
+                event = FailureEvent(t=t, pm_id=pm.pm_id,
+                                     location=dc.location,
+                                     orphaned_vms=orphans,
+                                     repair_at=repair_at)
+                self.events.append(event)
+                new_events.append(event)
+        return new_events

@@ -1,0 +1,282 @@
+"""Physical and virtual machine entities.
+
+A :class:`VirtualMachine` boxes one customer web-service; a
+:class:`PhysicalMachine` hosts a set of VMs subject to capacity constraints in
+three resources — CPU (percent of one core, so a 4-core host has 400), memory
+(MB) and network bandwidth (KB/s) — mirroring the paper's
+``Resources[PM] = <CPU, MEM, BWD>`` parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from .power import PowerModel, atom_power_model
+
+__all__ = ["Resources", "VirtualMachine", "PhysicalMachine"]
+
+
+@dataclass(frozen=True)
+class Resources:
+    """A <CPU, MEM, BWD> resource vector.
+
+    Supports element-wise arithmetic and comparison so capacity checks read
+    naturally, e.g. ``used + req <= host.capacity``.
+    """
+
+    cpu: float = 0.0   # percent of one core
+    mem: float = 0.0   # MB
+    bw: float = 0.0    # KB/s
+
+    def __post_init__(self) -> None:
+        for name in ("cpu", "mem", "bw"):
+            v = getattr(self, name)
+            if not np.isfinite(v):
+                raise ValueError(f"{name} must be finite, got {v!r}")
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu + other.cpu, self.mem + other.mem,
+                         self.bw + other.bw)
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(self.cpu - other.cpu, self.mem - other.mem,
+                         self.bw - other.bw)
+
+    def __mul__(self, k: float) -> "Resources":
+        return Resources(self.cpu * k, self.mem * k, self.bw * k)
+
+    __rmul__ = __mul__
+
+    def fits_in(self, other: "Resources", slack: float = 0.0) -> bool:
+        """True when this demand fits inside ``other`` with optional slack."""
+        return (self.cpu <= other.cpu + slack
+                and self.mem <= other.mem + slack
+                and self.bw <= other.bw + slack)
+
+    def clip_nonnegative(self) -> "Resources":
+        """Component-wise max(0, .)."""
+        return Resources(max(0.0, self.cpu), max(0.0, self.mem),
+                         max(0.0, self.bw))
+
+    def dominant_share(self, capacity: "Resources") -> float:
+        """Largest fractional usage across dimensions (for ordering VMs)."""
+        fractions = []
+        for used, cap in ((self.cpu, capacity.cpu), (self.mem, capacity.mem),
+                          (self.bw, capacity.bw)):
+            if cap > 0:
+                fractions.append(used / cap)
+        return max(fractions) if fractions else 0.0
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.cpu, self.mem, self.bw], dtype=float)
+
+    @staticmethod
+    def from_array(a) -> "Resources":
+        a = np.asarray(a, dtype=float)
+        if a.shape != (3,):
+            raise ValueError(f"expected shape (3,), got {a.shape}")
+        return Resources(float(a[0]), float(a[1]), float(a[2]))
+
+
+@dataclass
+class VirtualMachine:
+    """A virtualized web-service instance.
+
+    Parameters
+    ----------
+    vm_id:
+        Unique identifier within the multi-DC system.
+    image_size_mb:
+        VM disk image size, used to compute migration transfer time
+        (Figure 3 parameter ``ISize``).
+    base_mem_mb:
+        Memory footprint with zero load (OS + service stack).
+    max_resources:
+        Per-VM resource cap (a VM cannot be granted more than this).
+    rt0, alpha:
+        SLA parameters of this VM's contract (Figure 3 ``RT0_i``, ``alpha_i``).
+    price_eur_per_hour:
+        Revenue for one fully-SLA-compliant VM-hour (paper: 0.17 EUR).
+    """
+
+    vm_id: str
+    image_size_mb: float = 4096.0
+    base_mem_mb: float = 256.0
+    max_resources: Resources = field(
+        default_factory=lambda: Resources(cpu=400.0, mem=1024.0, bw=10_000.0))
+    rt0: float = 0.1
+    alpha: float = 10.0
+    price_eur_per_hour: float = 0.17
+
+    def __post_init__(self) -> None:
+        if self.image_size_mb <= 0:
+            raise ValueError("image_size_mb must be positive")
+        if self.base_mem_mb < 0:
+            raise ValueError("base_mem_mb must be non-negative")
+        if self.rt0 <= 0:
+            raise ValueError("rt0 must be positive")
+        if self.alpha <= 1:
+            raise ValueError("alpha must exceed 1")
+
+
+@dataclass
+class PhysicalMachine:
+    """A host machine with fixed capacity and a power model.
+
+    Tracks which VMs it currently hosts and the resources granted to each.
+    The PM itself does not decide placements; schedulers do, via
+    :meth:`place` / :meth:`evict`.
+    """
+
+    pm_id: str
+    capacity: Resources = field(
+        default_factory=lambda: Resources(cpu=400.0, mem=4096.0, bw=125_000.0))
+    power_model: PowerModel = field(default_factory=atom_power_model)
+    on: bool = True
+    #: A failed machine is down hard: it cannot host or be powered on
+    #: until :meth:`repair` (see :mod:`repro.sim.failures`).
+    failed: bool = False
+    granted: Dict[str, Resources] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity.cpu <= 0 or self.capacity.mem <= 0 or self.capacity.bw <= 0:
+            raise ValueError("capacity components must be positive")
+
+    # -- occupancy ----------------------------------------------------------
+    @property
+    def vm_ids(self) -> List[str]:
+        return list(self.granted)
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.granted)
+
+    @property
+    def used(self) -> Resources:
+        total = Resources()
+        for r in self.granted.values():
+            total = total + r
+        return total
+
+    @property
+    def free(self) -> Resources:
+        return self.capacity - self.used
+
+    def hosts(self, vm_id: str) -> bool:
+        return vm_id in self.granted
+
+    def can_fit(self, demand: Resources, overbook: float = 1.0) -> bool:
+        """Whether ``demand`` (scaled by ``overbook``) fits in free capacity."""
+        if not self.on or self.failed:
+            return False
+        return (demand * overbook).fits_in(self.free, slack=1e-9)
+
+    def place(self, vm_id: str, grant: Resources) -> None:
+        """Grant resources to a VM on this host.
+
+        Raises if the VM is already present or capacity would be exceeded.
+        """
+        if self.failed:
+            raise ValueError(f"PM {self.pm_id!r} has failed")
+        if vm_id in self.granted:
+            raise ValueError(f"VM {vm_id!r} already on PM {self.pm_id!r}")
+        if not self.on:
+            raise ValueError(f"PM {self.pm_id!r} is powered off")
+        if not grant.clip_nonnegative().fits_in(self.free, slack=1e-6):
+            raise ValueError(
+                f"grant {grant} exceeds free capacity {self.free} "
+                f"on PM {self.pm_id!r}")
+        self.granted[vm_id] = grant.clip_nonnegative()
+
+    def evict(self, vm_id: str) -> Resources:
+        """Remove a VM, returning the resources it held."""
+        try:
+            return self.granted.pop(vm_id)
+        except KeyError:
+            raise KeyError(f"VM {vm_id!r} not on PM {self.pm_id!r}") from None
+
+    def regrant(self, vm_id: str, grant: Resources) -> None:
+        """Adjust the grant of an already-placed VM (local quota tuning)."""
+        if vm_id not in self.granted:
+            raise KeyError(f"VM {vm_id!r} not on PM {self.pm_id!r}")
+        others = self.used - self.granted[vm_id]
+        if not (others + grant.clip_nonnegative()).fits_in(self.capacity,
+                                                           slack=1e-6):
+            raise ValueError(f"regrant {grant} would exceed capacity")
+        self.granted[vm_id] = grant.clip_nonnegative()
+
+    def regrant_all(self, grants: Dict[str, Resources]) -> None:
+        """Atomically replace the grants of every hosted VM.
+
+        Used by the interval allocator, whose per-VM shares are computed
+        jointly; applying them one at a time could transiently exceed
+        capacity.
+        """
+        if set(grants) != set(self.granted):
+            raise KeyError(
+                f"grants for {sorted(grants)} do not match hosted VMs "
+                f"{sorted(self.granted)} on PM {self.pm_id!r}")
+        total = Resources()
+        clipped = {vm_id: g.clip_nonnegative() for vm_id, g in grants.items()}
+        for g in clipped.values():
+            total = total + g
+        if not total.fits_in(self.capacity, slack=1e-6):
+            raise ValueError(
+                f"joint grants {total} exceed capacity {self.capacity} "
+                f"on PM {self.pm_id!r}")
+        self.granted = clipped
+
+    # -- power and failures ----------------------------------------------------
+    def set_power(self, on: bool) -> None:
+        """Switch the host on/off; refusing to power down a non-empty host."""
+        if on and self.failed:
+            raise ValueError(f"cannot power on failed PM {self.pm_id!r}")
+        if not on and self.granted:
+            raise ValueError(
+                f"cannot power off PM {self.pm_id!r}: hosts {self.vm_ids}")
+        self.on = on
+
+    def fail(self) -> List[str]:
+        """Crash the host: drop all VMs, power off, flag failed.
+
+        Returns the orphaned VM ids (the caller reschedules them).
+        """
+        orphans = self.vm_ids
+        self.granted.clear()
+        self.on = False
+        self.failed = True
+        return orphans
+
+    def repair(self) -> None:
+        """Bring a failed host back as available (still powered off)."""
+        self.failed = False
+        self.on = False
+
+    def it_watts(self, cpu_used: Optional[float] = None) -> float:
+        """IT power at the given (or current granted) CPU usage."""
+        if not self.on:
+            return 0.0
+        cpu = self.used.cpu if cpu_used is None else cpu_used
+        return self.power_model.it_watts(cpu)
+
+    def facility_watts(self, cpu_used: Optional[float] = None) -> float:
+        """Facility (IT + cooling) power; 0 when off."""
+        if not self.on:
+            return 0.0
+        cpu = self.used.cpu if cpu_used is None else cpu_used
+        return self.power_model.facility_watts(cpu, on=True)
+
+    def snapshot(self) -> "PhysicalMachine":
+        """A deep-enough copy for tentative what-if packing."""
+        return PhysicalMachine(
+            pm_id=self.pm_id,
+            capacity=self.capacity,
+            power_model=self.power_model,
+            on=self.on,
+            failed=self.failed,
+            granted=dict(self.granted),
+        )

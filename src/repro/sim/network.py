@@ -1,0 +1,172 @@
+"""Inter-DC network model: latencies, bandwidth, migration timing.
+
+Table II of the paper gives round-trip latencies (ms) between the four
+DC locations over a Verizon-like intercontinental backbone, and assumes a
+fixed 10 Gbps inter-DC line.  Clients connect through the ISP access point of
+their local DC, so the host<->source latency of Figure 3 (``LatencyHL``)
+equals the DC<->DC latency between the hosting DC and the client's local DC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PAPER_LOCATIONS",
+    "PAPER_LATENCIES_MS",
+    "PAPER_BANDWIDTH_GBPS",
+    "LatencyMatrix",
+    "NetworkModel",
+]
+
+#: The four DC locations of the paper's case study, in Table II order.
+PAPER_LOCATIONS: Tuple[str, ...] = ("BRS", "BNG", "BCN", "BST")
+
+#: Table II inter-DC latencies in milliseconds (symmetric, zero diagonal).
+PAPER_LATENCIES_MS: Dict[Tuple[str, str], float] = {
+    ("BRS", "BNG"): 265.0,
+    ("BRS", "BCN"): 390.0,
+    ("BRS", "BST"): 255.0,
+    ("BNG", "BCN"): 250.0,
+    ("BNG", "BST"): 380.0,
+    ("BCN", "BST"): 90.0,
+}
+
+#: Assumed inter-DC line rate (paper: "a fixed bandwidth of 10 Gbps").
+PAPER_BANDWIDTH_GBPS: float = 10.0
+
+
+@dataclass(frozen=True)
+class LatencyMatrix:
+    """Symmetric location-to-location latency table.
+
+    Locations are identified by string keys; lookups are O(1) via an index
+    map over a dense numpy matrix so schedulers can query in hot loops.
+    """
+
+    locations: Tuple[str, ...]
+    matrix_ms: np.ndarray
+    _index: Mapping[str, int] = field(init=False, repr=False, compare=False,
+                                      default=None)
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix_ms, dtype=float)
+        n = len(self.locations)
+        if m.shape != (n, n):
+            raise ValueError(f"matrix shape {m.shape} != ({n}, {n})")
+        if not np.allclose(m, m.T):
+            raise ValueError("latency matrix must be symmetric")
+        if np.any(np.diag(m) != 0):
+            raise ValueError("self-latency must be zero")
+        if np.any(m < 0):
+            raise ValueError("latencies must be non-negative")
+        if len(set(self.locations)) != n:
+            raise ValueError("duplicate location names")
+        object.__setattr__(self, "matrix_ms", m)
+        object.__setattr__(self, "_index",
+                           {loc: i for i, loc in enumerate(self.locations)})
+
+    @staticmethod
+    def from_pairs(locations: Sequence[str],
+                   pairs: Mapping[Tuple[str, str], float]) -> "LatencyMatrix":
+        """Build from an upper-triangle dict of (loc_a, loc_b) -> ms."""
+        locations = tuple(locations)
+        idx = {loc: i for i, loc in enumerate(locations)}
+        m = np.zeros((len(locations), len(locations)))
+        for (a, b), ms in pairs.items():
+            if a not in idx or b not in idx:
+                raise KeyError(f"unknown location in pair ({a}, {b})")
+            m[idx[a], idx[b]] = ms
+            m[idx[b], idx[a]] = ms
+        return LatencyMatrix(locations=locations, matrix_ms=m)
+
+    def ms(self, loc_a: str, loc_b: str) -> float:
+        """Round-trip latency in milliseconds between two locations."""
+        try:
+            return float(self.matrix_ms[self._index[loc_a], self._index[loc_b]])
+        except KeyError as exc:
+            raise KeyError(f"unknown location {exc}") from None
+
+    def row(self, loc: str) -> np.ndarray:
+        """Latency from ``loc`` to every location, in `locations` order."""
+        return self.matrix_ms[self._index[loc]].copy()
+
+    def nearest(self, loc: str, candidates: Sequence[str]) -> str:
+        """The candidate location with lowest latency from ``loc``."""
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        return min(candidates, key=lambda c: self.ms(loc, c))
+
+
+def paper_latency_matrix() -> LatencyMatrix:
+    """Table II as a :class:`LatencyMatrix`."""
+    return LatencyMatrix.from_pairs(PAPER_LOCATIONS, PAPER_LATENCIES_MS)
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latencies plus bandwidth: everything migration timing needs.
+
+    Parameters
+    ----------
+    latency:
+        Location-to-location latency matrix.
+    bandwidth_gbps:
+        Inter-DC line rate used for VM image transfer.
+    intra_dc_ms:
+        Latency between two hosts inside the same DC (LAN, effectively
+        negligible at WAN scale but kept configurable).
+    intra_dc_gbps:
+        LAN bandwidth for intra-DC migrations.
+    """
+
+    latency: LatencyMatrix
+    bandwidth_gbps: float = PAPER_BANDWIDTH_GBPS
+    intra_dc_ms: float = 0.5
+    intra_dc_gbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0 or self.intra_dc_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.intra_dc_ms < 0:
+            raise ValueError("intra_dc_ms must be non-negative")
+
+    @property
+    def locations(self) -> Tuple[str, ...]:
+        return self.latency.locations
+
+    def host_to_source_ms(self, host_loc: str, source_loc: str) -> float:
+        """Figure 3 ``LatencyHL``: hosting DC to client access point."""
+        if host_loc == source_loc:
+            return self.intra_dc_ms
+        return self.latency.ms(host_loc, source_loc)
+
+    def host_to_host_ms(self, loc_a: str, loc_b: str) -> float:
+        """Figure 3 ``LatencyHH``: between two (potential) hosting DCs."""
+        if loc_a == loc_b:
+            return self.intra_dc_ms
+        return self.latency.ms(loc_a, loc_b)
+
+    def migration_seconds(self, image_size_mb: float, loc_from: str,
+                          loc_to: str) -> float:
+        """Freeze + transfer + restore time for a VM image.
+
+        Transfer time is image size over the line rate; the propagation
+        latency is added once for connection setup.  Same-DC moves use the
+        LAN figures.
+        """
+        if image_size_mb < 0:
+            raise ValueError("image_size_mb must be non-negative")
+        same = loc_from == loc_to
+        gbps = self.intra_dc_gbps if same else self.bandwidth_gbps
+        ms = self.intra_dc_ms if same else self.latency.ms(loc_from, loc_to)
+        transfer_s = image_size_mb * 8.0 / (gbps * 1000.0)
+        return transfer_s + ms / 1000.0
+
+
+def paper_network_model() -> NetworkModel:
+    """The paper's network: Table II latencies over 10 Gbps lines."""
+    return NetworkModel(latency=paper_latency_matrix())

@@ -1,0 +1,163 @@
+"""Physical-machine power models.
+
+The paper's testbed uses low-energy Intel Atom 4-core machines and reports a
+strongly non-linear relation between active cores and power draw:
+
+    1 active core -> 29.1 W
+    2 active cores -> 30.4 W
+    3 active cores -> 31.3 W
+    4 active cores -> 31.8 W
+
+i.e. turning a second machine on costs ~29 W while loading a second core of an
+already-on machine costs ~1.3 W.  This non-linearity is what makes
+consolidation profitable.  The paper additionally notes that every 2 W of IT
+power requires ~1 W of cooling, i.e. a PUE-like multiplier of 1.5.
+
+Units: CPU in percent of one core (a 4-core PM spans [0, 400]); power in
+watts; energy in watt-hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PowerModel",
+    "ATOM_CORE_WATTS",
+    "COOLING_FACTOR",
+    "atom_power_model",
+    "linear_power_model",
+]
+
+#: Measured Atom 4-core draw at 1..4 fully active cores (paper §IV.A).
+ATOM_CORE_WATTS: Tuple[float, ...] = (29.1, 30.4, 31.3, 31.8)
+
+#: 1 W of cooling per 2 W of IT load (paper §IV.A).
+COOLING_FACTOR: float = 1.5
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Piecewise-linear power curve over CPU usage for one physical machine.
+
+    The curve is anchored at ``idle_watts`` for a powered-on machine with no
+    active core and interpolates linearly through ``core_watts[k-1]`` at the
+    point where exactly ``k`` cores are fully busy (CPU usage ``k * 100`` %).
+    A machine that is switched off draws zero.
+
+    Parameters
+    ----------
+    core_watts:
+        Draw with 1..n_cores fully active cores, ascending.
+    idle_watts:
+        Draw when on but idle (0 % CPU).
+    cooling_factor:
+        Multiplier converting IT watts to facility watts (>= 1).
+    """
+
+    core_watts: Tuple[float, ...] = ATOM_CORE_WATTS
+    idle_watts: float = 26.0
+    cooling_factor: float = COOLING_FACTOR
+    # Derived interpolation knots, filled in __post_init__.
+    _knots_x: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+    _knots_y: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if len(self.core_watts) == 0:
+            raise ValueError("core_watts must list at least one core")
+        watts = np.asarray(self.core_watts, dtype=float)
+        if np.any(np.diff(watts) < 0):
+            raise ValueError("core_watts must be non-decreasing")
+        if self.idle_watts < 0 or self.idle_watts > watts[0]:
+            raise ValueError(
+                "idle_watts must lie in [0, core_watts[0]]; got "
+                f"{self.idle_watts} vs {watts[0]}"
+            )
+        if self.cooling_factor < 1.0:
+            raise ValueError("cooling_factor must be >= 1")
+        knots_x = np.arange(len(watts) + 1, dtype=float) * 100.0
+        knots_y = np.concatenate(([self.idle_watts], watts))
+        object.__setattr__(self, "_knots_x", knots_x)
+        object.__setattr__(self, "_knots_y", knots_y)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of cores the curve covers."""
+        return len(self.core_watts)
+
+    @property
+    def max_cpu(self) -> float:
+        """CPU capacity in percent (100 per core)."""
+        return 100.0 * self.n_cores
+
+    @property
+    def peak_watts(self) -> float:
+        """IT draw with every core fully active."""
+        return float(self.core_watts[-1])
+
+    def it_watts(self, cpu_used):
+        """IT power draw (before cooling) for a powered-on machine.
+
+        Accepts a scalar or array of CPU usage in percent; values are clipped
+        to ``[0, max_cpu]``.
+        """
+        cpu = np.clip(np.asarray(cpu_used, dtype=float), 0.0, self.max_cpu)
+        out = np.interp(cpu, self._knots_x, self._knots_y)
+        if np.isscalar(cpu_used) or np.ndim(cpu_used) == 0:
+            return float(out)
+        return out
+
+    def facility_watts(self, cpu_used, on=True):
+        """Total draw including cooling; zero when the machine is off.
+
+        ``on`` may be a bool or boolean array broadcastable against
+        ``cpu_used``.
+        """
+        watts = np.asarray(self.it_watts(cpu_used), dtype=float) * self.cooling_factor
+        on_arr = np.asarray(on, dtype=bool)
+        out = np.where(on_arr, watts, 0.0)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def energy_wh(self, cpu_used, seconds: float, on=True):
+        """Energy in watt-hours consumed over ``seconds`` at usage ``cpu_used``."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        return self.facility_watts(cpu_used, on=on) * (seconds / 3600.0)
+
+    def marginal_watts(self, cpu_before, cpu_after) -> float:
+        """Extra facility watts caused by raising usage from before to after."""
+        return float(
+            self.facility_watts(cpu_after) - self.facility_watts(cpu_before)
+        )
+
+
+def atom_power_model(cooling_factor: float = COOLING_FACTOR) -> PowerModel:
+    """The paper's Intel Atom 4-core model."""
+    return PowerModel(core_watts=ATOM_CORE_WATTS, idle_watts=26.0,
+                      cooling_factor=cooling_factor)
+
+
+def linear_power_model(
+    n_cores: int,
+    idle_watts: float,
+    peak_watts: float,
+    cooling_factor: float = COOLING_FACTOR,
+) -> PowerModel:
+    """A generic linear idle->peak curve, useful for what-if studies.
+
+    Power at ``k`` fully active cores interpolates linearly between
+    ``idle_watts`` and ``peak_watts``.
+    """
+    if n_cores < 1:
+        raise ValueError("n_cores must be >= 1")
+    if peak_watts < idle_watts:
+        raise ValueError("peak_watts must be >= idle_watts")
+    frac = np.arange(1, n_cores + 1, dtype=float) / n_cores
+    watts = tuple(idle_watts + (peak_watts - idle_watts) * frac)
+    return PowerModel(core_watts=watts, idle_watts=idle_watts,
+                      cooling_factor=cooling_factor)

@@ -1,0 +1,175 @@
+"""Ground-truth response-time model.
+
+Figure 3 constraint 6.1: ``RTprocess[i] = fRT(Load, RequiredRes, GivenRes)``.
+Production response time depends on the load towards the VM and on how far
+the granted resources fall short of what the load requires.  Constraint 6.2
+adds a transport term: the network latency between the client's source
+location and the hosting PM.
+
+The paper observes that RT "can be modeled reasonably well by piecewise
+linear functions", so the simulator's ground truth is itself piecewise:
+
+* an unstressed floor (service time + dispatch overhead);
+* a contention ramp once CPU *stress* (required/granted) passes a knee;
+* a queueing blow-up past saturation (stress > 1), where pending requests
+  accumulate in the gateway queue;
+* additive penalties for memory shortfall (swapping) and bandwidth shortfall.
+
+Reported RTs in the paper span [0, 19.35] s with RT0 = 0.1 s; the default
+constants reproduce that envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .demand import LoadVector
+from .machines import Resources
+
+__all__ = ["ResponseTimeModel"]
+
+
+def _ratio(required, given, floor: float = 1e-9):
+    """Element-wise required/given with given clipped away from zero."""
+    req = np.asarray(required, dtype=float)
+    giv = np.maximum(np.asarray(given, dtype=float), floor)
+    return req / giv
+
+
+@dataclass(frozen=True)
+class ResponseTimeModel:
+    """Piecewise contention model for per-request response time.
+
+    Parameters
+    ----------
+    dispatch_overhead_s:
+        Fixed request handling overhead (network stack, PHP dispatch) added
+        to the pure CPU service time.
+    knee:
+        CPU stress (required/granted) below which no contention is felt.
+    ramp_factor:
+        RT multiplier reached exactly at stress = 1 (end of the linear ramp).
+    overload_gain_s:
+        Additional seconds of RT per unit of stress beyond saturation
+        (models the growing gateway queue within a scheduling round).
+    mem_penalty_s:
+        Maximum additive swap penalty when granted memory is far below
+        required.
+    bw_penalty_s:
+        Maximum additive penalty for bandwidth shortfall.
+    rt_cap_s:
+        Hard cap on reported RT (requests time out; keeps the learned
+        target range bounded, matching the paper's [0, 19.35] s).
+    """
+
+    dispatch_overhead_s: float = 0.035
+    knee: float = 0.7
+    ramp_factor: float = 3.0
+    overload_gain_s: float = 5.0
+    mem_penalty_s: float = 8.0
+    bw_penalty_s: float = 4.0
+    rt_cap_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.knee < 1.0:
+            raise ValueError("knee must lie strictly inside (0, 1)")
+        if self.ramp_factor < 1.0:
+            raise ValueError("ramp_factor must be >= 1")
+        if min(self.overload_gain_s, self.mem_penalty_s, self.bw_penalty_s) < 0:
+            raise ValueError("penalty gains must be non-negative")
+        if self.rt_cap_s <= 0:
+            raise ValueError("rt_cap_s must be positive")
+
+    # -- components -----------------------------------------------------------
+    def base_rt(self, cpu_time_per_req):
+        """Unstressed response time: service time + dispatch overhead."""
+        t = np.asarray(cpu_time_per_req, dtype=float)
+        out = t + self.dispatch_overhead_s
+        return float(out) if out.ndim == 0 else out
+
+    def stress_multiplier(self, stress):
+        """Piecewise-linear RT multiplier as a function of CPU stress."""
+        s = np.asarray(stress, dtype=float)
+        below = np.ones_like(s)
+        ramp = 1.0 + (self.ramp_factor - 1.0) * (s - self.knee) / (1.0 - self.knee)
+        out = np.where(s <= self.knee, below, ramp)
+        # Past saturation the multiplier stays at ramp_factor; queueing is
+        # handled additively by overload_seconds().
+        out = np.minimum(out, self.ramp_factor)
+        return float(out) if out.ndim == 0 else out
+
+    def overload_seconds(self, stress):
+        """Additive queueing delay once demand exceeds granted CPU."""
+        s = np.asarray(stress, dtype=float)
+        out = self.overload_gain_s * np.maximum(0.0, s - 1.0)
+        return float(out) if out.ndim == 0 else out
+
+    def shortfall_penalty(self, required, given, max_penalty: float):
+        """Additive penalty growing with the fractional resource shortfall."""
+        req = np.asarray(required, dtype=float)
+        giv = np.asarray(given, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            deficit = np.where(req > 0, np.maximum(0.0, 1.0 - giv / np.maximum(req, 1e-9)), 0.0)
+        out = max_penalty * deficit
+        return float(out) if out.ndim == 0 else out
+
+    # -- full model -------------------------------------------------------------
+    def process_rt(self, load: LoadVector, required: Resources,
+                   given: Resources) -> float:
+        """Production RT (seconds) for one VM over one interval.
+
+        Zero-load VMs report their unstressed floor (a health-check request
+        would see no contention).
+        """
+        base = self.base_rt(load.cpu_time_per_req)
+        if load.rps <= 0:
+            return float(min(base, self.rt_cap_s))
+        stress = _ratio(required.cpu, given.cpu)
+        rt = base * self.stress_multiplier(stress)
+        rt += self.overload_seconds(stress)
+        rt += self.shortfall_penalty(required.mem, given.mem, self.mem_penalty_s)
+        rt += self.shortfall_penalty(required.bw, given.bw, self.bw_penalty_s)
+        return float(min(rt, self.rt_cap_s))
+
+    def process_rt_arrays(self, cpu_time_per_req, rps, req_cpu, giv_cpu,
+                          req_mem, giv_mem, req_bw, giv_bw) -> np.ndarray:
+        """Vectorized :meth:`process_rt` over aligned arrays."""
+        base = self.base_rt(cpu_time_per_req)
+        stress = _ratio(req_cpu, giv_cpu)
+        rt = base * self.stress_multiplier(stress)
+        rt = rt + self.overload_seconds(stress)
+        rt = rt + self.shortfall_penalty(req_mem, giv_mem, self.mem_penalty_s)
+        rt = rt + self.shortfall_penalty(req_bw, giv_bw, self.bw_penalty_s)
+        rt = np.where(np.asarray(rps, dtype=float) <= 0,
+                      np.minimum(base, self.rt_cap_s), rt)
+        return np.minimum(rt, self.rt_cap_s)
+
+    def total_rt(self, process_rt_s: float, latency_ms: float) -> float:
+        """Figure 3 constraint 6.3: process + transport response time.
+
+        ``latency_ms`` is the round-trip backbone latency between the
+        client's local DC and the hosting DC (the paper's Table II values
+        are RTTs: it reports remote placements adding "0.09 to 0.39
+        seconds", exactly the table entries, once).
+        """
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        return process_rt_s + latency_ms / 1000.0
+
+    def queue_length(self, load: LoadVector, required: Resources,
+                     given: Resources, interval_s: float) -> float:
+        """Pending requests accumulated at the gateway over the interval.
+
+        Zero while the VM keeps up; grows linearly with the excess arrival
+        rate past saturation.  Used as a monitoring feature (paper §IV.B:
+        "sizes of the queues of pending requests").
+        """
+        if load.rps <= 0 or interval_s <= 0:
+            return 0.0
+        stress = _ratio(required.cpu, given.cpu)
+        if stress <= 1.0:
+            return 0.0
+        served_fraction = 1.0 / stress
+        return float(load.rps * (1.0 - served_fraction) * interval_s)

@@ -1,0 +1,150 @@
+"""Time-varying electricity tariffs and green-energy availability.
+
+The paper's energy-cost term uses one static price per DC (Table II), but
+explicitly points at dynamic extensions: "a 'follow the sun/wind' policy
+could also be introduced easily into the energy cost computation" (§II) and
+lists green energy as future work (§VI.3).  This module makes tariffs a
+function of time:
+
+* :class:`TariffSchedule` — per-location price series over scheduling
+  intervals, applied to the system by the engine before each round, so both
+  the scheduler's profit function and the interval accounting see the same
+  current price.
+* :func:`solar_tariff` — a diurnal discount model: when the sun shines at a
+  DC's longitude, locally produced solar power displaces grid power and the
+  effective price drops; the "follow the sun" behaviour then falls out of
+  the unchanged profit objective.
+* :func:`flat_tariff` — wraps the static Table II prices in schedule form.
+
+Prices are EUR/kWh; intervals index the workload trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..workload.patterns import TIMEZONE_OFFSETS_H
+
+__all__ = ["TariffSchedule", "flat_tariff", "solar_tariff",
+           "time_of_use_tariff"]
+
+
+@dataclass(frozen=True)
+class TariffSchedule:
+    """Per-location electricity price series.
+
+    ``prices[loc]`` is a 1-D array of EUR/kWh, one entry per scheduling
+    interval.  Lookups beyond the series wrap around (tariffs are
+    periodic); unknown locations fall back to ``default_eur_kwh``.
+    """
+
+    prices: Mapping[str, np.ndarray]
+    default_eur_kwh: float = 0.13
+
+    def __post_init__(self) -> None:
+        clean: Dict[str, np.ndarray] = {}
+        for loc, series in self.prices.items():
+            arr = np.asarray(series, dtype=float)
+            if arr.ndim != 1 or arr.size == 0:
+                raise ValueError(
+                    f"price series for {loc!r} must be non-empty 1-D")
+            if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+                raise ValueError(
+                    f"price series for {loc!r} must be finite and >= 0")
+            clean[loc] = arr
+        if self.default_eur_kwh < 0:
+            raise ValueError("default price must be non-negative")
+        object.__setattr__(self, "prices", clean)
+
+    def price(self, location: str, t: int) -> float:
+        """EUR/kWh at ``location`` during interval ``t`` (periodic)."""
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        series = self.prices.get(location)
+        if series is None:
+            return self.default_eur_kwh
+        return float(series[t % len(series)])
+
+    def cheapest(self, locations: Sequence[str], t: int) -> str:
+        """The location with the lowest price at interval ``t``."""
+        if not locations:
+            raise ValueError("locations must be non-empty")
+        return min(locations, key=lambda loc: self.price(loc, t))
+
+    @property
+    def locations(self) -> Sequence[str]:
+        return sorted(self.prices)
+
+
+def flat_tariff(prices_eur_kwh: Mapping[str, float],
+                n_intervals: int = 1) -> TariffSchedule:
+    """Static prices (e.g. Table II) in schedule form."""
+    if n_intervals < 1:
+        raise ValueError("n_intervals must be >= 1")
+    return TariffSchedule(prices={
+        loc: np.full(n_intervals, p) for loc, p in prices_eur_kwh.items()})
+
+
+def solar_tariff(base_prices_eur_kwh: Mapping[str, float],
+                 n_intervals: int, interval_s: float = 600.0,
+                 solar_discount: float = 0.7,
+                 solar_noon_hour: float = 13.0,
+                 daylight_hours: float = 10.0,
+                 tz_offsets_h: Optional[Mapping[str, float]] = None,
+                 start_hour: float = 0.0) -> TariffSchedule:
+    """Solar-discounted tariffs: cheap power while the local sun shines.
+
+    The discount ramps as a raised cosine centered on local solar noon and
+    zero outside the daylight window, so the cheapest DC walks westward
+    around the planet over the day — the substrate for "follow the sun".
+
+    Parameters
+    ----------
+    solar_discount:
+        Peak fractional discount at solar noon (0.7 => price drops to 30 %).
+    daylight_hours:
+        Width of the discount window.
+    """
+    if not 0.0 <= solar_discount <= 1.0:
+        raise ValueError("solar_discount must lie in [0, 1]")
+    if daylight_hours <= 0:
+        raise ValueError("daylight_hours must be positive")
+    tz = tz_offsets_h if tz_offsets_h is not None else TIMEZONE_OFFSETS_H
+    t_h = start_hour + np.arange(n_intervals) * interval_s / 3600.0
+    prices: Dict[str, np.ndarray] = {}
+    for loc, base in base_prices_eur_kwh.items():
+        local_h = (t_h + tz.get(loc, 0.0)) % 24.0
+        offset = np.minimum(np.abs(local_h - solar_noon_hour),
+                            24.0 - np.abs(local_h - solar_noon_hour))
+        in_daylight = offset < daylight_hours / 2.0
+        shape = np.where(
+            in_daylight,
+            0.5 * (1.0 + np.cos(2.0 * np.pi * offset / daylight_hours)),
+            0.0)
+        prices[loc] = base * (1.0 - solar_discount * shape)
+    return TariffSchedule(prices=prices)
+
+
+def time_of_use_tariff(base_prices_eur_kwh: Mapping[str, float],
+                       n_intervals: int, interval_s: float = 600.0,
+                       peak_multiplier: float = 1.5,
+                       peak_start_hour: float = 17.0,
+                       peak_end_hour: float = 21.0,
+                       tz_offsets_h: Optional[Mapping[str, float]] = None,
+                       start_hour: float = 0.0) -> TariffSchedule:
+    """Classic evening-peak time-of-use pricing per local clock."""
+    if peak_multiplier < 1.0:
+        raise ValueError("peak_multiplier must be >= 1")
+    if not 0.0 <= peak_start_hour < peak_end_hour <= 24.0:
+        raise ValueError("need 0 <= peak_start < peak_end <= 24")
+    tz = tz_offsets_h if tz_offsets_h is not None else TIMEZONE_OFFSETS_H
+    t_h = start_hour + np.arange(n_intervals) * interval_s / 3600.0
+    prices: Dict[str, np.ndarray] = {}
+    for loc, base in base_prices_eur_kwh.items():
+        local_h = (t_h + tz.get(loc, 0.0)) % 24.0
+        peak = (local_h >= peak_start_hour) & (local_h < peak_end_hour)
+        prices[loc] = base * np.where(peak, peak_multiplier, 1.0)
+    return TariffSchedule(prices=prices)

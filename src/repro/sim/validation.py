@@ -1,0 +1,88 @@
+"""System invariant checking.
+
+A single entry point, :func:`check_system_invariants`, that audits a
+:class:`~repro.sim.multidc.MultiDCSystem` for the structural properties the
+rest of the stack assumes.  Tests call it after adversarial sequences
+(failures + migrations + tariffs); it is also handy in notebooks when
+composing scenarios by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .multidc import MultiDCSystem
+
+__all__ = ["InvariantViolation", "check_system_invariants",
+           "assert_system_invariants"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken structural property."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def check_system_invariants(system: MultiDCSystem) -> List[InvariantViolation]:
+    """Audit placement/capacity/power/failure consistency.
+
+    Checked invariants:
+
+    * every placed VM is registered in the system's VM table;
+    * no VM is hosted by two machines (constraint 1);
+    * per-host grants stay within capacity (constraint 2);
+    * a host with VMs is powered on; a failed host is off and empty;
+    * grants are non-negative;
+    * energy prices are non-negative.
+    """
+    violations: List[InvariantViolation] = []
+    seen_hosts = {}
+    for dc in system.datacenters:
+        if dc.energy_price_eur_kwh < 0:
+            violations.append(InvariantViolation(
+                "tariff", f"DC {dc.location!r} has negative energy price"))
+        for pm in dc.pms:
+            if not pm.used.fits_in(pm.capacity, slack=1e-6):
+                violations.append(InvariantViolation(
+                    "capacity",
+                    f"PM {pm.pm_id!r} grants {pm.used} exceed capacity "
+                    f"{pm.capacity}"))
+            if pm.granted and not pm.on:
+                violations.append(InvariantViolation(
+                    "power", f"PM {pm.pm_id!r} hosts VMs while off"))
+            if pm.failed and (pm.on or pm.granted):
+                violations.append(InvariantViolation(
+                    "failure",
+                    f"failed PM {pm.pm_id!r} is on or hosts VMs"))
+            for vm_id, grant in pm.granted.items():
+                if vm_id not in system.vms:
+                    violations.append(InvariantViolation(
+                        "registry",
+                        f"PM {pm.pm_id!r} hosts unregistered VM {vm_id!r}"))
+                if vm_id in seen_hosts:
+                    violations.append(InvariantViolation(
+                        "duplicate",
+                        f"VM {vm_id!r} on both {seen_hosts[vm_id]!r} and "
+                        f"{pm.pm_id!r}"))
+                seen_hosts[vm_id] = pm.pm_id
+                if min(grant.cpu, grant.mem, grant.bw) < 0:
+                    violations.append(InvariantViolation(
+                        "grant",
+                        f"negative grant for VM {vm_id!r} on "
+                        f"{pm.pm_id!r}: {grant}"))
+    return violations
+
+
+def assert_system_invariants(system: MultiDCSystem) -> None:
+    """Raise :class:`AssertionError` listing any violations."""
+    violations = check_system_invariants(system)
+    if violations:
+        raise AssertionError(
+            "system invariants violated:\n  "
+            + "\n  ".join(str(v) for v in violations))

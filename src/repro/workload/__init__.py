@@ -1,0 +1,35 @@
+"""Workload generation: Li-BCN-like synthetic web-service traces.
+
+Public API:
+
+* :class:`~repro.workload.traces.SourceSeries`,
+  :class:`~repro.workload.traces.WorkloadTrace` — trace containers.
+* :class:`~repro.workload.libcn.ServiceProfile`,
+  :data:`~repro.workload.libcn.SERVICE_PROFILES`,
+  :class:`~repro.workload.libcn.LiBCNGenerator` — generators.
+* :mod:`~repro.workload.patterns` — primitive temporal shapes.
+"""
+
+from .forecast import LoadForecaster, forecast_loads
+from .libcn import SERVICE_PROFILES, LiBCNGenerator, ServiceProfile
+from .patterns import (PAPER_FLASH_CROWD, TIMEZONE_OFFSETS_H, FlashCrowd,
+                       apply_flash_crowds, ar1_noise, diurnal_profile,
+                       poisson_bursts)
+from .traces import SourceSeries, WorkloadTrace
+
+__all__ = [
+    "LoadForecaster",
+    "forecast_loads",
+    "SERVICE_PROFILES",
+    "LiBCNGenerator",
+    "ServiceProfile",
+    "PAPER_FLASH_CROWD",
+    "TIMEZONE_OFFSETS_H",
+    "FlashCrowd",
+    "apply_flash_crowds",
+    "ar1_noise",
+    "diurnal_profile",
+    "poisson_bursts",
+    "SourceSeries",
+    "WorkloadTrace",
+]

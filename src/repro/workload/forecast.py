@@ -1,0 +1,138 @@
+"""Load forecasting: the "expected incoming load" of paper §III.B.
+
+The paper's decision maker anticipates "the VM requirements given an
+expected incoming load".  In the experiment harness the schedulers are
+handed the current interval's actual load (the gateway effectively measures
+it as the round starts); this module provides the honest alternative — a
+forecaster that sees only completed intervals:
+
+* **seasonal-naive** component: web traffic is strongly diurnal, so the
+  same time yesterday is an excellent predictor once a full period of
+  history exists;
+* **EWMA** component: tracks the current level before a full day of
+  history is available and adapts to level shifts;
+* the blend weights the seasonal term by how much seasonal history exists.
+
+Request-mix features (bytes/req, CPU-time/req) move slowly and are
+forecast by EWMA only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..sim.demand import LoadVector
+from .traces import WorkloadTrace
+
+__all__ = ["LoadForecaster", "forecast_loads"]
+
+
+@dataclass
+class _SeriesState:
+    """Forecast state for one (VM, source) stream."""
+
+    level_rps: Optional[float] = None
+    level_bytes: Optional[float] = None
+    level_cpu: Optional[float] = None
+    history_rps: list = field(default_factory=list)
+
+
+@dataclass
+class LoadForecaster:
+    """Seasonal-naive + EWMA one-step-ahead load forecaster.
+
+    Parameters
+    ----------
+    period:
+        Seasonal period in intervals (144 for 10-minute rounds over a day).
+    alpha:
+        EWMA smoothing factor for the level terms.
+    seasonal_weight:
+        Weight of the seasonal-naive term once a full period of history
+        exists (ramped linearly while history accumulates).
+    """
+
+    period: int = 144
+    alpha: float = 0.35
+    seasonal_weight: float = 0.65
+    _state: Dict[Tuple[str, str], _SeriesState] = field(default_factory=dict)
+    _n_observed: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("period must be >= 1")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        if not 0.0 <= self.seasonal_weight <= 1.0:
+            raise ValueError("seasonal_weight must lie in [0, 1]")
+
+    @property
+    def n_observed(self) -> int:
+        """Completed intervals seen so far."""
+        return self._n_observed
+
+    def observe(self, vm_id: str, source: str, load: LoadVector) -> None:
+        """Feed one completed interval's measured load."""
+        state = self._state.setdefault((vm_id, source), _SeriesState())
+        a = self.alpha
+
+        def ewma(level: Optional[float], x: float) -> float:
+            return x if level is None else (1 - a) * level + a * x
+
+        state.level_rps = ewma(state.level_rps, load.rps)
+        state.level_bytes = ewma(state.level_bytes, load.bytes_per_req)
+        state.level_cpu = ewma(state.level_cpu, load.cpu_time_per_req)
+        state.history_rps.append(load.rps)
+        if len(state.history_rps) > 2 * self.period:
+            del state.history_rps[:-2 * self.period]
+
+    def observe_interval(self, trace: WorkloadTrace, t: int) -> None:
+        """Feed every stream of interval ``t`` from a trace."""
+        for (vm_id, source), series in trace.series.items():
+            self.observe(vm_id, source, series.at(t))
+        self._n_observed += 1
+
+    def predict(self, vm_id: str, source: str) -> Optional[LoadVector]:
+        """One-step-ahead forecast; None for never-seen streams."""
+        state = self._state.get((vm_id, source))
+        if state is None or state.level_rps is None:
+            return None
+        rps = state.level_rps
+        n = len(state.history_rps)
+        if n >= self.period:
+            seasonal = state.history_rps[n - self.period]
+            # Ramp the seasonal weight in over the second period.
+            maturity = min(1.0, (n - self.period + 1) / self.period)
+            w = self.seasonal_weight * maturity
+            rps = (1 - w) * rps + w * seasonal
+        return LoadVector(rps=max(0.0, rps),
+                          bytes_per_req=max(0.0, state.level_bytes),
+                          cpu_time_per_req=max(0.0, state.level_cpu))
+
+
+def forecast_loads(forecaster: LoadForecaster, trace: WorkloadTrace,
+                   vm_ids=None) -> Dict[str, Dict[str, LoadVector]]:
+    """Per-VM, per-source forecasts for the next interval.
+
+    Streams without history fall back to zero load with the trace's first
+    request mix (the scheduler then books conservative defaults).
+    """
+    vm_ids = list(vm_ids) if vm_ids is not None else trace.vm_ids
+    out: Dict[str, Dict[str, LoadVector]] = {}
+    for vm_id in vm_ids:
+        per_source: Dict[str, LoadVector] = {}
+        for (vm, src), series in trace.series.items():
+            if vm != vm_id:
+                continue
+            pred = forecaster.predict(vm_id, src)
+            if pred is None:
+                pred = LoadVector(rps=0.0,
+                                  bytes_per_req=float(series.bytes_per_req[0]),
+                                  cpu_time_per_req=float(
+                                      series.cpu_time_per_req[0]))
+            per_source[src] = pred
+        out[vm_id] = per_source
+    return out

@@ -1,0 +1,129 @@
+"""Temporal load patterns: diurnal cycles, noise, bursts, flash crowds.
+
+The paper drives its experiments with the Li-BCN 2010 workload — traces from
+real hosted web-sites — scaled to stress the testbed, replayed with different
+scalings and timezone phase shifts per client region, and containing a flash
+crowd ("minutes 70-90, for about 15 minutes") kept for realism.  This module
+provides the primitive shapes those traces exhibit; :mod:`repro.workload.libcn`
+composes them into full traces.
+
+All generators are deterministic given a :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "diurnal_profile",
+    "ar1_noise",
+    "poisson_bursts",
+    "FlashCrowd",
+    "apply_flash_crowds",
+]
+
+#: Timezone offsets (hours ahead of UTC) for the paper's four regions.
+TIMEZONE_OFFSETS_H = {"BRS": 10.0, "BNG": 5.5, "BCN": 1.0, "BST": -5.0}
+
+
+def diurnal_profile(n_intervals: int, interval_s: float,
+                    peak_hour: float = 20.0, tz_offset_h: float = 0.0,
+                    trough_fraction: float = 0.25,
+                    start_hour: float = 0.0) -> np.ndarray:
+    """Smooth daily activity profile in [trough_fraction, 1].
+
+    A raised cosine peaking at ``peak_hour`` *local* time; ``tz_offset_h``
+    shifts the local clock relative to simulation time, which is how the
+    paper "simulates the effect of different time zones and load time
+    patterns".
+    """
+    if n_intervals < 0:
+        raise ValueError("n_intervals must be non-negative")
+    if not 0.0 <= trough_fraction <= 1.0:
+        raise ValueError("trough_fraction must lie in [0, 1]")
+    t_h = start_hour + np.arange(n_intervals) * interval_s / 3600.0
+    local_h = t_h + tz_offset_h
+    phase = 2.0 * np.pi * (local_h - peak_hour) / 24.0
+    shape = 0.5 * (1.0 + np.cos(phase))  # 1 at peak, 0 at peak+12h
+    return trough_fraction + (1.0 - trough_fraction) * shape
+
+
+def ar1_noise(n_intervals: int, rng: np.random.Generator,
+              sigma: float = 0.08, rho: float = 0.8) -> np.ndarray:
+    """Zero-mean AR(1) multiplicative noise with stationary std ``sigma``.
+
+    Successive web-traffic samples are strongly autocorrelated; white noise
+    would make the learned models look unrealistically bad.
+    """
+    if not 0.0 <= rho < 1.0:
+        raise ValueError("rho must lie in [0, 1)")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    if n_intervals == 0:
+        return np.zeros(0)
+    innov_sigma = sigma * np.sqrt(1.0 - rho * rho)
+    eps = rng.normal(0.0, innov_sigma, size=n_intervals)
+    out = np.empty(n_intervals)
+    out[0] = rng.normal(0.0, sigma)
+    for i in range(1, n_intervals):
+        out[i] = rho * out[i - 1] + eps[i]
+    return out
+
+
+def poisson_bursts(n_intervals: int, rng: np.random.Generator,
+                   rate_per_day: float = 2.0, interval_s: float = 600.0,
+                   magnitude: float = 0.6,
+                   duration_intervals: int = 2) -> np.ndarray:
+    """Occasional short multiplicative bursts (social-media links, crawls).
+
+    Returns a multiplier array >= 1.
+    """
+    if rate_per_day < 0 or magnitude < 0:
+        raise ValueError("rate and magnitude must be non-negative")
+    mult = np.ones(n_intervals)
+    p = rate_per_day * interval_s / 86400.0
+    starts = np.flatnonzero(rng.random(n_intervals) < p)
+    for s in starts:
+        end = min(n_intervals, s + max(1, duration_intervals))
+        mult[s:end] += magnitude * rng.random()
+    return mult
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A flash-crowd event: load multiplied by ``factor`` over a window.
+
+    The paper's generator produced one in minutes 70-90 "which clearly
+    exceeds the capacity of the system"; they kept it for realism.
+    """
+
+    start_minute: float
+    end_minute: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end_minute <= self.start_minute:
+            raise ValueError("end_minute must exceed start_minute")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+
+    def multiplier(self, n_intervals: int, interval_s: float) -> np.ndarray:
+        t_min = np.arange(n_intervals) * interval_s / 60.0
+        active = (t_min >= self.start_minute) & (t_min < self.end_minute)
+        return np.where(active, self.factor, 1.0)
+
+
+#: The paper's flash crowd: minutes 70-90, far beyond system capacity.
+PAPER_FLASH_CROWD = FlashCrowd(start_minute=70.0, end_minute=90.0, factor=4.0)
+
+
+def apply_flash_crowds(series: np.ndarray, interval_s: float,
+                       crowds) -> np.ndarray:
+    """Apply flash-crowd multipliers to a request-rate series."""
+    out = np.asarray(series, dtype=float).copy()
+    for crowd in crowds:
+        out *= crowd.multiplier(len(out), interval_s)
+    return out

@@ -1,0 +1,169 @@
+"""Trace containers: per-(VM, source) load time series.
+
+A :class:`WorkloadTrace` stores, for every (vm_id, source_location) pair,
+three aligned arrays over scheduling intervals: requests/s, bytes/request and
+CPU-time/request.  This is exactly the ``Load[VM, Locs]`` parameter of the
+paper's mathematical model, extended over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from ..sim.demand import LoadVector
+
+__all__ = ["SourceSeries", "WorkloadTrace"]
+
+
+@dataclass(frozen=True)
+class SourceSeries:
+    """Load from one client region towards one VM over the whole run."""
+
+    rps: np.ndarray
+    bytes_per_req: np.ndarray
+    cpu_time_per_req: np.ndarray
+
+    def __post_init__(self) -> None:
+        rps = np.asarray(self.rps, dtype=float)
+        bpr = np.asarray(self.bytes_per_req, dtype=float)
+        cpr = np.asarray(self.cpu_time_per_req, dtype=float)
+        if not (rps.shape == bpr.shape == cpr.shape) or rps.ndim != 1:
+            raise ValueError("series must be 1-D arrays of equal length")
+        if np.any(rps < 0) or np.any(bpr < 0) or np.any(cpr < 0):
+            raise ValueError("series must be non-negative")
+        object.__setattr__(self, "rps", rps)
+        object.__setattr__(self, "bytes_per_req", bpr)
+        object.__setattr__(self, "cpu_time_per_req", cpr)
+
+    def __len__(self) -> int:
+        return len(self.rps)
+
+    def at(self, t: int) -> LoadVector:
+        return LoadVector(rps=float(self.rps[t]),
+                          bytes_per_req=float(self.bytes_per_req[t]),
+                          cpu_time_per_req=float(self.cpu_time_per_req[t]))
+
+    def scaled(self, factor: float) -> "SourceSeries":
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return SourceSeries(self.rps * factor, self.bytes_per_req.copy(),
+                            self.cpu_time_per_req.copy())
+
+
+@dataclass
+class WorkloadTrace:
+    """All load series of one experiment.
+
+    Attributes
+    ----------
+    interval_s:
+        Seconds per scheduling interval (the paper schedules every 10 min).
+    series:
+        Mapping (vm_id, source_location) -> :class:`SourceSeries`.
+    """
+
+    interval_s: float = 600.0
+    series: Dict[Tuple[str, str], SourceSeries] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        lengths = {len(s) for s in self.series.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"inconsistent series lengths: {sorted(lengths)}")
+
+    @property
+    def n_intervals(self) -> int:
+        for s in self.series.values():
+            return len(s)
+        return 0
+
+    @property
+    def vm_ids(self) -> List[str]:
+        return sorted({vm for vm, _ in self.series})
+
+    @property
+    def sources(self) -> List[str]:
+        return sorted({src for _, src in self.series})
+
+    def add(self, vm_id: str, source: str, series: SourceSeries) -> None:
+        if (vm_id, source) in self.series:
+            raise ValueError(f"series for ({vm_id!r}, {source!r}) already set")
+        if self.series and len(series) != self.n_intervals:
+            raise ValueError(
+                f"series length {len(series)} != trace length {self.n_intervals}")
+        self.series[(vm_id, source)] = series
+
+    def load_at(self, vm_id: str, t: int) -> Dict[str, LoadVector]:
+        """Per-source load on a VM at interval ``t``."""
+        out: Dict[str, LoadVector] = {}
+        for (vm, src), s in self.series.items():
+            if vm == vm_id:
+                out[src] = s.at(t)
+        if not out:
+            raise KeyError(f"no series for VM {vm_id!r}")
+        return out
+
+    def aggregate_at(self, vm_id: str, t: int) -> LoadVector:
+        """Combined load on a VM at interval ``t`` (all sources merged)."""
+        return LoadVector.combine(self.load_at(vm_id, t).values())
+
+    def total_rps(self, t: int) -> float:
+        """System-wide request rate at interval ``t``."""
+        return float(sum(s.rps[t] for s in self.series.values()))
+
+    def dominant_source(self, vm_id: str, t: int) -> str:
+        """The region sending the most requests to ``vm_id`` at ``t``."""
+        loads = self.load_at(vm_id, t)
+        return max(loads, key=lambda src: loads[src].rps)
+
+    def slice(self, start: int, stop: int) -> "WorkloadTrace":
+        """A sub-trace over interval range [start, stop)."""
+        if not 0 <= start <= stop <= self.n_intervals:
+            raise ValueError(f"bad slice [{start}, {stop}) for "
+                             f"{self.n_intervals} intervals")
+        out = WorkloadTrace(interval_s=self.interval_s)
+        for key, s in self.series.items():
+            out.series[key] = SourceSeries(
+                s.rps[start:stop], s.bytes_per_req[start:stop],
+                s.cpu_time_per_req[start:stop])
+        return out
+
+    def scaled(self, factor: float) -> "WorkloadTrace":
+        """The whole trace at ``factor`` times the request rate."""
+        out = WorkloadTrace(interval_s=self.interval_s)
+        for key, s in self.series.items():
+            out.series[key] = s.scaled(factor)
+        return out
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialize to a ``.npz`` archive (portable, dependency-free)."""
+        arrays = {"__interval_s__": np.array([self.interval_s])}
+        for (vm_id, src), s in self.series.items():
+            base = f"{vm_id}\x1f{src}"
+            arrays[f"{base}\x1frps"] = s.rps
+            arrays[f"{base}\x1fbpr"] = s.bytes_per_req
+            arrays[f"{base}\x1fcpr"] = s.cpu_time_per_req
+        np.savez_compressed(path, **arrays)
+
+    @staticmethod
+    def load(path) -> "WorkloadTrace":
+        """Inverse of :meth:`save`."""
+        with np.load(path) as data:
+            trace = WorkloadTrace(
+                interval_s=float(data["__interval_s__"][0]))
+            streams = {}
+            for key in data.files:
+                if key == "__interval_s__":
+                    continue
+                vm_id, src, kind = key.split("\x1f")
+                streams.setdefault((vm_id, src), {})[kind] = data[key]
+            for (vm_id, src), parts in sorted(streams.items()):
+                trace.add(vm_id, src, SourceSeries(
+                    rps=parts["rps"], bytes_per_req=parts["bpr"],
+                    cpu_time_per_req=parts["cpr"]))
+        return trace

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+Expensive artifacts (trained model sets, harvested monitors) are
+session-scoped and built on small scenarios so the whole suite stays fast
+while still exercising the real pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, multidc_system, multidc_trace
+from repro.experiments.training import harvest
+from repro.ml.predictors import train_model_set
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+#: A small-but-real scenario: 4 DCs x 1 PM, 5 VMs, 8 hours.
+TINY_CONFIG = ScenarioConfig(n_intervals=48, scale=3.0, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return TINY_CONFIG
+
+
+@pytest.fixture(scope="session")
+def tiny_trace():
+    return multidc_trace(TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_monitor(tiny_trace):
+    return harvest(lambda: multidc_system(TINY_CONFIG), tiny_trace,
+                   scales=(0.7, 1.4, 2.2), seed=9)
+
+
+@pytest.fixture(scope="session")
+def tiny_models(tiny_monitor):
+    return train_model_set(tiny_monitor, rng=np.random.default_rng(11))
+
+
+@pytest.fixture
+def tiny_system():
+    """A fresh system per test (placement state is mutable)."""
+    return multidc_system(TINY_CONFIG)

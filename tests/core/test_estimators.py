@@ -1,0 +1,162 @@
+"""Tests for the three knowledge sources (oracle / observed / learned)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (MLEstimator, ObservedEstimator,
+                                   OracleEstimator)
+from repro.core.sla import PAPER_SLA
+from repro.sim.demand import DemandModel, LoadVector
+from repro.sim.machines import Resources, VirtualMachine
+from repro.sim.monitor import Monitor, VMSample
+
+
+def vm():
+    return VirtualMachine(vm_id="vm0")
+
+
+def load(rps=10.0):
+    return LoadVector(rps=rps, bytes_per_req=4000.0, cpu_time_per_req=0.05)
+
+
+def res(cpu=0.0, mem=0.0, bw=0.0):
+    return Resources(cpu=cpu, mem=mem, bw=bw)
+
+
+class TestOracle:
+    def test_requirements_match_demand_model(self):
+        est = OracleEstimator()
+        expected = DemandModel().required_resources(load(), 256.0,
+                                                    cpu_cap=float("inf"))
+        got = est.required_resources(vm(), load(), float("inf"))
+        assert got == expected
+
+    def test_pm_cpu_includes_overhead(self):
+        est = OracleEstimator()
+        assert est.pm_cpu([100.0, 100.0]) > 200.0
+
+    def test_process_rt_and_sla_consistent(self):
+        est = OracleEstimator()
+        req = res(300.0, 512.0, 100.0)
+        giv = res(400.0, 512.0, 100.0)
+        rt = est.process_rt(vm(), load(), req, giv)
+        sla = est.process_sla(vm(), load(), req, giv, PAPER_SLA)
+        assert sla == pytest.approx(PAPER_SLA.fulfillment(rt))
+
+
+def sample(vm_id="vm0", t=0, used_cpu=120.0, used_mem=500.0,
+           net_in=5.0, net_out=50.0, rt=0.2):
+    return VMSample(t=t, vm_id=vm_id, rps=10.0, bytes_per_req=4000.0,
+                    cpu_time_per_req=0.05, queue_len=0.0, used_cpu=used_cpu,
+                    used_mem=used_mem, net_in=net_in, net_out=net_out,
+                    given_cpu=400.0, given_mem=512.0, given_bw=1000.0,
+                    rt=rt, sla=0.9)
+
+
+class TestObserved:
+    def make(self, samples, overbook=1.0):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        monitor.vm_samples.extend(samples)
+        est = ObservedEstimator(monitor, overbook=overbook)
+        est.refresh()
+        return est
+
+    def test_uses_latest_observation(self):
+        est = self.make([sample(t=0, used_cpu=50.0),
+                         sample(t=5, used_cpu=200.0)])
+        req = est.required_resources(vm(), load(), float("inf"))
+        assert req.cpu == pytest.approx(200.0)
+        assert est.last_observation_t("vm0") == 5
+
+    def test_unseen_vm_gets_default(self):
+        est = self.make([])
+        req = est.required_resources(vm(), load(), float("inf"))
+        assert req == est.default_required
+
+    def test_overbooking_doubles(self):
+        plain = self.make([sample(used_cpu=100.0)], overbook=1.0)
+        double = self.make([sample(used_cpu=100.0)], overbook=2.0)
+        assert double.required_resources(vm(), load(), 1e9).cpu \
+            == pytest.approx(2 * plain.required_resources(vm(), load(),
+                                                          1e9).cpu)
+
+    def test_overbook_capped_by_vm_max(self):
+        est = self.make([sample(used_cpu=300.0)], overbook=2.0)
+        req = est.required_resources(vm(), load(), float("inf"))
+        assert req.cpu <= vm().max_resources.cpu
+
+    def test_pm_cpu_naive_sum(self):
+        est = self.make([])
+        assert est.pm_cpu([100.0, 100.0]) == pytest.approx(200.0)
+
+    def test_process_rt_is_none(self):
+        """Reactive monitors cannot price tentative placements."""
+        est = self.make([sample()])
+        assert est.process_rt(vm(), load(), res(100), res(400)) is None
+
+    def test_fit_based_sla(self):
+        est = self.make([sample()])
+        full = est.process_sla(vm(), load(), res(100, 100, 100),
+                               res(400, 512, 1000), PAPER_SLA)
+        assert full == 1.0
+        starved = est.process_sla(vm(), load(), res(400, 100, 100),
+                                  res(100, 512, 1000), PAPER_SLA)
+        assert starved == pytest.approx(0.25)
+
+    def test_invalid_overbook(self):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ObservedEstimator(monitor, overbook=0.0)
+
+
+class TestML:
+    def test_requirements_floor_and_positive(self, tiny_models):
+        est = MLEstimator(tiny_models)
+        req = est.required_resources(vm(), load(), float("inf"))
+        assert req.mem >= vm().base_mem_mb
+        assert req.cpu > 0.0
+
+    def test_direct_mode_rt_none(self, tiny_models):
+        est = MLEstimator(tiny_models, sla_mode="direct")
+        assert est.process_rt(vm(), load(), res(100), res(400)) is None
+
+    def test_rt_mode_returns_prediction(self, tiny_models):
+        est = MLEstimator(tiny_models, sla_mode="rt")
+        rt = est.process_rt(vm(), load(), res(100), res(400, 512, 1000))
+        assert rt is not None and rt >= 0.0
+
+    def test_predict_rt_available_in_both_modes(self, tiny_models):
+        est = MLEstimator(tiny_models, sla_mode="direct")
+        assert est.predict_rt(load(), res(400, 512, 1000)) >= 0.0
+
+    def test_direct_mode_sees_starvation(self, tiny_models):
+        """The bounded k-NN target must rank starvation below abundance."""
+        heavy = LoadVector(rps=50.0, bytes_per_req=4000.0,
+                           cpu_time_per_req=0.08)
+        est = MLEstimator(tiny_models, sla_mode="direct")
+        rich = est.process_sla(vm(), heavy, res(400), res(400, 1024, 5000),
+                               PAPER_SLA)
+        poor = est.process_sla(vm(), heavy, res(400), res(50, 1024, 5000),
+                               PAPER_SLA)
+        assert rich > poor
+
+    def test_rt_mode_sla_bounded(self, tiny_models):
+        """RT-mode SLA stays a valid fulfillment even when the M5P tree
+        extrapolates (the failure mode that motivates the paper's direct
+        prediction)."""
+        heavy = LoadVector(rps=50.0, bytes_per_req=4000.0,
+                           cpu_time_per_req=0.08)
+        est = MLEstimator(tiny_models, sla_mode="rt")
+        for cpu in (10.0, 50.0, 400.0):
+            sla = est.process_sla(vm(), heavy, res(400),
+                                  res(cpu, 1024, 5000), PAPER_SLA)
+            assert 0.0 <= sla <= 1.0
+
+    def test_invalid_mode(self, tiny_models):
+        with pytest.raises(ValueError):
+            MLEstimator(tiny_models, sla_mode="magic")
+
+    def test_pm_cpu_learned_overhead(self, tiny_models):
+        est = MLEstimator(tiny_models)
+        assert est.pm_cpu([]) == 0.0
+        assert est.pm_cpu([100.0, 100.0]) > 180.0

@@ -1,0 +1,98 @@
+"""Tests for the two-layer hierarchical scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import OracleEstimator
+from repro.core.hierarchical import HierarchicalScheduler
+from repro.core.model import ObjectiveWeights
+from repro.sim.engine import run_simulation
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+
+
+def make_scheduler(**kwargs):
+    return HierarchicalScheduler(estimator=OracleEstimator(), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def big_config():
+    """2 PMs per DC so intra-DC consolidation is non-trivial."""
+    return ScenarioConfig(pms_per_dc=2, n_vms=6, n_intervals=18,
+                          scale=3.0, seed=8)
+
+
+@pytest.fixture(scope="module")
+def big_trace(big_config):
+    return multidc_trace(big_config)
+
+
+class TestRounds:
+    def test_returns_complete_assignment(self, big_config, big_trace):
+        system = multidc_system(big_config)
+        scheduler = make_scheduler()
+        system.step(big_trace, 0)  # populate demands
+        assignment = scheduler(system, big_trace, 1)
+        assert set(assignment) == set(system.vms)
+
+    def test_assignments_stay_in_known_pms(self, big_config, big_trace):
+        system = multidc_system(big_config)
+        scheduler = make_scheduler()
+        assignment = scheduler(system, big_trace, 0)
+        pm_ids = {pm.pm_id for pm in system.pms}
+        assert set(assignment.values()) <= pm_ids
+
+    def test_diagnostics_filled(self, big_config, big_trace):
+        system = multidc_system(big_config)
+        scheduler = make_scheduler()
+        scheduler(system, big_trace, 0)
+        diag = scheduler.last_round
+        assert diag.t == 0
+        assert diag.intra_problems >= 1
+        assert diag.intra_vms == len(system.vms)
+
+    def test_low_threshold_no_global_round(self, big_config, big_trace):
+        system = multidc_system(big_config)
+        scheduler = make_scheduler(sla_move_threshold=0.0)
+        scheduler(system, big_trace, 0)
+        assert scheduler.last_round.movable_vms == []
+        assert scheduler.last_round.global_moves == {}
+
+    def test_high_threshold_offers_everything(self, big_config, big_trace):
+        system = multidc_system(big_config)
+        scheduler = make_scheduler(sla_move_threshold=1.0)
+        scheduler(system, big_trace, 0)
+        # With threshold 1.0 every VM below perfect SLA becomes movable.
+        assert len(scheduler.last_round.movable_vms) >= 1
+        assert len(scheduler.last_round.offered_hosts) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_scheduler(sla_move_threshold=1.5)
+
+
+class TestEndToEnd:
+    def test_runs_and_respects_interface(self, big_config, big_trace):
+        system = multidc_system(big_config)
+        scheduler = make_scheduler()
+        history = run_simulation(system, big_trace, scheduler=scheduler)
+        assert len(history) == big_config.n_intervals
+        s = history.summary()
+        assert 0.0 <= s.avg_sla <= 1.0
+
+    def test_beats_static_on_profit(self, big_config, big_trace):
+        static = run_simulation(multidc_system(big_config), big_trace)
+        dynamic = run_simulation(multidc_system(big_config), big_trace,
+                                 scheduler=make_scheduler())
+        # The hierarchical scheduler must not lose money vs doing nothing.
+        assert (dynamic.summary().profit_eur
+                >= static.summary().profit_eur - 0.05)
+
+    def test_narrow_interface_smaller_than_flat(self, big_config, big_trace):
+        """The global round sees fewer hosts than the whole fleet."""
+        system = multidc_system(big_config)
+        scheduler = make_scheduler(sla_move_threshold=1.0,
+                                   max_offers_per_dc=1)
+        scheduler(system, big_trace, 0)
+        n_all_pms = len(system.pms)
+        assert len(scheduler.last_round.offered_hosts) <= n_all_pms

@@ -1,0 +1,250 @@
+"""Tests for the Figure 3 scheduling model objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import OracleEstimator
+from repro.core.model import (HostView, ObjectiveWeights, SchedulingProblem,
+                              VMRequest, check_schedule, evaluate_schedule,
+                              placement_profit)
+from repro.core.profit import PriceBook
+from repro.core.sla import PAPER_SLA
+from repro.sim.demand import LoadVector
+from repro.sim.machines import PhysicalMachine, Resources, VirtualMachine
+from repro.sim.network import paper_network_model
+
+
+def res(cpu=0.0, mem=0.0, bw=0.0):
+    return Resources(cpu=cpu, mem=mem, bw=bw)
+
+
+def make_host(pm_id="h0", location="BCN", on=True):
+    pm = PhysicalMachine(pm_id=pm_id)
+    pm.on = on
+    return HostView.of(pm, location, 0.15)
+
+
+def make_request(vm_id="vm0", rps=10.0, current_pm=None,
+                 current_location=None, sources=("BCN",)):
+    vm = VirtualMachine(vm_id=vm_id)
+    loads = {src: LoadVector(rps / len(sources), 4000.0, 0.05)
+             for src in sources}
+    return VMRequest(vm=vm, contract=PAPER_SLA, loads=loads,
+                     current_pm=current_pm,
+                     current_location=current_location)
+
+
+def make_problem(requests, hosts, weights=None):
+    return SchedulingProblem(requests=requests, hosts=hosts,
+                             network=paper_network_model(),
+                             prices=PriceBook(), estimator=OracleEstimator(),
+                             interval_s=600.0,
+                             weights=weights or ObjectiveWeights())
+
+
+class TestHostView:
+    def test_of_excludes_scheduled_vms(self):
+        pm = PhysicalMachine(pm_id="p")
+        pm.place("keep", res(100, 100, 100))
+        pm.place("move", res(50, 50, 50))
+        view = HostView.of(pm, "BCN", 0.15, exclude_vms=("move",))
+        assert "keep" in view.committed
+        assert "move" not in view.committed
+
+    def test_of_uses_demand_mapping(self):
+        pm = PhysicalMachine(pm_id="p")
+        pm.place("a", res(400, 100, 100))  # burst grant
+        view = HostView.of(pm, "BCN", 0.15,
+                           demands={"a": res(120, 100, 100)})
+        assert view.committed["a"].cpu == 120.0
+
+    def test_free_never_negative(self):
+        view = make_host()
+        view.commit("a", res(500, 0, 0), 400.0)  # overload allowed
+        assert view.free.cpu == 0.0
+
+    def test_grantable_lone_vm_bursts_to_capacity(self):
+        view = make_host()
+        grant = view.grantable(res(100, 512, 100))
+        assert grant.cpu == pytest.approx(400.0)
+        assert grant.mem == pytest.approx(512.0)
+
+    def test_grantable_contention_scales_down(self):
+        view = make_host()
+        view.commit("other", res(300, 0, 0), 300.0)
+        grant = view.grantable(res(300, 0, 0))
+        assert grant.cpu == pytest.approx(200.0)
+
+    def test_grantable_zero_demand(self):
+        view = make_host()
+        assert view.grantable(res()).cpu == 0.0
+
+    def test_commit_duplicate_rejected(self):
+        view = make_host()
+        view.commit("a", res(10, 10, 10), 10.0)
+        with pytest.raises(ValueError, match="already"):
+            view.commit("a", res(10, 10, 10), 10.0)
+
+    def test_release(self):
+        view = make_host()
+        view.commit("a", res(10, 10, 10), 10.0)
+        view.release("a")
+        assert "a" not in view.committed
+        view.release("a")  # idempotent
+
+    def test_would_be_on_semantics(self):
+        pm = PhysicalMachine(pm_id="p")
+        view = HostView.of(pm, "BCN", 0.15)
+        assert not view.would_be_on(auto_power_off=True)
+        assert view.would_be_on(auto_power_off=False)
+        view.commit("a", res(1, 1, 1), 1.0)
+        assert view.would_be_on(auto_power_off=True)
+
+
+class TestPlacementProfit:
+    def test_local_placement_earns_revenue(self):
+        request = make_request()
+        host = make_host()
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        assert ev.profit_eur > 0.0
+        assert ev.sla > 0.9
+        assert ev.migration_seconds == 0.0
+
+    def test_remote_placement_pays_latency(self):
+        request = make_request(sources=("BCN",))
+        local = make_host("l", "BCN")
+        remote = make_host("r", "BRS")
+        problem = make_problem([request], [local, remote])
+        ev_local = placement_profit(problem, request, local)
+        ev_remote = placement_profit(problem, request, remote)
+        assert ev_local.sla > ev_remote.sla
+        assert ev_local.profit_eur > ev_remote.profit_eur
+
+    def test_migration_charged_when_moving(self):
+        request = make_request(current_pm="elsewhere",
+                               current_location="BST")
+        host = make_host("h", "BCN")
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        assert ev.migration_seconds > 0.0
+        assert ev.migration_penalty_eur > 0.0
+
+    def test_no_migration_when_staying(self):
+        request = make_request(current_pm="h", current_location="BCN")
+        host = make_host("h", "BCN")
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        assert ev.migration_seconds == 0.0
+
+    def test_first_vm_pays_power_on(self):
+        """Joining an occupied host is cheaper than waking an empty one."""
+        request = make_request()
+        empty = make_host("e", "BCN")
+        busy = make_host("b", "BCN")
+        busy.commit("other", res(50, 100, 100), 50.0)
+        problem = make_problem([request], [empty, busy])
+        ev_empty = placement_profit(problem, request, empty)
+        ev_busy = placement_profit(problem, request, busy)
+        assert ev_empty.energy_cost_eur > ev_busy.energy_cost_eur
+
+    def test_energy_priced_at_local_tariff(self):
+        request = make_request(sources=("BCN", "BST"))
+        cheap = make_host("c", "BST")
+        cheap.energy_price_eur_kwh = 0.01
+        costly = make_host("x", "BCN")
+        costly.energy_price_eur_kwh = 1.0
+        problem = make_problem([request], [cheap, costly])
+        assert (placement_profit(problem, request, cheap).energy_cost_eur
+                < placement_profit(problem, request, costly).energy_cost_eur)
+
+    def test_weights_disable_terms(self):
+        request = make_request(current_pm="x", current_location="BST")
+        host = make_host("h", "BCN")
+        problem = make_problem([request], [host],
+                               weights=ObjectiveWeights(revenue=1.0,
+                                                        energy=0.0,
+                                                        migration=0.0))
+        ev = placement_profit(problem, request, host)
+        assert ev.profit_eur == pytest.approx(ev.revenue_eur)
+
+    def test_overloaded_placement_tanks_sla(self):
+        request = make_request(rps=200.0)  # demand >> one Atom host
+        host = make_host()
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        assert ev.sla < 0.3
+        assert not ev.fits
+
+
+class TestEvaluateAndCheck:
+    def _two_vm_problem(self):
+        requests = [make_request("vm0"), make_request("vm1")]
+        hosts = [make_host("h0"), make_host("h1")]
+        return make_problem(requests, hosts)
+
+    def test_evaluate_complete_assignment(self):
+        problem = self._two_vm_problem()
+        value = evaluate_schedule(problem, {"vm0": "h0", "vm1": "h1"})
+        assert np.isfinite(value)
+        assert value > 0.0
+
+    def test_evaluate_missing_vm_rejected(self):
+        problem = self._two_vm_problem()
+        with pytest.raises(ValueError, match="unassigned"):
+            evaluate_schedule(problem, {"vm0": "h0"})
+
+    def test_evaluate_does_not_mutate_problem(self):
+        problem = self._two_vm_problem()
+        evaluate_schedule(problem, {"vm0": "h0", "vm1": "h0"})
+        assert problem.hosts[0].committed == {}
+
+    def test_consolidation_value_differs_from_spread(self):
+        problem = self._two_vm_problem()
+        packed = evaluate_schedule(problem, {"vm0": "h0", "vm1": "h0"})
+        spread = evaluate_schedule(problem, {"vm0": "h0", "vm1": "h1"})
+        assert packed != pytest.approx(spread)
+
+    def test_check_clean_schedule(self):
+        problem = self._two_vm_problem()
+        assert check_schedule(problem, {"vm0": "h0", "vm1": "h1"}) == []
+
+    def test_check_flags_unassigned(self):
+        problem = self._two_vm_problem()
+        violations = check_schedule(problem, {"vm0": "h0"})
+        assert any(v.kind == "unassigned" for v in violations)
+
+    def test_check_flags_unknown_host(self):
+        problem = self._two_vm_problem()
+        violations = check_schedule(problem, {"vm0": "h0", "vm1": "zz"})
+        assert any(v.kind == "unknown-host" for v in violations)
+
+    def test_check_flags_overcommit(self):
+        requests = [make_request(f"vm{i}", rps=80.0) for i in range(4)]
+        hosts = [make_host("h0"), make_host("h1")]
+        problem = make_problem(requests, hosts)
+        violations = check_schedule(
+            problem, {r.vm_id: "h0" for r in requests})
+        assert any(v.kind == "overcommit" for v in violations)
+
+
+class TestProblemValidation:
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate host"):
+            make_problem([make_request()], [make_host("h"), make_host("h")])
+
+    def test_duplicate_requests_rejected(self):
+        with pytest.raises(ValueError, match="duplicate VM"):
+            make_problem([make_request("v"), make_request("v")],
+                         [make_host()])
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            SchedulingProblem(requests=[], hosts=[],
+                              network=paper_network_model(),
+                              prices=PriceBook(),
+                              estimator=OracleEstimator(), interval_s=0.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveWeights(revenue=-1.0)

@@ -1,0 +1,124 @@
+"""Property tests for the placement-scoring machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import OracleEstimator
+from repro.core.model import (HostView, ObjectiveWeights, SchedulingProblem,
+                              VMRequest, placement_profit)
+from repro.core.profit import PriceBook
+from repro.core.sla import PAPER_SLA
+from repro.sim.demand import LoadVector
+from repro.sim.machines import PhysicalMachine, Resources, VirtualMachine
+from repro.sim.network import PAPER_LOCATIONS, paper_network_model
+
+
+def make_problem(requests, hosts, weights=None):
+    return SchedulingProblem(requests=requests, hosts=hosts,
+                             network=paper_network_model(),
+                             prices=PriceBook(), estimator=OracleEstimator(),
+                             interval_s=600.0,
+                             weights=weights or ObjectiveWeights())
+
+
+@st.composite
+def placements(draw):
+    rps = draw(st.floats(min_value=0.0, max_value=120.0))
+    home = draw(st.sampled_from(PAPER_LOCATIONS))
+    host_loc = draw(st.sampled_from(PAPER_LOCATIONS))
+    committed_cpu = draw(st.floats(min_value=0.0, max_value=400.0))
+    current = draw(st.sampled_from([None, "elsewhere"]))
+    request = VMRequest(
+        vm=VirtualMachine(vm_id="vm0"), contract=PAPER_SLA,
+        loads={home: LoadVector(rps, 4000.0, 0.05)},
+        current_pm=current,
+        current_location=home if current else None)
+    host = HostView.of(PhysicalMachine(pm_id="h0"), host_loc, 0.13)
+    if committed_cpu > 0:
+        host.commit("other", Resources(cpu=committed_cpu, mem=256.0,
+                                       bw=100.0), committed_cpu)
+    return request, host
+
+
+class TestPlacementProfitInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(p=placements())
+    def test_terms_well_formed(self, p):
+        request, host = p
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        assert 0.0 <= ev.sla <= 1.0
+        assert ev.energy_cost_eur >= 0.0
+        assert ev.migration_penalty_eur >= 0.0
+        assert ev.revenue_eur >= 0.0
+        assert ev.migration_seconds >= 0.0
+        assert np.isfinite(ev.profit_eur)
+
+    @settings(max_examples=150, deadline=None)
+    @given(p=placements())
+    def test_revenue_bounded_by_contract(self, p):
+        request, host = p
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        hours = problem.interval_s / 3600.0
+        assert ev.revenue_eur <= PAPER_SLA.price_eur_per_hour * hours + 1e-9
+
+    @settings(max_examples=150, deadline=None)
+    @given(p=placements())
+    def test_given_within_capacity(self, p):
+        request, host = p
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        assert ev.given.fits_in(host.capacity, slack=1e-6)
+        assert ev.used_cpu <= ev.given.cpu + 1e-9
+
+    @settings(max_examples=150, deadline=None)
+    @given(p=placements())
+    def test_profit_identity(self, p):
+        request, host = p
+        problem = make_problem([request], [host])
+        ev = placement_profit(problem, request, host)
+        w = problem.weights
+        expected = (w.revenue * ev.revenue_eur
+                    - w.energy * ev.energy_cost_eur
+                    - w.migration * ev.migration_penalty_eur)
+        assert ev.profit_eur == pytest.approx(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rps=st.floats(min_value=1.0, max_value=60.0))
+    def test_sla_monotone_in_latency(self, rps):
+        """Farther hosts never score better SLA (same resources)."""
+        request = VMRequest(
+            vm=VirtualMachine(vm_id="vm0"), contract=PAPER_SLA,
+            loads={"BCN": LoadVector(rps, 4000.0, 0.05)})
+        slas = {}
+        for loc in PAPER_LOCATIONS:
+            host = HostView.of(PhysicalMachine(pm_id="h"), loc, 0.13)
+            problem = make_problem([request], [host])
+            slas[loc] = placement_profit(problem, request, host).sla
+        net = paper_network_model()
+        by_latency = sorted(PAPER_LOCATIONS,
+                            key=lambda l: net.host_to_source_ms(l, "BCN"))
+        for near, far in zip(by_latency, by_latency[1:]):
+            assert slas[near] >= slas[far] - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(extra=st.floats(min_value=0.0, max_value=400.0))
+    def test_energy_cost_monotone_in_usage(self, extra):
+        """A busier tentative placement never costs less marginal energy
+        on an empty host."""
+        request_light = VMRequest(
+            vm=VirtualMachine(vm_id="vm0"), contract=PAPER_SLA,
+            loads={"BCN": LoadVector(1.0, 1000.0, 0.02)})
+        request_heavy = VMRequest(
+            vm=VirtualMachine(vm_id="vm0"), contract=PAPER_SLA,
+            loads={"BCN": LoadVector(1.0 + extra / 4.0, 1000.0, 0.02)})
+        host_a = HostView.of(PhysicalMachine(pm_id="h"), "BCN", 0.13)
+        host_b = HostView.of(PhysicalMachine(pm_id="h"), "BCN", 0.13)
+        ev_light = placement_profit(make_problem([request_light], [host_a]),
+                                    request_light, host_a)
+        ev_heavy = placement_profit(make_problem([request_heavy], [host_b]),
+                                    request_heavy, host_b)
+        assert ev_heavy.energy_cost_eur >= ev_light.energy_cost_eur - 1e-12

@@ -1,0 +1,99 @@
+"""Tests for the on-line learning scheduler (paper future work §VI.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineLearningScheduler
+from repro.sim.engine import run_simulation
+from repro.sim.monitor import Monitor
+from repro.experiments.scenario import multidc_system
+
+
+def make_scheduler(monitor, **kwargs):
+    kwargs.setdefault("retrain_every", 6)
+    kwargs.setdefault("window", 400)
+    kwargs.setdefault("min_samples", 60)
+    return OnlineLearningScheduler(monitor=monitor, **kwargs)
+
+
+class TestWarmup:
+    def test_no_bootstrap_no_moves_before_data(self, tiny_config,
+                                               tiny_trace):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        scheduler = make_scheduler(monitor)
+        system = multidc_system(tiny_config)
+        assert scheduler(system, tiny_trace, 0) is None
+        assert scheduler.models is None
+
+    def test_bootstrap_models_used_immediately(self, tiny_config,
+                                               tiny_trace, tiny_models):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        scheduler = make_scheduler(monitor, bootstrap=tiny_models)
+        system = multidc_system(tiny_config)
+        assignment = scheduler(system, tiny_trace, 0)
+        assert assignment is not None
+        assert set(assignment) == set(system.vms)
+
+
+class TestRetraining:
+    def test_retrains_once_data_arrives(self, tiny_config, tiny_trace):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        scheduler = make_scheduler(monitor, retrain_every=6,
+                                   min_samples=60)
+        system = multidc_system(tiny_config)
+        run_simulation(system, tiny_trace, scheduler=scheduler,
+                       monitor=monitor)
+        assert len(scheduler.retrain_history) >= 1
+        assert scheduler.models is not None
+
+    def test_retrain_cadence(self, tiny_config, tiny_trace):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        scheduler = make_scheduler(monitor, retrain_every=12,
+                                   min_samples=60)
+        system = multidc_system(tiny_config)
+        run_simulation(system, tiny_trace, scheduler=scheduler,
+                       monitor=monitor)
+        gaps = np.diff(scheduler.retrain_history)
+        assert (gaps >= 12).all()
+
+    def test_window_limits_training_set(self, tiny_config, tiny_trace):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        scheduler = make_scheduler(monitor, window=100, min_samples=60)
+        system = multidc_system(tiny_config)
+        run_simulation(system, tiny_trace, scheduler=scheduler,
+                       monitor=monitor)
+        view = scheduler._windowed_monitor()
+        assert len(view.vm_samples) <= 100
+
+    def test_validation(self):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            OnlineLearningScheduler(monitor=monitor, retrain_every=0)
+        with pytest.raises(ValueError):
+            OnlineLearningScheduler(monitor=monitor, window=10,
+                                    min_samples=20)
+
+
+class TestEndToEnd:
+    def test_online_run_completes_and_performs(self, tiny_config,
+                                               tiny_trace, tiny_models):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        scheduler = make_scheduler(monitor, bootstrap=tiny_models)
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace, scheduler=scheduler,
+                                 monitor=monitor)
+        s = history.summary()
+        assert s.n_intervals == tiny_config.n_intervals
+        assert s.avg_sla > 0.5
+
+    def test_adapts_after_cold_start(self, tiny_config, tiny_trace):
+        """Starting with no models at all, online learning must reach a
+        working scheduler by the end of the run."""
+        monitor = Monitor(rng=np.random.default_rng(0))
+        scheduler = make_scheduler(monitor, retrain_every=6,
+                                   min_samples=60)
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace, scheduler=scheduler,
+                                 monitor=monitor)
+        assert scheduler.models is not None
+        assert history.summary().n_migrations >= 0  # ran to completion

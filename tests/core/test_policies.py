@@ -1,0 +1,76 @@
+"""Tests for the scheduler policy presets."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import (bf_ml_scheduler, bf_overbook_scheduler,
+                                 bf_scheduler, follow_the_load_scheduler,
+                                 hierarchical_ml_scheduler, oracle_scheduler,
+                                 static_scheduler)
+from repro.sim.engine import run_simulation
+from repro.sim.monitor import Monitor
+from repro.experiments.scenario import multidc_system
+
+
+class TestStatic:
+    def test_never_moves(self, tiny_config, tiny_trace):
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=static_scheduler())
+        assert history.summary().n_migrations == 0
+
+
+class TestFollowTheLoad:
+    def test_callable_and_moves_toward_load(self, tiny_config, tiny_trace):
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=follow_the_load_scheduler())
+        assert len(history) == tiny_config.n_intervals
+
+
+class TestObservedVariants:
+    def test_bf_requires_monitor_samples_to_act(self, tiny_config,
+                                                tiny_trace):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=bf_scheduler(monitor),
+                                 monitor=monitor)
+        assert len(history) == tiny_config.n_intervals
+
+    def test_bf_ob_books_double(self, tiny_config, tiny_trace):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        system = multidc_system(tiny_config)
+        history = run_simulation(
+            system, tiny_trace,
+            scheduler=bf_overbook_scheduler(monitor, overbook=2.0),
+            monitor=monitor)
+        assert len(history) == tiny_config.n_intervals
+
+
+class TestMLVariants:
+    def test_bf_ml_runs(self, tiny_config, tiny_trace, tiny_models):
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=bf_ml_scheduler(tiny_models))
+        assert 0.0 <= history.summary().avg_sla <= 1.0
+
+    def test_bf_ml_rt_mode(self, tiny_config, tiny_trace, tiny_models):
+        system = multidc_system(tiny_config)
+        history = run_simulation(
+            system, tiny_trace,
+            scheduler=bf_ml_scheduler(tiny_models, sla_mode="rt"))
+        assert len(history) == tiny_config.n_intervals
+
+    def test_hierarchical_ml(self, tiny_config, tiny_trace, tiny_models):
+        system = multidc_system(tiny_config)
+        scheduler = hierarchical_ml_scheduler(tiny_models)
+        history = run_simulation(system, tiny_trace, scheduler=scheduler)
+        assert len(history) == tiny_config.n_intervals
+
+    def test_oracle_consolidates_vs_static(self, tiny_config, tiny_trace):
+        static = run_simulation(multidc_system(tiny_config), tiny_trace)
+        oracle = run_simulation(multidc_system(tiny_config), tiny_trace,
+                                scheduler=oracle_scheduler())
+        assert (oracle.summary().avg_watts
+                <= static.summary().avg_watts + 1e-9)

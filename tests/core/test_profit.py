@@ -1,0 +1,99 @@
+"""Tests for the objective's economic terms."""
+
+import pytest
+
+from repro.core.profit import (PriceBook, ProfitBreakdown, energy_cost_eur,
+                               migration_penalty_eur, revenue_eur)
+
+
+class TestRevenue:
+    def test_full_compliance_full_price(self):
+        assert revenue_eur(1.0, 2.0, 0.17) == pytest.approx(0.34)
+
+    def test_linear_in_fulfillment(self):
+        assert revenue_eur(0.5, 1.0, 0.17) == pytest.approx(0.085)
+
+    def test_zero_fulfillment_zero_revenue(self):
+        assert revenue_eur(0.0, 10.0, 0.17) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            revenue_eur(1.5, 1.0, 0.17)
+        with pytest.raises(ValueError):
+            revenue_eur(0.5, -1.0, 0.17)
+
+
+class TestMigrationPenalty:
+    def test_proportional_to_blackout(self):
+        one_hour = migration_penalty_eur(3600.0, 0.17)
+        assert one_hour == pytest.approx(0.17)
+        assert migration_penalty_eur(1800.0, 0.17) == pytest.approx(0.085)
+
+    def test_zero_seconds(self):
+        assert migration_penalty_eur(0.0, 0.17) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            migration_penalty_eur(-1.0, 0.17)
+
+
+class TestEnergyCost:
+    def test_kwh_conversion(self):
+        # 1000 W for 1 h = 1 kWh.
+        assert energy_cost_eur(1000.0, 3600.0, 0.1513) == pytest.approx(
+            0.1513)
+
+    def test_ten_minute_interval(self):
+        assert energy_cost_eur(48.0, 600.0, 0.12) == pytest.approx(
+            48.0 / 6.0 / 1000.0 * 0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_cost_eur(-1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            energy_cost_eur(1.0, 1.0, -0.1)
+
+
+class TestPriceBook:
+    def test_lookup(self):
+        book = PriceBook(energy_price_eur_kwh={"BCN": 0.15})
+        assert book.energy_price("BCN") == 0.15
+        with pytest.raises(KeyError):
+            book.energy_price("XXX")
+
+    def test_default_migration_rate_is_vm_price(self):
+        book = PriceBook(vm_price_eur_per_hour=0.2)
+        assert book.migration_penalty_rate == 0.2
+
+    def test_explicit_migration_rate(self):
+        book = PriceBook(vm_price_eur_per_hour=0.2,
+                         migration_penalty_eur_per_violation_hour=0.5)
+        assert book.migration_penalty_rate == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceBook(vm_price_eur_per_hour=-0.1)
+        with pytest.raises(ValueError):
+            PriceBook(energy_price_eur_kwh={"A": -0.1})
+
+
+class TestBreakdown:
+    def test_profit_identity(self):
+        b = ProfitBreakdown(revenue_eur=10.0, migration_penalty_eur=1.0,
+                            energy_cost_eur=2.0)
+        assert b.profit_eur == pytest.approx(7.0)
+
+    def test_accumulation(self):
+        b = ProfitBreakdown()
+        b.add_revenue(5.0)
+        b.add_migration_penalty(1.0)
+        b.add_energy_cost(0.5)
+        assert b.profit_eur == pytest.approx(3.5)
+
+    def test_addition_operator(self):
+        a = ProfitBreakdown(1.0, 0.1, 0.2)
+        b = ProfitBreakdown(2.0, 0.2, 0.3)
+        c = a + b
+        assert c.revenue_eur == pytest.approx(3.0)
+        assert c.migration_penalty_eur == pytest.approx(0.3)
+        assert c.energy_cost_eur == pytest.approx(0.5)

@@ -1,0 +1,119 @@
+"""Tests for the SLA contract function."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sla import (PAPER_SLA, SLAContract, sla_fulfillment,
+                            weighted_sla)
+
+
+class TestPaperFunction:
+    """The exact piecewise function of §III.C with RT0=0.1, alpha=10."""
+
+    def test_full_below_rt0(self):
+        assert sla_fulfillment(0.05, 0.1, 10.0) == 1.0
+        assert sla_fulfillment(0.1, 0.1, 10.0) == 1.0
+
+    def test_zero_beyond_alpha_rt0(self):
+        assert sla_fulfillment(1.0, 0.1, 10.0) == 0.0
+        assert sla_fulfillment(5.0, 0.1, 10.0) == 0.0
+
+    def test_linear_in_between(self):
+        # Halfway between RT0 and alpha*RT0: 0.55 s -> 0.5.
+        assert sla_fulfillment(0.55, 0.1, 10.0) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("rt,expected", [
+        (0.19, 0.9), (0.28, 0.8), (0.55, 0.5), (0.91, 0.1)])
+    def test_specific_points(self, rt, expected):
+        assert sla_fulfillment(rt, 0.1, 10.0) == pytest.approx(expected)
+
+    def test_vectorized(self):
+        rts = np.array([0.05, 0.55, 2.0])
+        out = sla_fulfillment(rts, 0.1, 10.0)
+        assert out == pytest.approx([1.0, 0.5, 0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sla_fulfillment(0.1, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            sla_fulfillment(0.1, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            sla_fulfillment(-0.1, 0.1, 10.0)
+
+
+class TestContract:
+    def test_paper_contract(self):
+        assert PAPER_SLA.rt0 == 0.1
+        assert PAPER_SLA.alpha == 10.0
+        assert PAPER_SLA.price_eur_per_hour == 0.17
+        assert PAPER_SLA.cutoff_rt == pytest.approx(1.0)
+
+    def test_inverse_round_trip(self):
+        for level in (0.1, 0.5, 0.9):
+            rt = PAPER_SLA.rt_for_fulfillment(level)
+            assert PAPER_SLA.fulfillment(rt) == pytest.approx(level)
+
+    def test_inverse_at_one_is_rt0(self):
+        assert PAPER_SLA.rt_for_fulfillment(1.0) == PAPER_SLA.rt0
+
+    def test_inverse_at_zero_is_cutoff(self):
+        assert PAPER_SLA.rt_for_fulfillment(0.0) == pytest.approx(
+            PAPER_SLA.cutoff_rt)
+
+    def test_inverse_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_SLA.rt_for_fulfillment(1.5)
+
+    def test_contract_validation(self):
+        with pytest.raises(ValueError):
+            SLAContract(rt0=0.0)
+        with pytest.raises(ValueError):
+            SLAContract(alpha=1.0)
+        with pytest.raises(ValueError):
+            SLAContract(price_eur_per_hour=-1.0)
+
+
+class TestWeightedSLA:
+    def test_volume_weighting(self):
+        rt = {"A": 0.05, "B": 0.55}   # fulfillment 1.0 and 0.5
+        rps = {"A": 30.0, "B": 10.0}
+        out = weighted_sla(rt, rps, PAPER_SLA)
+        assert out == pytest.approx((30 * 1.0 + 10 * 0.5) / 40)
+
+    def test_zero_rate_sources_ignored(self):
+        rt = {"A": 0.05, "B": 5.0}
+        rps = {"A": 10.0, "B": 0.0}
+        assert weighted_sla(rt, rps, PAPER_SLA) == pytest.approx(1.0)
+
+    def test_no_traffic_fully_compliant(self):
+        assert weighted_sla({"A": 9.0}, {"A": 0.0}, PAPER_SLA) == 1.0
+        assert weighted_sla({}, {}, PAPER_SLA) == 1.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_sla({"A": 0.1}, {"A": -1.0}, PAPER_SLA)
+
+    def test_missing_rate_treated_as_zero(self):
+        assert weighted_sla({"A": 0.05, "B": 5.0}, {"A": 1.0},
+                            PAPER_SLA) == pytest.approx(1.0)
+
+
+class TestProperties:
+    @given(rt=st.floats(min_value=0.0, max_value=100.0))
+    def test_bounded(self, rt):
+        assert 0.0 <= sla_fulfillment(rt, 0.1, 10.0) <= 1.0
+
+    @given(rt=st.floats(min_value=0.0, max_value=10.0))
+    def test_monotone_nonincreasing(self, rt):
+        assert (sla_fulfillment(rt + 0.01, 0.1, 10.0)
+                <= sla_fulfillment(rt, 0.1, 10.0) + 1e-12)
+
+    @given(rt0=st.floats(min_value=0.01, max_value=1.0),
+           alpha=st.floats(min_value=1.1, max_value=20.0),
+           level=st.floats(min_value=0.0, max_value=1.0))
+    def test_inverse_consistency_any_contract(self, rt0, alpha, level):
+        contract = SLAContract(rt0=rt0, alpha=alpha)
+        rt = contract.rt_for_fulfillment(level)
+        assert contract.fulfillment(rt) == pytest.approx(level, abs=1e-9)

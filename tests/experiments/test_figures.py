@@ -1,0 +1,145 @@
+"""Fast tests for the figure experiment modules (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.delocation import format_delocation, run_delocation
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.figure6 import format_figure6, run_figure6
+from repro.experiments.figure7 import format_figure7, run_figure7
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.scenario import ScenarioConfig
+from repro.workload.patterns import PAPER_FLASH_CROWD
+
+SMALL = ScenarioConfig(n_intervals=24, scale=3.0, seed=5)
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure5(n_intervals=48, dominance=8.0)
+
+    def test_vm_moves_between_dcs(self, result):
+        assert result.distinct_locations_visited >= 2
+        assert result.n_migrations >= 1
+
+    def test_follows_dominant_source(self, result):
+        """The headline behaviour: placement tracks the loudest region."""
+        assert result.follow_fraction > 0.6
+
+    def test_series_aligned(self, result):
+        assert len(result.locations) == len(result.dominant) == 48
+
+    def test_format_renders(self, result):
+        text = format_figure5(result)
+        assert "follow" in text.lower()
+        assert "#" in text
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_models):
+        config = ScenarioConfig(n_intervals=24, scale=3.0, seed=5,
+                                flash_crowds=(PAPER_FLASH_CROWD,))
+        return run_figure6(config, models=tiny_models)
+
+    def test_series_shapes(self, result):
+        n = 24
+        assert result.rps_series.shape == (n,)
+        assert result.sla_series.shape == (n,)
+        assert result.pms_on_series.shape == (n,)
+
+    def test_flash_crowd_visible_in_load(self, result):
+        mask = result._window_mask()
+        assert mask.any()
+        assert (result.rps_series[mask].mean()
+                > 1.5 * result.rps_series[~mask].mean())
+
+    def test_sla_dips_during_flash(self, result):
+        """Paper: the crowd 'clearly exceeds the capacity of the system'."""
+        assert result.sla_dip_during_flash > 0.0
+
+    def test_format_renders(self, result):
+        assert "flash" in format_figure6(result).lower()
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_models):
+        return run_figure7(SMALL, models=tiny_models)
+
+    def test_series_lengths_match(self, result):
+        assert len(result.static_watts) == len(result.dynamic_watts)
+        assert len(result.static_sla) == len(result.dynamic_sla)
+
+    def test_energy_saved_most_intervals(self, result):
+        assert result.fraction_intervals_saving_energy > 0.5
+
+    def test_format_renders(self, result):
+        assert "static" in format_figure7(result)
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_models):
+        return run_figure8(SMALL, scales=(2.0, 4.0),
+                           energy_weights=(0.0, 20.0),
+                           models=tiny_models, n_intervals=18)
+
+    def test_grid_complete(self, result):
+        assert len(result.points) == 4
+        assert result.scales == [2.0, 4.0]
+
+    def test_higher_load_higher_rps(self, result):
+        lo = [p for p in result.points if p.scale == 2.0][0]
+        hi = [p for p in result.points if p.scale == 4.0][0]
+        assert hi.avg_rps > lo.avg_rps
+
+    def test_energy_weight_saves_energy(self, result):
+        """Stingier objective => fewer watts within each load level."""
+        for scale in result.scales:
+            pts = {p.energy_weight: p for p in result.points
+                   if p.scale == scale}
+            assert pts[20.0].avg_watts <= pts[0.0].avg_watts + 1e-6
+
+    def test_format_renders(self, result):
+        assert "SLA vs energy" in format_figure8(result)
+
+
+class TestFigure4Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_figure4(n_intervals=24, scale=16.0, seed=7)
+
+    def test_all_variants_present(self, result):
+        assert set(result.summaries) == {"BF", "BF-OB", "BF-ML"}
+
+    def test_ml_protects_sla_vs_plain(self, result):
+        assert result.sla_of("BF-ML") >= result.sla_of("BF") - 0.02
+
+    def test_overbooking_uses_most_energy(self, result):
+        assert result.watts_of("BF-OB") >= result.watts_of("BF") - 1e-6
+
+    def test_format_renders(self, result):
+        assert "BF-ML" in format_figure4(result)
+
+
+class TestDelocationSmall:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_delocation(n_intervals=144, scale=9.0, seed=7)
+
+    def test_fixed_never_migrates(self, result):
+        assert result.fixed_summary.n_migrations == 0
+
+    def test_delocation_helps_sla(self, result):
+        """Paper §V.C: de-locating raises SLA despite worse latencies."""
+        assert result.sla_gain > 0.0
+        assert result.delocating_summary.n_migrations > 0
+
+    def test_benefit_positive(self, result):
+        assert result.benefit_eur_per_vm_day > 0.0
+
+    def test_format_renders(self, result):
+        assert "De-locating" in format_delocation(result)

@@ -1,0 +1,35 @@
+"""Tests for the harvest-size ablation."""
+
+import pytest
+
+from repro.experiments.harvest_ablation import (format_harvest_ablation,
+                                                run_harvest_ablation)
+from repro.experiments.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_harvest_ablation(
+        ScenarioConfig(n_intervals=24, scale=3.0, seed=5),
+        harvest_intervals=(8, 24), scales=(0.8, 2.0))
+
+
+class TestAblation:
+    def test_points_match_sweep(self, result):
+        assert [p.harvest_intervals for p in result.points] == [8, 24]
+
+    def test_samples_grow_with_intervals(self, result):
+        assert result.points[1].n_samples > result.points[0].n_samples
+
+    def test_quality_does_not_collapse_with_more_data(self, result):
+        assert result.corr_improves_with_data()
+
+    def test_runs_evaluated_on_same_day(self, result):
+        for p in result.points:
+            assert 0.0 <= p.run_avg_sla <= 1.0
+            assert p.run_avg_watts > 0.0
+
+    def test_format_renders(self, result):
+        text = format_harvest_ablation(result)
+        assert "samples" in text
+        assert "SLA corr" in text

@@ -1,0 +1,41 @@
+"""Tests for the one-shot report generator (small configuration)."""
+
+import pytest
+
+from repro.experiments.report import (ReportSection, build_report,
+                                      render_markdown)
+from repro.experiments.scenario import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def sections():
+    # Small but complete: every artifact regenerates.
+    return build_report(ScenarioConfig(n_intervals=24, scale=3.0, seed=5))
+
+
+class TestBuild:
+    def test_all_artifacts_present(self, sections):
+        names = [s.artifact for s in sections]
+        assert names == ["table1", "table2", "table3", "figure4",
+                         "figure5", "delocation", "figure6", "figure7",
+                         "figure8"]
+
+    def test_bodies_non_empty(self, sections):
+        for s in sections:
+            assert len(s.body) > 50, s.artifact
+            assert s.seconds >= 0.0
+
+
+class TestRender:
+    def test_markdown_structure(self, sections):
+        text = render_markdown(sections)
+        assert text.startswith("# Reproduction report")
+        headers = [l for l in text.splitlines() if l.startswith("## ")]
+        assert len(headers) == len(sections)
+        assert "```" in text
+
+    def test_contains_each_report(self, sections):
+        text = render_markdown(sections)
+        assert "Table II" in text
+        assert "Static-Global" in text
+        assert "De-locating" in text

@@ -1,0 +1,34 @@
+"""Tests for the scalability experiment."""
+
+import pytest
+
+from repro.experiments.scaling import (ScalingPoint, format_scaling,
+                                       run_scaling)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scaling(sizes=((4, 1), (8, 2)))
+
+
+class TestScaling:
+    def test_points_match_sizes(self, result):
+        assert [(p.n_vms, p.n_pms) for p in result.points] == [(4, 4),
+                                                               (8, 8)]
+
+    def test_timings_positive(self, result):
+        for p in result.points:
+            assert p.flat_ms > 0.0
+            assert p.hierarchical_ms > 0.0
+
+    def test_cost_grows_with_size(self, result):
+        assert result.flat_cost_ratio() > 1.0
+
+    def test_offered_hosts_bounded(self, result):
+        for p in result.points:
+            assert p.global_hosts_offered <= p.n_pms
+
+    def test_format_renders(self, result):
+        text = format_scaling(result)
+        assert "flat ms" in text
+        assert str(result.points[0].n_vms) in text

@@ -1,0 +1,94 @@
+"""Tests for the canonical scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import (DAY_INTERVALS, ScenarioConfig,
+                                        intra_dc_system, intra_dc_trace,
+                                        make_vms, multidc_system,
+                                        multidc_trace, single_dc_system)
+from repro.sim.network import PAPER_LOCATIONS
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = ScenarioConfig()
+        assert config.locations == PAPER_LOCATIONS
+        assert config.n_vms == 5
+        assert config.interval_s == 600.0
+        assert config.n_intervals == DAY_INTERVALS == 144
+
+    def test_home_assignment_round_robin(self):
+        config = ScenarioConfig()
+        assert config.home_of("vm0") == "BRS"
+        assert config.home_of("vm4") == "BRS"
+        assert config.home_of("vm2") == "BCN"
+
+    def test_profiles_assigned(self):
+        config = ScenarioConfig()
+        assert config.profile_of("vm0").name == "file-hosting"
+
+
+class TestSystems:
+    def test_multidc_layout(self):
+        system = multidc_system(ScenarioConfig())
+        assert [dc.location for dc in system.datacenters] == list(
+            PAPER_LOCATIONS)
+        placement = system.placement()
+        assert len(placement) == 5
+        assert placement["vm0"] == "BRS-pm0"
+
+    def test_multidc_without_deploy(self):
+        system = multidc_system(ScenarioConfig(), deploy_home=False)
+        assert system.placement() == {}
+
+    def test_vm_contracts(self):
+        vms = make_vms(ScenarioConfig())
+        for vm in vms.values():
+            assert vm.rt0 == 0.1 and vm.alpha == 10.0
+            assert vm.price_eur_per_hour == 0.17
+
+    def test_intra_dc_layout(self):
+        system = intra_dc_system(location="BCN", n_pms=4, n_vms=5)
+        assert len(system.datacenters) == 1
+        assert len(system.pms) == 4
+        assert len(system.placement()) == 5
+
+    def test_single_dc_with_remotes(self):
+        system = single_dc_system(home="BCN",
+                                  remote_locations=("BST", "BNG"))
+        assert [dc.location for dc in system.datacenters] == ["BCN", "BST",
+                                                              "BNG"]
+        # All VMs start at home.
+        assert all(pm.startswith("BCN")
+                   for pm in system.placement().values())
+
+
+class TestTraces:
+    def test_multidc_trace_dimensions(self):
+        config = ScenarioConfig(n_intervals=12)
+        trace = multidc_trace(config)
+        assert trace.n_intervals == 12
+        assert len(trace.series) == 5 * 4  # VMs x regions
+
+    def test_trace_deterministic_given_seed(self):
+        config = ScenarioConfig(n_intervals=12, seed=3)
+        a = multidc_trace(config)
+        b = multidc_trace(config)
+        key = ("vm0", "BCN")
+        assert np.array_equal(a.series[key].rps, b.series[key].rps)
+
+    def test_trace_seed_changes_output(self):
+        a = multidc_trace(ScenarioConfig(n_intervals=12, seed=3))
+        b = multidc_trace(ScenarioConfig(n_intervals=12, seed=4))
+        key = ("vm0", "BCN")
+        assert not np.array_equal(a.series[key].rps, b.series[key].rps)
+
+    def test_intra_dc_trace_single_region(self):
+        trace = intra_dc_trace(location="BCN", n_intervals=12)
+        assert trace.sources == ["BCN"]
+
+    def test_scale_scales_rps(self):
+        lo = multidc_trace(ScenarioConfig(n_intervals=12, scale=1.0))
+        hi = multidc_trace(ScenarioConfig(n_intervals=12, scale=2.0))
+        assert hi.total_rps(0) == pytest.approx(2.0 * lo.total_rps(0))

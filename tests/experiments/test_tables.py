@@ -1,0 +1,81 @@
+"""Fast tests for the table experiment modules (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import (LOCATION_NAMES, Table2Result,
+                                      format_table2, run_table2)
+from repro.experiments.table3 import format_table3, run_table3
+
+SMALL = ScenarioConfig(n_intervals=24, scale=3.0, seed=5)
+
+
+class TestTable2:
+    def test_constants(self):
+        result = run_table2()
+        assert result.energy_eur_kwh["BST"] == 0.1120
+        assert result.latency_ms[("BCN", "BST")] == 90.0
+        assert result.latency_ms[("BST", "BCN")] == 90.0
+        assert result.bandwidth_gbps == 10.0
+
+    def test_symmetric_complete(self):
+        result = run_table2()
+        for a in result.locations:
+            for b in result.locations:
+                assert (a, b) in result.latency_ms
+
+    def test_format_contains_all_locations(self):
+        text = format_table2(run_table2())
+        for code, name in LOCATION_NAMES.items():
+            assert code in text and name in text
+
+
+class TestTable1Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(SMALL, scales=(0.8, 2.0), seed=7)
+
+    def test_seven_rows(self, result):
+        assert len(result.reports) == 7
+
+    def test_split_ratio(self, result):
+        for report in result.reports[:4]:
+            frac = report.n_train / (report.n_train + report.n_val)
+            assert frac == pytest.approx(0.66, abs=0.02)
+
+    def test_correlations_positive(self, result):
+        for report in result.reports:
+            assert report.correlation > 0.3, report.name
+
+    def test_sla_in_unit_range(self, result):
+        sla_row = result.reports[-1]
+        assert sla_row.data_min >= 0.0
+        assert sla_row.data_max <= 1.0
+
+    def test_format_renders(self, result):
+        text = format_table1(result)
+        assert "Predict VM CPU" in text
+        assert "direct" in text
+
+
+class TestTable3Small:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_models):
+        return run_table3(SMALL, models=tiny_models)
+
+    def test_static_never_migrates(self, result):
+        assert result.static_summary.n_migrations == 0
+
+    def test_summaries_consistent(self, result):
+        assert result.static_summary.n_intervals == SMALL.n_intervals
+        assert result.dynamic_summary.n_intervals == SMALL.n_intervals
+
+    def test_energy_saving_nonnegative(self, result):
+        """The headline shape: dynamic never burns more than static."""
+        assert result.energy_saving_fraction >= -0.05
+
+    def test_format_renders(self, result):
+        text = format_table3(result)
+        assert "Static-Global" in text and "Dynamic" in text

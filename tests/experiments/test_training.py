@@ -1,0 +1,56 @@
+"""Tests for the training-harvest pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenario import ScenarioConfig, multidc_system, multidc_trace
+from repro.experiments.training import (harvest, random_placement_scheduler,
+                                        train_paper_models)
+
+SMALL = ScenarioConfig(n_intervals=12, scale=2.0, seed=5)
+
+
+class TestRandomScheduler:
+    def test_assigns_all_vms_to_known_pms(self):
+        system = multidc_system(SMALL)
+        trace = multidc_trace(SMALL)
+        scheduler = random_placement_scheduler(np.random.default_rng(0))
+        assignment = scheduler(system, trace, 0)
+        assert set(assignment) == set(system.vms)
+        pm_ids = {pm.pm_id for pm in system.pms}
+        assert set(assignment.values()) <= pm_ids
+
+    def test_explores_multiple_hosts(self):
+        system = multidc_system(SMALL)
+        trace = multidc_trace(SMALL)
+        scheduler = random_placement_scheduler(np.random.default_rng(0))
+        targets = set()
+        for t in range(10):
+            targets.update(scheduler(system, trace, t).values())
+        assert len(targets) >= 3
+
+
+class TestHarvest:
+    def test_sample_volume(self):
+        trace = multidc_trace(SMALL)
+        monitor = harvest(lambda: multidc_system(SMALL), trace,
+                          scales=(1.0, 2.0), seed=4)
+        # 5 VMs x 12 intervals x 2 scales.
+        assert len(monitor.vm_samples) == 5 * 12 * 2
+        assert len(monitor.pm_samples) > 0
+
+    def test_coverage_includes_coloc_and_solo(self):
+        """Exploration must visit both consolidated and lone placements."""
+        trace = multidc_trace(SMALL)
+        monitor = harvest(lambda: multidc_system(SMALL), trace,
+                          scales=(1.0, 2.0), seed=4)
+        n_vms_seen = {s.n_vms for s in monitor.pm_samples}
+        assert 1 in n_vms_seen
+        assert any(n >= 2 for n in n_vms_seen)
+
+    def test_train_paper_models_end_to_end(self):
+        trace = multidc_trace(SMALL)
+        models, monitor = train_paper_models(
+            lambda: multidc_system(SMALL), trace, scales=(1.0, 2.0), seed=4)
+        assert len(models.table1()) == 7
+        assert len(monitor.vm_samples) > 0

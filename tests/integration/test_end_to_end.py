@@ -1,0 +1,131 @@
+"""Integration tests: full pipeline runs crossing every layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import ObjectiveWeights
+from repro.core.policies import (bf_ml_scheduler, bf_scheduler,
+                                 oracle_scheduler, static_scheduler)
+from repro.sim.engine import run_simulation
+from repro.sim.monitor import Monitor
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+
+
+class TestFullPipeline:
+    def test_monitor_train_schedule_loop(self, tiny_config, tiny_trace,
+                                         tiny_models):
+        """Harvest -> train -> schedule -> account, end to end."""
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=bf_ml_scheduler(tiny_models))
+        s = history.summary()
+        assert s.n_intervals == tiny_config.n_intervals
+        assert s.revenue_eur > 0.0
+        assert 0.0 <= s.avg_sla <= 1.0
+        # The scheduler actually does something.
+        assert s.n_migrations > 0
+
+    def test_placement_always_valid(self, tiny_config, tiny_trace,
+                                    tiny_models):
+        """Invariant: every VM on exactly one powered-on PM, every round."""
+        system = multidc_system(tiny_config)
+        scheduler = bf_ml_scheduler(tiny_models)
+        for t in range(tiny_trace.n_intervals):
+            proposal = scheduler(system, tiny_trace, t)
+            if proposal:
+                system.apply_schedule(proposal)
+            system.step(tiny_trace, t)
+            placement = system.placement()
+            assert set(placement) == set(system.vms)
+            for vm_id, pm_id in placement.items():
+                pm = system.pm(pm_id)
+                assert pm.on
+                assert pm.hosts(vm_id)
+
+    def test_grants_never_exceed_capacity(self, tiny_config, tiny_trace,
+                                          tiny_models):
+        """Figure 3 constraint 2 holds physically at every interval."""
+        system = multidc_system(tiny_config)
+        scheduler = bf_ml_scheduler(tiny_models)
+        run_simulation(system, tiny_trace, scheduler=scheduler)
+        for pm in system.pms:
+            assert pm.used.fits_in(pm.capacity, slack=1e-6)
+
+    def test_energy_accounting_is_additive(self, tiny_config, tiny_trace):
+        system = multidc_system(tiny_config)
+        history = run_simulation(system, tiny_trace)
+        for report in history.reports:
+            assert report.total_energy_wh == pytest.approx(
+                sum(p.energy_wh for p in report.pms.values()))
+
+    def test_deterministic_replay(self, tiny_config, tiny_trace,
+                                  tiny_models):
+        """Same inputs, same seeds -> identical run."""
+        a = run_simulation(multidc_system(tiny_config), tiny_trace,
+                           scheduler=bf_ml_scheduler(tiny_models))
+        b = run_simulation(multidc_system(tiny_config), tiny_trace,
+                           scheduler=bf_ml_scheduler(tiny_models))
+        assert np.array_equal(a.sla_series(), b.sla_series())
+        assert np.array_equal(a.watts_series(), b.watts_series())
+
+
+class TestSchedulerOrdering:
+    """Relative behaviour of the policy ladder on the same workload."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, tiny_config, tiny_trace, tiny_models):
+        out = {}
+        out["static"] = run_simulation(multidc_system(tiny_config),
+                                       tiny_trace,
+                                       scheduler=static_scheduler())
+        out["oracle"] = run_simulation(multidc_system(tiny_config),
+                                       tiny_trace,
+                                       scheduler=oracle_scheduler())
+        out["ml"] = run_simulation(multidc_system(tiny_config), tiny_trace,
+                                   scheduler=bf_ml_scheduler(tiny_models))
+        return {k: h.summary() for k, h in out.items()}
+
+    def test_dynamic_saves_energy(self, runs):
+        assert runs["oracle"].avg_watts < runs["static"].avg_watts
+        assert runs["ml"].avg_watts < runs["static"].avg_watts
+
+    def test_ml_tracks_oracle(self, runs):
+        """Learned models must land near the ground-truth upper bound."""
+        assert runs["ml"].avg_sla >= runs["oracle"].avg_sla - 0.08
+        assert (runs["ml"].profit_eur
+                >= runs["oracle"].profit_eur - 0.15 * abs(
+                    runs["oracle"].profit_eur))
+
+    def test_profit_not_destroyed_by_moving(self, runs):
+        assert runs["ml"].profit_eur >= 0.9 * runs["static"].profit_eur
+
+
+class TestEconomicSensitivity:
+    def test_expensive_energy_forces_consolidation(self, tiny_config,
+                                                   tiny_trace):
+        """Paper §V.B: the ML scheduler adapts to price changes without
+        human intervention — scale the energy term and consolidation
+        deepens."""
+        cheap = run_simulation(
+            multidc_system(tiny_config), tiny_trace,
+            scheduler=oracle_scheduler(
+                weights=ObjectiveWeights(energy=0.0)))
+        pricey = run_simulation(
+            multidc_system(tiny_config), tiny_trace,
+            scheduler=oracle_scheduler(
+                weights=ObjectiveWeights(energy=50.0)))
+        assert (pricey.summary().avg_watts
+                <= cheap.summary().avg_watts + 1e-6)
+
+    def test_migration_weight_reduces_churn(self, tiny_config, tiny_trace):
+        free = run_simulation(
+            multidc_system(tiny_config), tiny_trace,
+            scheduler=oracle_scheduler(
+                weights=ObjectiveWeights(migration=0.0)))
+        taxed = run_simulation(
+            multidc_system(tiny_config), tiny_trace,
+            scheduler=oracle_scheduler(
+                weights=ObjectiveWeights(migration=100.0)))
+        assert (taxed.summary().n_migrations
+                <= free.summary().n_migrations)

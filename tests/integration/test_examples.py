@@ -1,0 +1,37 @@
+"""Smoke tests: every example script runs to completion (reduced sizes are
+baked into the scripts themselves where needed)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py",
+                                    "intra_dc_consolidation.py",
+                                    "follow_the_sun.py",
+                                    "surviving_failures.py"])
+def test_example_runs(script):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run([sys.executable, str(path)],
+                            capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 100  # produced a real report
+
+
+def test_quickstart_reports_energy_saving():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=600)
+    assert "energy saving" in result.stdout
+
+
+def test_follow_the_sun_reports_saving():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "follow_the_sun.py")],
+        capture_output=True, text=True, timeout=600)
+    assert "follow-the-sun saves" in result.stdout

@@ -1,0 +1,91 @@
+"""Fleet-scale integration: hierarchical scheduling + tariffs + failures.
+
+Exercises the whole stack together on a larger system than the paper's
+case study (4 DCs x 3 PMs, 10 VMs) with every extension enabled, checking
+the invariants that must survive their interactions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import OracleEstimator
+from repro.core.hierarchical import HierarchicalScheduler
+from repro.sim.engine import run_simulation
+from repro.sim.failures import FailureInjector
+from repro.sim.monitor import Monitor
+from repro.sim.tariffs import solar_tariff
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+
+CONFIG = ScenarioConfig(pms_per_dc=3, n_vms=10, n_intervals=36, scale=5.0,
+                        seed=17)
+
+
+@pytest.fixture(scope="module")
+def fleet_run():
+    trace = multidc_trace(CONFIG)
+    system = multidc_system(CONFIG)
+    system.tariff_schedule = solar_tariff(
+        {loc: 0.5 for loc in CONFIG.locations},
+        n_intervals=CONFIG.n_intervals, solar_discount=0.6)
+    injector = FailureInjector(rng=np.random.default_rng(4),
+                               fail_prob_per_interval=0.02,
+                               repair_intervals=4, max_down=2)
+    monitor = Monitor(rng=np.random.default_rng(5))
+    scheduler = HierarchicalScheduler(estimator=OracleEstimator(),
+                                      sla_move_threshold=0.9)
+    history = run_simulation(system, trace, scheduler=scheduler,
+                             monitor=monitor, failure_injector=injector)
+    return system, history, injector, scheduler
+
+
+class TestFleet:
+    def test_run_completes(self, fleet_run):
+        _, history, _, _ = fleet_run
+        assert len(history) == CONFIG.n_intervals
+
+    def test_all_vms_placed_on_live_hosts_at_end(self, fleet_run):
+        system, _, _, _ = fleet_run
+        placement = system.placement()
+        assert set(placement) == set(system.vms)
+        for pm_id in placement.values():
+            pm = system.pm(pm_id)
+            assert pm.on and not pm.failed
+
+    def test_capacity_respected_every_interval(self, fleet_run):
+        system, history, _, _ = fleet_run
+        for pm in system.pms:
+            assert pm.used.fits_in(pm.capacity, slack=1e-6)
+
+    def test_tariffs_were_applied(self, fleet_run):
+        system, _, _, _ = fleet_run
+        # After the run the DC prices reflect the last interval's schedule.
+        prices = [dc.energy_price_eur_kwh for dc in system.datacenters]
+        assert any(p != 0.5 for p in prices)
+
+    def test_failures_happened_and_healed(self, fleet_run):
+        system, _, injector, _ = fleet_run
+        assert len(injector.events) >= 1
+        # Nothing is permanently broken beyond the repair horizon.
+        for pm_id in injector.down_pms:
+            assert injector._down_until[pm_id] >= CONFIG.n_intervals
+
+    def test_sla_survives_the_chaos(self, fleet_run):
+        _, history, injector, _ = fleet_run
+        s = history.summary()
+        assert s.avg_sla > 0.5
+        assert s.revenue_eur > 0.0
+
+    def test_hierarchical_used_both_layers(self, fleet_run):
+        _, _, _, scheduler = fleet_run
+        diag = scheduler.last_round
+        assert diag.intra_problems >= 1
+
+    def test_energy_accounting_stays_consistent(self, fleet_run):
+        _, history, _, _ = fleet_run
+        for report in history.reports:
+            total = sum(p.energy_wh for p in report.pms.values())
+            assert report.total_energy_wh == pytest.approx(total)
+            for p in report.pms.values():
+                if not p.on:
+                    assert p.facility_watts == 0.0

@@ -1,0 +1,113 @@
+"""Tests for dataset container, split, standardizer."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import Dataset, Standardizer, train_test_split
+
+
+def make_data(n=100, d=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, d)), rng.normal(size=n),
+                   tuple(f"f{i}" for i in range(d)))
+
+
+class TestDataset:
+    def test_validation_shapes(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros(5), np.zeros(5), ("a",))  # X not 2-D
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((5, 2)), np.zeros(4), ("a", "b"))
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((5, 2)), np.zeros(5), ("a",))
+
+    def test_non_finite_rejected(self):
+        X = np.zeros((3, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            Dataset(X, np.zeros(3), ("a", "b"))
+
+    def test_column_lookup(self):
+        data = make_data()
+        assert np.array_equal(data.column("f1"), data.X[:, 1])
+        with pytest.raises(KeyError):
+            data.column("nope")
+
+    def test_subset(self):
+        data = make_data()
+        sub = data.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.X[1], data.X[2])
+
+    def test_len_and_n_features(self):
+        data = make_data(n=7, d=4)
+        assert len(data) == 7
+        assert data.n_features == 4
+
+
+class TestSplit:
+    def test_paper_66_34(self):
+        data = make_data(n=100)
+        train, val = train_test_split(data, 0.66,
+                                      rng=np.random.default_rng(1))
+        assert len(train) == 66
+        assert len(val) == 34
+
+    def test_disjoint_and_complete(self):
+        data = make_data(n=50)
+        data = Dataset(np.arange(50, dtype=float)[:, None],
+                       np.arange(50, dtype=float), ("i",))
+        train, val = train_test_split(data, rng=np.random.default_rng(2))
+        seen = sorted(train.y.tolist() + val.y.tolist())
+        assert seen == list(range(50))
+
+    def test_no_rng_prefix_split(self):
+        data = Dataset(np.arange(10, dtype=float)[:, None],
+                       np.arange(10, dtype=float), ("i",))
+        train, val = train_test_split(data, 0.5)
+        assert train.y.tolist() == [0, 1, 2, 3, 4]
+
+    def test_deterministic_given_rng(self):
+        data = make_data()
+        t1, _ = train_test_split(data, rng=np.random.default_rng(7))
+        t2, _ = train_test_split(data, rng=np.random.default_rng(7))
+        assert np.array_equal(t1.X, t2.X)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_data(), 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(make_data(), 1.0)
+
+    def test_both_sides_nonempty_even_extreme(self):
+        data = make_data(n=3)
+        train, val = train_test_split(data, 0.99)
+        assert len(train) >= 1 and len(val) >= 1
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(5.0, 3.0, size=(500, 2))
+        Z = Standardizer().fit_transform(X)
+        assert Z.mean(axis=0) == pytest.approx([0.0, 0.0], abs=1e-9)
+        assert Z.std(axis=0) == pytest.approx([1.0, 1.0], abs=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = Standardizer().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert Z[:, 0] == pytest.approx(np.zeros(10))
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.ones((2, 2)))
+
+    def test_transform_uses_training_stats(self):
+        s = Standardizer().fit(np.zeros((5, 1)) + 10.0)
+        out = s.transform(np.array([[10.0]]))
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.zeros((0, 2)))

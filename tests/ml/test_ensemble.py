@@ -1,0 +1,86 @@
+"""Tests for bagged regression ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ensemble import BaggingRegressor, bagged_m5p
+from repro.ml.linreg import LinearRegression
+from repro.ml.m5p import M5PRegressor
+
+
+def make_data(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 10, size=(n, 2))
+    y = np.where(X[:, 0] < 5, 2 * X[:, 0], 20 - X[:, 0]) \
+        + 0.5 * X[:, 1] + rng.normal(0, 0.4, n)
+    return X, y
+
+
+class TestFitPredict:
+    def test_deterministic_given_seed(self):
+        X, y = make_data()
+        a = bagged_m5p(n_estimators=5, seed=3).fit(X, y).predict(X[:20])
+        b = bagged_m5p(n_estimators=5, seed=3).fit(X, y).predict(X[:20])
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_ensemble(self):
+        X, y = make_data()
+        a = bagged_m5p(n_estimators=5, seed=3).fit(X, y).predict(X[:20])
+        b = bagged_m5p(n_estimators=5, seed=4).fit(X, y).predict(X[:20])
+        assert not np.array_equal(a, b)
+
+    def test_accuracy_at_least_comparable_to_single_tree(self):
+        X, y = make_data(n=1000)
+        X_tr, y_tr, X_te, y_te = X[:700], y[:700], X[700:], y[700:]
+        single = M5PRegressor(min_leaf=4).fit(X_tr, y_tr)
+        bag = bagged_m5p(n_estimators=8, seed=1).fit(X_tr, y_tr)
+        mae_single = np.mean(np.abs(single.predict(X_te) - y_te))
+        mae_bag = np.mean(np.abs(bag.predict(X_te) - y_te))
+        assert mae_bag < 1.3 * mae_single
+
+    def test_predict_std_nonnegative_and_informative(self):
+        X, y = make_data()
+        bag = bagged_m5p(n_estimators=8, seed=1).fit(X, y)
+        interior = bag.predict_std(X[:50])
+        assert (interior >= 0).all()
+        # Far extrapolation should be more uncertain than the interior.
+        far = bag.predict_std(np.array([[50.0, 50.0]]))
+        assert far[0] > np.median(interior)
+
+    def test_works_with_any_base(self):
+        X, y = make_data(n=200)
+        bag = BaggingRegressor(base_factory=LinearRegression,
+                               n_estimators=4, seed=0).fit(X, y)
+        assert bag.n_members == 4
+        assert np.isfinite(bag.predict(X[:5])).all()
+
+    def test_sample_fraction(self):
+        X, y = make_data(n=100)
+        bag = BaggingRegressor(base_factory=LinearRegression,
+                               n_estimators=3, sample_fraction=0.5,
+                               seed=0).fit(X, y)
+        assert np.isfinite(bag.predict_one(X[0]))
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            BaggingRegressor(base_factory=LinearRegression, n_estimators=0)
+        with pytest.raises(ValueError):
+            BaggingRegressor(base_factory=LinearRegression,
+                             sample_fraction=0.0)
+
+    def test_unfitted(self):
+        bag = bagged_m5p()
+        with pytest.raises(RuntimeError):
+            bag.predict([[1.0, 2.0]])
+
+    def test_feature_mismatch(self):
+        X, y = make_data(n=50)
+        bag = bagged_m5p(n_estimators=2).fit(X, y)
+        with pytest.raises(ValueError):
+            bag.predict([[1.0]])
+
+    def test_empty_fit(self):
+        with pytest.raises(ValueError):
+            bagged_m5p().fit(np.zeros((0, 2)), np.zeros(0))

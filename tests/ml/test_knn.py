@@ -1,0 +1,117 @@
+"""Tests for the k-NN regressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.knn import KNNRegressor
+
+
+class TestBasics:
+    def test_exact_match_k1(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([10.0, 20.0, 30.0])
+        model = KNNRegressor(k=1).fit(X, y)
+        assert model.predict([[1.0]])[0] == pytest.approx(20.0)
+
+    def test_k_larger_than_train_clamped(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([10.0, 20.0])
+        model = KNNRegressor(k=10).fit(X, y)
+        assert model.predict([[0.5]])[0] == pytest.approx(15.0)
+
+    def test_uniform_average_of_k(self):
+        X = np.arange(4, dtype=float)[:, None]
+        y = np.array([0.0, 10.0, 20.0, 100.0])
+        model = KNNRegressor(k=2).fit(X, y)
+        # Query at 0.4: neighbours are 0 and 1.
+        assert model.predict([[0.4]])[0] == pytest.approx(5.0)
+
+    def test_distance_weighting_exact_match_dominates(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 100.0])
+        model = KNNRegressor(k=2, weights="distance").fit(X, y)
+        assert model.predict([[0.0]])[0] == pytest.approx(0.0)
+
+    def test_distance_weighting_pulls_to_closer(self):
+        X = np.array([[0.0], [10.0]])
+        y = np.array([0.0, 100.0])
+        model = KNNRegressor(k=2, weights="distance").fit(X, y)
+        assert model.predict([[1.0]])[0] < 50.0
+
+    def test_prediction_within_target_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = rng.uniform(0.0, 1.0, 200)
+        model = KNNRegressor(k=4).fit(X, y)
+        preds = model.predict(rng.normal(size=(50, 3)))
+        assert (preds >= y.min() - 1e-9).all()
+        assert (preds <= y.max() + 1e-9).all()
+
+    def test_normalization_makes_scales_irrelevant(self):
+        """A feature in huge units must not drown the metric."""
+        rng = np.random.default_rng(1)
+        n = 300
+        x1 = rng.uniform(0, 1, n)
+        x2 = rng.uniform(0, 1, n)
+        y = x1  # only x1 matters
+        X = np.column_stack([x1, x2 * 1e6])
+        model = KNNRegressor(k=3).fit(X[:200], y[:200])
+        preds = model.predict(X[200:])
+        mae = np.mean(np.abs(preds - y[200:]))
+        assert mae < 0.1
+
+    def test_chunked_matches_unchunked(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        q = rng.normal(size=(37, 2))
+        small = KNNRegressor(k=4, chunk_size=5).fit(X, y)
+        large = KNNRegressor(k=4, chunk_size=1000).fit(X, y)
+        assert small.predict(q) == pytest.approx(large.predict(q))
+
+    def test_predict_one(self):
+        model = KNNRegressor(k=1).fit(np.array([[1.0]]), np.array([7.0]))
+        assert model.predict_one([1.0]) == 7.0
+
+
+class TestValidation:
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(weights="gaussian")
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(chunk_size=0)
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict([[1.0]])
+
+    def test_empty_fit(self):
+        with pytest.raises(ValueError):
+            KNNRegressor().fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_feature_mismatch(self):
+        model = KNNRegressor(k=1).fit(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            model.predict([[1.0]])
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_train_points_predict_own_target_k1(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(20, 2))
+        y = rng.normal(size=20)
+        model = KNNRegressor(k=1).fit(X, y)
+        preds = model.predict(X)
+        # With distinct rows, each training point is its own neighbour.
+        if len(np.unique(X, axis=0)) == 20:
+            assert preds == pytest.approx(y)

@@ -1,0 +1,76 @@
+"""Tests for OLS linear regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.linreg import LinearRegression
+
+
+class TestFit:
+    def test_exact_recovery_noiseless(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 4.0
+        model = LinearRegression().fit(X, y)
+        assert model.coef_ == pytest.approx([2.0, -1.0, 0.5], abs=1e-6)
+        assert model.intercept_ == pytest.approx(4.0, abs=1e-6)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(5000, 2))
+        y = X @ np.array([3.0, 1.0]) + rng.normal(0, 0.1, 5000)
+        model = LinearRegression().fit(X, y)
+        assert model.coef_ == pytest.approx([3.0, 1.0], abs=0.02)
+
+    def test_collinear_features_stable(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=100)
+        X = np.column_stack([x, 2.0 * x])  # perfectly collinear
+        y = 3.0 * x
+        model = LinearRegression().fit(X, y)
+        pred = model.predict(X)
+        assert pred == pytest.approx(y, abs=1e-3)
+
+    def test_constant_feature(self):
+        X = np.column_stack([np.ones(50), np.arange(50, dtype=float)])
+        y = 2.0 * np.arange(50, dtype=float) + 1.0
+        model = LinearRegression().fit(X, y)
+        assert model.predict(X) == pytest.approx(y, abs=1e-6)
+
+    def test_single_sample(self):
+        model = LinearRegression().fit(np.array([[1.0]]), np.array([5.0]))
+        assert model.predict([[1.0]])[0] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            LinearRegression().fit(np.zeros(3), np.zeros(3))
+
+
+class TestPredict:
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict([[1.0]])
+
+    def test_wrong_feature_count(self):
+        model = LinearRegression().fit(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            model.predict([[1.0, 2.0, 3.0]])
+
+    def test_predict_one(self):
+        X = np.arange(10, dtype=float)[:, None]
+        model = LinearRegression().fit(X, 2 * X[:, 0])
+        assert model.predict_one([4.0]) == pytest.approx(8.0)
+
+    @given(slope=st.floats(min_value=-10, max_value=10),
+           intercept=st.floats(min_value=-10, max_value=10))
+    def test_recovers_any_line(self, slope, intercept):
+        X = np.linspace(0, 1, 30)[:, None]
+        y = slope * X[:, 0] + intercept
+        model = LinearRegression().fit(X, y)
+        assert model.predict(X) == pytest.approx(y, abs=1e-6)

@@ -1,0 +1,75 @@
+"""Tests for Table I metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (EvalReport, correlation, error_std, evaluate,
+                              mean_absolute_error, r_squared,
+                              root_mean_squared_error)
+
+
+class TestCorrelation:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert correlation(y, y) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert correlation(y, -y) == pytest.approx(-1.0)
+
+    def test_constant_returns_zero(self):
+        assert correlation([1.0, 1.0], [1.0, 2.0]) == 0.0
+        assert correlation([1.0, 2.0], [3.0, 3.0]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            correlation([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            correlation([], [])
+
+
+class TestErrors:
+    def test_mae(self):
+        assert mean_absolute_error([0.0, 2.0], [1.0, 1.0]) == 1.0
+
+    def test_mae_zero_for_exact(self):
+        assert mean_absolute_error([3.0, 4.0], [3.0, 4.0]) == 0.0
+
+    def test_error_std_of_constant_bias_is_zero(self):
+        assert error_std([1.0, 2.0, 3.0], [2.0, 3.0, 4.0]) == 0.0
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=100)
+        p = y + rng.normal(size=100)
+        assert root_mean_squared_error(y, p) >= mean_absolute_error(y, p)
+
+    def test_r_squared_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == pytest.approx(1.0)
+
+    def test_r_squared_mean_predictor_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r_squared_constant_target(self):
+        assert r_squared([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestEvaluate:
+    def test_report_fields(self):
+        rep = evaluate("X", "M5P", y_train=[0.0, 10.0],
+                       y_val=[1.0, 2.0, 3.0], y_pred=[1.0, 2.0, 4.0])
+        assert rep.name == "X"
+        assert rep.n_train == 2
+        assert rep.n_val == 3
+        assert rep.data_min == 0.0
+        assert rep.data_max == 10.0
+        assert rep.mae == pytest.approx(1.0 / 3.0)
+
+    def test_row_renders(self):
+        rep = evaluate("X", "M5P", [0.0, 1.0], [1.0, 2.0], [1.0, 2.0])
+        row = rep.row()
+        assert "X" in row and "M5P" in row

@@ -1,0 +1,72 @@
+"""Tests for model-set persistence."""
+
+import numpy as np
+import pytest
+
+from repro.ml.persistence import (FORMAT_VERSION, load_model_set,
+                                  save_model_set)
+from repro.sim.demand import LoadVector
+from repro.sim.machines import Resources
+
+
+class TestRoundTrip:
+    def test_predictions_survive(self, tiny_models, tmp_path):
+        path = tmp_path / "models.pkl"
+        save_model_set(tiny_models, path)
+        loaded = load_model_set(path)
+        load = LoadVector(rps=15.0, bytes_per_req=4000.0,
+                          cpu_time_per_req=0.05)
+        given = Resources(cpu=200.0, mem=512.0, bw=1000.0)
+        assert (loaded.predict_requirements(load).cpu
+                == pytest.approx(tiny_models.predict_requirements(load).cpu))
+        assert (loaded.predict_sla(load, given)
+                == pytest.approx(tiny_models.predict_sla(load, given)))
+        assert (loaded.predict_rt(load, given)
+                == pytest.approx(tiny_models.predict_rt(load, given)))
+
+    def test_table1_reports_survive(self, tiny_models, tmp_path):
+        path = tmp_path / "models.pkl"
+        save_model_set(tiny_models, path)
+        loaded = load_model_set(path)
+        for a, b in zip(tiny_models.table1(), loaded.table1()):
+            assert a == b
+
+    def test_loaded_models_drive_scheduler(self, tiny_models, tiny_config,
+                                           tiny_trace, tmp_path):
+        from repro.core.policies import bf_ml_scheduler
+        from repro.sim.engine import run_simulation
+        from repro.experiments.scenario import multidc_system
+        path = tmp_path / "models.pkl"
+        save_model_set(tiny_models, path)
+        loaded = load_model_set(path)
+        a = run_simulation(multidc_system(tiny_config), tiny_trace,
+                           scheduler=bf_ml_scheduler(tiny_models))
+        b = run_simulation(multidc_system(tiny_config), tiny_trace,
+                           scheduler=bf_ml_scheduler(loaded))
+        assert np.array_equal(a.sla_series(), b.sla_series())
+
+
+class TestValidation:
+    def test_save_rejects_non_modelset(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model_set({"not": "a modelset"}, tmp_path / "x.pkl")
+
+    def test_load_rejects_foreign_pickle(self, tmp_path):
+        import pickle
+        path = tmp_path / "foreign.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"hello": "world"}, fh)
+        with pytest.raises(ValueError, match="not a repro"):
+            load_model_set(path)
+
+    def test_load_rejects_wrong_version(self, tiny_models, tmp_path):
+        import pickle
+        path = tmp_path / "old.pkl"
+        save_model_set(tiny_models, path)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["version"] = FORMAT_VERSION + 99
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        with pytest.raises(ValueError, match="version"):
+            load_model_set(path)

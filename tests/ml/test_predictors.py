@@ -1,0 +1,111 @@
+"""Tests for the seven paper predictors and ModelSet."""
+
+import numpy as np
+import pytest
+
+from repro.ml.predictors import (PREDICTOR_SPECS, ModelSet, train_model_set,
+                                 train_predictor)
+from repro.sim.demand import LoadVector
+from repro.sim.machines import Resources
+from repro.sim.monitor import Monitor
+
+
+class TestSpecs:
+    def test_all_seven_elements(self):
+        assert set(PREDICTOR_SPECS) == {"vm_cpu", "vm_mem", "vm_in",
+                                        "vm_out", "pm_cpu", "vm_rt",
+                                        "vm_sla"}
+
+    def test_paper_methods(self):
+        assert PREDICTOR_SPECS["vm_cpu"].method == "M5P (M = 4)"
+        assert PREDICTOR_SPECS["vm_mem"].method == "Linear Reg."
+        assert PREDICTOR_SPECS["vm_in"].method == "M5P (M = 2)"
+        assert PREDICTOR_SPECS["vm_out"].method == "M5P (M = 2)"
+        assert PREDICTOR_SPECS["pm_cpu"].method == "M5P (M = 4)"
+        assert PREDICTOR_SPECS["vm_rt"].method == "M5P (M = 4)"
+        assert PREDICTOR_SPECS["vm_sla"].method == "K-NN (K = 4)"
+
+    def test_m5p_min_leaf_hyperparameters(self):
+        assert PREDICTOR_SPECS["vm_cpu"].model_factory().min_leaf == 4
+        assert PREDICTOR_SPECS["vm_in"].model_factory().min_leaf == 2
+        assert PREDICTOR_SPECS["vm_sla"].model_factory().k == 4
+
+
+class TestTraining:
+    def test_train_all(self, tiny_monitor):
+        models = train_model_set(tiny_monitor,
+                                 rng=np.random.default_rng(0))
+        assert isinstance(models, ModelSet)
+        assert len(models.table1()) == 7
+
+    def test_table1_order(self, tiny_models):
+        names = [r.name for r in tiny_models.table1()]
+        assert names == ["Predict VM CPU", "Predict VM MEM", "Predict VM IN",
+                         "Predict VM OUT", "Predict PM CPU", "Predict VM RT",
+                         "Predict VM SLA"]
+
+    def test_quality_correlations(self, tiny_models):
+        """Paper Table I correlations are 0.777-0.994; demand a floor."""
+        for report in tiny_models.table1():
+            assert report.correlation > 0.6, report.name
+
+    def test_train_insufficient_samples_rejected(self):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="at least"):
+            train_model_set(monitor)
+
+    def test_train_single_predictor(self, tiny_monitor):
+        trained = train_predictor(PREDICTOR_SPECS["vm_mem"], tiny_monitor,
+                                  rng=np.random.default_rng(1))
+        assert trained.report.n_train > trained.report.n_val
+
+
+class TestModelSetQueries:
+    def test_predict_requirements_reasonable(self, tiny_models):
+        load = LoadVector(rps=20.0, bytes_per_req=5000.0,
+                          cpu_time_per_req=0.05)
+        req = tiny_models.predict_requirements(load, mem_floor=256.0)
+        assert 0.0 < req.cpu <= 400.0 * 4
+        assert req.mem >= 256.0
+        assert req.bw > 0.0
+
+    def test_requirements_monotone_in_load(self, tiny_models):
+        lo = tiny_models.predict_requirements(
+            LoadVector(5.0, 5000.0, 0.05))
+        hi = tiny_models.predict_requirements(
+            LoadVector(50.0, 5000.0, 0.05))
+        assert hi.cpu > lo.cpu
+
+    def test_predict_pm_cpu(self, tiny_models):
+        assert tiny_models.predict_pm_cpu([]) == 0.0
+        total = tiny_models.predict_pm_cpu([100.0, 100.0])
+        assert total > 150.0
+
+    def test_predict_sla_bounded(self, tiny_models):
+        load = LoadVector(rps=20.0, bytes_per_req=5000.0,
+                          cpu_time_per_req=0.05)
+        for cpu in (10.0, 100.0, 400.0):
+            sla = tiny_models.predict_sla(load, Resources(cpu, 512.0, 500.0))
+            assert 0.0 <= sla <= 1.0
+
+    def test_predict_sla_penalizes_starvation(self, tiny_models):
+        load = LoadVector(rps=40.0, bytes_per_req=5000.0,
+                          cpu_time_per_req=0.08)
+        rich = tiny_models.predict_sla(load, Resources(400.0, 1024.0, 5000.0))
+        poor = tiny_models.predict_sla(load, Resources(40.0, 1024.0, 5000.0))
+        assert rich > poor
+
+    def test_predict_rt_nonnegative(self, tiny_models):
+        load = LoadVector(rps=20.0, bytes_per_req=5000.0,
+                          cpu_time_per_req=0.05)
+        assert tiny_models.predict_rt(load, Resources(100.0, 512.0,
+                                                      500.0)) >= 0.0
+
+    def test_missing_predictor_rejected(self, tiny_models):
+        partial = dict(tiny_models.predictors)
+        del partial["vm_sla"]
+        with pytest.raises(ValueError, match="missing"):
+            ModelSet(predictors=partial)
+
+    def test_getitem(self, tiny_models):
+        assert tiny_models["vm_cpu"].spec.name == "Predict VM CPU"

@@ -1,0 +1,142 @@
+"""Property tests for the work-conserving host allocator.
+
+These pin down the Figure 3 constraint-5.2 semantics the whole stack relies
+on: grants never exceed capacity, per-VM caps hold, spare CPU/bandwidth is
+actually handed out (work conservation), memory is demand-bounded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.machines import Resources
+from repro.sim.multidc import proportional_allocation
+
+CAPACITY = Resources(cpu=400.0, mem=4096.0, bw=125_000.0)
+
+
+@st.composite
+def demand_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    demands = {}
+    caps = {}
+    for i in range(n):
+        demands[f"v{i}"] = Resources(
+            cpu=draw(st.floats(min_value=0.0, max_value=800.0)),
+            mem=draw(st.floats(min_value=0.0, max_value=3000.0)),
+            bw=draw(st.floats(min_value=0.0, max_value=200_000.0)))
+        caps[f"v{i}"] = Resources(
+            cpu=draw(st.floats(min_value=50.0, max_value=400.0)),
+            mem=draw(st.floats(min_value=256.0, max_value=4096.0)),
+            bw=draw(st.floats(min_value=1000.0, max_value=125_000.0)))
+    return demands, caps
+
+
+class TestInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(data=demand_sets())
+    def test_total_grant_within_capacity(self, data):
+        demands, caps = data
+        grants = proportional_allocation(CAPACITY, demands, caps)
+        total = Resources()
+        for g in grants.values():
+            total = total + g
+        assert total.fits_in(CAPACITY, slack=1e-6)
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=demand_sets())
+    def test_per_vm_caps_respected(self, data):
+        demands, caps = data
+        grants = proportional_allocation(CAPACITY, demands, caps)
+        for vm_id, g in grants.items():
+            assert g.cpu <= caps[vm_id].cpu + 1e-6
+            assert g.mem <= caps[vm_id].mem + 1e-6
+            assert g.bw <= caps[vm_id].bw + 1e-6
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=demand_sets())
+    def test_grants_nonnegative(self, data):
+        demands, caps = data
+        for g in proportional_allocation(CAPACITY, demands, caps).values():
+            assert g.cpu >= 0 and g.mem >= 0 and g.bw >= 0
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=demand_sets())
+    def test_memory_never_exceeds_demand(self, data):
+        """Memory burst buys nothing: grant <= demand (cap-clipped)."""
+        demands, caps = data
+        grants = proportional_allocation(CAPACITY, demands, caps)
+        for vm_id, g in grants.items():
+            capped = min(demands[vm_id].mem, caps[vm_id].mem)
+            assert g.mem <= capped + 1e-6
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=demand_sets())
+    def test_cpu_work_conservation_under_commitment(self, data):
+        """When total capped CPU demand fits, every VM gets at least its
+        demand (burst only adds)."""
+        demands, caps = data
+        capped = {v: min(d.cpu, caps[v].cpu) for v, d in demands.items()}
+        if sum(capped.values()) > CAPACITY.cpu:
+            return
+        grants = proportional_allocation(CAPACITY, demands, caps)
+        for vm_id, g in grants.items():
+            assert g.cpu >= capped[vm_id] - 1e-6
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=demand_sets())
+    def test_zero_demand_zero_grant(self, data):
+        demands, caps = data
+        demands["vz"] = Resources()
+        caps["vz"] = Resources(cpu=400, mem=4096, bw=125_000)
+        grants = proportional_allocation(CAPACITY, demands, caps)
+        assert grants["vz"].cpu == 0.0
+        assert grants["vz"].bw == 0.0
+
+    def test_fairness_equal_demands_equal_grants(self):
+        demands = {f"v{i}": Resources(cpu=300.0, mem=100.0, bw=100.0)
+                   for i in range(3)}
+        grants = proportional_allocation(CAPACITY, demands)
+        cpus = [g.cpu for g in grants.values()]
+        assert max(cpus) - min(cpus) < 1e-9
+
+    def test_proportionality_under_contention(self):
+        demands = {"a": Resources(cpu=100.0, mem=0, bw=0),
+                   "b": Resources(cpu=300.0, mem=0, bw=0),
+                   "c": Resources(cpu=400.0, mem=0, bw=0)}
+        grants = proportional_allocation(CAPACITY, demands)
+        # 800 demanded over 400: everyone halved.
+        assert grants["a"].cpu == pytest.approx(50.0)
+        assert grants["b"].cpu == pytest.approx(150.0)
+        assert grants["c"].cpu == pytest.approx(200.0)
+
+
+class TestHostViewConsistency:
+    """HostView.grantable approximates the allocator (same burst shape)."""
+
+    def test_lone_vm_matches_allocator(self):
+        from repro.core.model import HostView
+        from repro.sim.machines import PhysicalMachine
+        view = HostView.of(PhysicalMachine(pm_id="p", capacity=CAPACITY),
+                           "BCN", 0.15)
+        demand = Resources(cpu=100.0, mem=512.0, bw=1000.0)
+        grant_view = view.grantable(demand)
+        grant_alloc = proportional_allocation(CAPACITY, {"a": demand})["a"]
+        assert grant_view.cpu == pytest.approx(grant_alloc.cpu)
+        assert grant_view.mem == pytest.approx(grant_alloc.mem)
+        assert grant_view.bw == pytest.approx(grant_alloc.bw)
+
+    def test_two_vms_match_allocator(self):
+        from repro.core.model import HostView
+        from repro.sim.machines import PhysicalMachine
+        view = HostView.of(PhysicalMachine(pm_id="p", capacity=CAPACITY),
+                           "BCN", 0.15)
+        other = Resources(cpu=250.0, mem=1024.0, bw=500.0)
+        view.commit("other", other, 250.0)
+        demand = Resources(cpu=250.0, mem=1024.0, bw=500.0)
+        grant_view = view.grantable(demand)
+        grants = proportional_allocation(CAPACITY,
+                                         {"other": other, "new": demand})
+        assert grant_view.cpu == pytest.approx(grants["new"].cpu)
+        assert grant_view.mem == pytest.approx(grants["new"].mem)

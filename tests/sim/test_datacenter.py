@@ -1,0 +1,124 @@
+"""Tests for the DataCenter entity and Table II tariffs."""
+
+import pytest
+
+from repro.sim.datacenter import (PAPER_ENERGY_PRICES, DataCenter,
+                                  build_datacenter)
+from repro.sim.machines import PhysicalMachine, Resources
+
+
+class TestPaperTariffs:
+    @pytest.mark.parametrize("loc,price", [
+        ("BRS", 0.1314), ("BNG", 0.1218), ("BCN", 0.1513), ("BST", 0.1120)])
+    def test_values(self, loc, price):
+        assert PAPER_ENERGY_PRICES[loc] == price
+
+    def test_boston_cheapest_barcelona_most_expensive(self):
+        """Drives the paper's consolidate-into-cheap-energy behaviour."""
+        assert min(PAPER_ENERGY_PRICES, key=PAPER_ENERGY_PRICES.get) == "BST"
+        assert max(PAPER_ENERGY_PRICES, key=PAPER_ENERGY_PRICES.get) == "BCN"
+
+
+@pytest.fixture
+def dc():
+    return build_datacenter("BCN", n_pms=3)
+
+
+class TestBuild:
+    def test_builder_uses_paper_price(self, dc):
+        assert dc.energy_price_eur_kwh == PAPER_ENERGY_PRICES["BCN"]
+
+    def test_builder_unknown_location_default_price(self):
+        dc = build_datacenter("XYZ", 1)
+        assert dc.energy_price_eur_kwh == 0.13
+
+    def test_builder_pm_ids(self, dc):
+        assert [pm.pm_id for pm in dc.pms] == ["BCN-pm0", "BCN-pm1",
+                                               "BCN-pm2"]
+
+    def test_negative_pms_rejected(self):
+        with pytest.raises(ValueError):
+            build_datacenter("BCN", -1)
+
+    def test_duplicate_pm_ids_rejected(self):
+        pm = PhysicalMachine(pm_id="x")
+        with pytest.raises(ValueError, match="duplicate"):
+            DataCenter(location="BCN", pms=[pm, PhysicalMachine(pm_id="x")])
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            DataCenter(location="BCN", energy_price_eur_kwh=-0.1)
+
+
+class TestLookup:
+    def test_pm_lookup(self, dc):
+        assert dc.pm("BCN-pm1").pm_id == "BCN-pm1"
+        with pytest.raises(KeyError):
+            dc.pm("nope")
+
+    def test_host_of(self, dc):
+        dc.pms[1].place("vmA", Resources(10, 10, 10))
+        assert dc.host_of("vmA").pm_id == "BCN-pm1"
+        assert dc.host_of("ghost") is None
+
+    def test_vm_ids(self, dc):
+        dc.pms[0].place("a", Resources(1, 1, 1))
+        dc.pms[2].place("b", Resources(1, 1, 1))
+        assert sorted(dc.vm_ids) == ["a", "b"]
+
+
+class TestAggregates:
+    def test_total_capacity_counts_only_on(self, dc):
+        full = dc.total_capacity
+        dc.pms[0].set_power(False)
+        assert dc.total_capacity.cpu == full.cpu - 400.0
+
+    def test_n_on(self, dc):
+        assert dc.n_on == 3
+        dc.pms[0].set_power(False)
+        assert dc.n_on == 2
+
+    def test_facility_watts_sums_pms(self, dc):
+        per_pm = dc.pms[0].facility_watts()
+        assert dc.facility_watts() == pytest.approx(3 * per_pm)
+
+    def test_energy_cost(self, dc):
+        # 1000 W for an hour at the BCN tariff.
+        assert dc.energy_cost_eur(1000.0, 3600.0) == pytest.approx(0.1513)
+
+    def test_energy_cost_negative_seconds(self, dc):
+        with pytest.raises(ValueError):
+            dc.energy_cost_eur(100.0, -1.0)
+
+    def test_utilization_empty(self, dc):
+        assert dc.utilization() == 0.0
+
+    def test_utilization_half(self, dc):
+        dc.pms[0].place("a", Resources(cpu=600.0 * 0, mem=0, bw=0))
+        dc.pms[0].evict("a")
+        dc.pms[0].place("a", Resources(cpu=400.0, mem=0, bw=0))
+        dc.pms[1].place("b", Resources(cpu=200.0, mem=0, bw=0))
+        assert dc.utilization() == pytest.approx(600.0 / 1200.0)
+
+
+class TestOfferedHosts:
+    def test_skips_nearly_full(self, dc):
+        dc.pms[0].place("a", Resources(cpu=380.0, mem=0, bw=0))
+        offers = dc.offered_hosts(min_free_cpu=50.0, max_offers=5)
+        assert all(o.pm_id != "BCN-pm0" for o in offers)
+
+    def test_collapses_identical_empty(self, dc):
+        offers = dc.offered_hosts(max_offers=5)
+        # Three identical empty machines -> one representative.
+        assert len(offers) == 1
+
+    def test_max_offers_respected(self, dc):
+        dc.pms[0].place("a", Resources(cpu=10, mem=0, bw=0))
+        dc.pms[1].place("b", Resources(cpu=20, mem=0, bw=0))
+        offers = dc.offered_hosts(max_offers=1)
+        assert len(offers) == 1
+
+    def test_off_hosts_not_offered(self, dc):
+        for pm in dc.pms:
+            pm.set_power(False)
+        assert dc.offered_hosts() == []

@@ -1,0 +1,158 @@
+"""Tests for the ground-truth demand model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.demand import DemandModel, LoadVector
+
+
+@pytest.fixture
+def model():
+    return DemandModel()
+
+
+class TestLoadVector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadVector(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            LoadVector(0.0, -1.0, 0.0)
+        with pytest.raises(ValueError):
+            LoadVector(0.0, 0.0, -1.0)
+
+    def test_scaled(self):
+        lv = LoadVector(10.0, 5000.0, 0.05).scaled(2.0)
+        assert lv.rps == 20.0
+        assert lv.bytes_per_req == 5000.0
+        assert lv.cpu_time_per_req == 0.05
+
+    def test_combine_empty(self):
+        agg = LoadVector.combine([])
+        assert agg.rps == 0.0
+
+    def test_combine_weights_by_rate(self):
+        a = LoadVector(10.0, 1000.0, 0.01)
+        b = LoadVector(30.0, 2000.0, 0.03)
+        agg = LoadVector.combine([a, b])
+        assert agg.rps == pytest.approx(40.0)
+        assert agg.bytes_per_req == pytest.approx(1750.0)
+        assert agg.cpu_time_per_req == pytest.approx(0.025)
+
+    def test_combine_zero_rate_keeps_mix(self):
+        a = LoadVector(0.0, 1234.0, 0.05)
+        agg = LoadVector.combine([a])
+        assert agg.rps == 0.0
+        assert agg.bytes_per_req == 1234.0
+
+
+class TestRequiredCPU:
+    def test_scales_with_rps(self, model):
+        assert (model.required_cpu(20.0, 0.05)
+                == pytest.approx(2 * model.required_cpu(10.0, 0.05)))
+
+    def test_includes_dispatch_cost(self, model):
+        # rps * (cpu_time + dispatch) * 100
+        expected = 10.0 * (0.05 + model.cpu_dispatch_s) * 100.0
+        assert model.required_cpu(10.0, 0.05) == pytest.approx(expected)
+
+    def test_zero_load_zero_cpu(self, model):
+        assert model.required_cpu(0.0, 0.05) == 0.0
+
+    def test_vectorized(self, model):
+        out = model.required_cpu(np.array([1.0, 2.0]), np.array([0.1, 0.1]))
+        assert out.shape == (2,)
+        assert out[1] == pytest.approx(2 * out[0])
+
+
+class TestRequiredMem:
+    def test_base_at_zero_load(self, model):
+        assert model.required_mem(0.0, 0.0, 256.0) == pytest.approx(256.0)
+
+    def test_linear_in_rps_before_cap(self, model):
+        m1 = model.required_mem(10.0, 0.0, 256.0)
+        m2 = model.required_mem(20.0, 0.0, 256.0)
+        assert m2 - 256.0 == pytest.approx(2 * (m1 - 256.0))
+
+    def test_saturates_at_cap(self, model):
+        assert model.required_mem(1e6, 1e6, 256.0) == model.mem_cap_mb
+
+    def test_paper_range(self, model):
+        """Paper Table I reports VM MEM in [256, 1024] MB."""
+        lo = model.required_mem(0.0, 0.0, 256.0)
+        hi = model.required_mem(200.0, 50_000.0, 256.0)
+        assert lo >= 256.0
+        assert hi <= 1024.0
+
+
+class TestNetwork:
+    def test_out_is_payload(self, model):
+        assert model.required_net_out(10.0, 10240.0) == pytest.approx(100.0)
+
+    def test_in_smaller_than_out_for_downloads(self, model):
+        assert (model.required_net_in(10.0, 10240.0)
+                < model.required_net_out(10.0, 10240.0))
+
+    def test_in_has_header_floor(self, model):
+        assert model.required_net_in(10.0, 0.0) > 0.0
+
+
+class TestRequiredResources:
+    def test_respects_cpu_cap(self, model):
+        load = LoadVector(1000.0, 10_000.0, 0.1)
+        r = model.required_resources(load, 256.0, cpu_cap=400.0)
+        assert r.cpu == 400.0
+
+    def test_uncapped_demand_can_exceed_host(self, model):
+        load = LoadVector(1000.0, 10_000.0, 0.1)
+        r = model.required_resources(load, 256.0, cpu_cap=float("inf"))
+        assert r.cpu > 400.0
+
+    def test_bw_is_in_plus_out(self, model):
+        load = LoadVector(10.0, 10_000.0, 0.05)
+        r = model.required_resources(load, 256.0)
+        expected = (model.required_net_in(10.0, 10_000.0)
+                    + model.required_net_out(10.0, 10_000.0))
+        assert r.bw == pytest.approx(expected)
+
+
+class TestPMCPU:
+    def test_empty_host(self, model):
+        assert model.pm_cpu([]) == 0.0
+
+    def test_exceeds_sum_of_vms(self, model):
+        """Paper §IV.B: PM CPU > sum of VM CPU (management overhead)."""
+        vm_cpus = [100.0, 150.0]
+        assert model.pm_cpu(vm_cpus) > sum(vm_cpus)
+
+    def test_overhead_grows_with_vm_count(self, model):
+        one = model.pm_cpu([200.0])
+        two = model.pm_cpu([100.0, 100.0])
+        assert two > one
+
+    @given(cpus=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                         min_size=1, max_size=8))
+    def test_always_at_least_sum(self, cpus):
+        assert DemandModel().pm_cpu(cpus) >= sum(cpus) - 1e-9
+
+
+class TestProperties:
+    @given(rps=st.floats(min_value=0.0, max_value=1e4),
+           bpr=st.floats(min_value=0.0, max_value=1e6),
+           cpr=st.floats(min_value=0.0, max_value=1.0))
+    def test_all_requirements_nonnegative(self, rps, bpr, cpr):
+        model = DemandModel()
+        r = model.required_resources(LoadVector(rps, bpr, cpr), 256.0)
+        assert r.cpu >= 0 and r.mem >= 0 and r.bw >= 0
+
+    @given(rps=st.floats(min_value=0.0, max_value=1e3))
+    def test_monotone_in_rps(self, rps):
+        model = DemandModel()
+        lo = model.required_resources(LoadVector(rps, 1000.0, 0.05), 256.0,
+                                      cpu_cap=float("inf"))
+        hi = model.required_resources(LoadVector(rps + 1, 1000.0, 0.05),
+                                      256.0, cpu_cap=float("inf"))
+        assert hi.cpu >= lo.cpu
+        assert hi.mem >= lo.mem
+        assert hi.bw >= lo.bw

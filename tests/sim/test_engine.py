@@ -1,0 +1,149 @@
+"""Tests for the simulation engine and run history."""
+
+import numpy as np
+import pytest
+
+from repro.core.profit import PriceBook
+from repro.sim.datacenter import build_datacenter
+from repro.sim.engine import RunHistory, run_simulation
+from repro.sim.machines import VirtualMachine
+from repro.sim.monitor import Monitor
+from repro.sim.multidc import MultiDCSystem
+from repro.sim.network import paper_network_model
+from repro.workload.traces import SourceSeries, WorkloadTrace
+
+
+def make_system():
+    dcs = [build_datacenter("BCN", 2), build_datacenter("BST", 1)]
+    vms = {"vm0": VirtualMachine(vm_id="vm0"),
+           "vm1": VirtualMachine(vm_id="vm1")}
+    s = MultiDCSystem(datacenters=dcs, vms=vms,
+                      network=paper_network_model(), prices=PriceBook())
+    s.deploy("vm0", "BCN-pm0")
+    s.deploy("vm1", "BCN-pm1")
+    return s
+
+
+def make_trace(n=12):
+    t = WorkloadTrace(interval_s=600.0)
+    rng = np.random.default_rng(1)
+    for vm in ("vm0", "vm1"):
+        t.add(vm, "BCN", SourceSeries(
+            rps=rng.uniform(2, 20, n), bytes_per_req=np.full(n, 5000.0),
+            cpu_time_per_req=np.full(n, 0.05)))
+    return t
+
+
+class TestRunSimulation:
+    def test_length_and_summary(self):
+        history = run_simulation(make_system(), make_trace(12))
+        assert len(history) == 12
+        s = history.summary()
+        assert s.n_intervals == 12
+        assert s.hours == pytest.approx(2.0)
+        assert 0.0 <= s.avg_sla <= 1.0
+        assert s.n_migrations == 0
+
+    def test_scheduler_invoked_every_round(self):
+        calls = []
+
+        def scheduler(system, trace, t):
+            calls.append(t)
+            return None
+
+        run_simulation(make_system(), make_trace(6), scheduler=scheduler)
+        assert calls == list(range(6))
+
+    def test_schedule_every(self):
+        calls = []
+
+        def scheduler(system, trace, t):
+            calls.append(t)
+            return None
+
+        run_simulation(make_system(), make_trace(6), scheduler=scheduler,
+                       schedule_every=3)
+        assert calls == [0, 3]
+
+    def test_schedule_every_invalid(self):
+        with pytest.raises(ValueError):
+            run_simulation(make_system(), make_trace(6), schedule_every=0)
+
+    def test_migrations_counted(self):
+        def mover(system, trace, t):
+            return {"vm0": "BST-pm0"} if t == 2 else None
+
+        history = run_simulation(make_system(), make_trace(6),
+                                 scheduler=mover)
+        assert history.summary().n_migrations == 1
+        assert history.summary().n_inter_dc_migrations == 1
+        assert history.migrations_series()[2] == 1
+
+    def test_start_stop_window(self):
+        history = run_simulation(make_system(), make_trace(12), start=3,
+                                 stop=7)
+        assert len(history) == 4
+        assert history.reports[0].t == 3
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            run_simulation(make_system(), make_trace(6), start=4, stop=2)
+
+    def test_monitor_collects(self):
+        monitor = Monitor(rng=np.random.default_rng(0))
+        run_simulation(make_system(), make_trace(5), monitor=monitor)
+        assert len(monitor.vm_samples) == 10
+
+
+class TestRunHistory:
+    def test_series_shapes(self):
+        history = run_simulation(make_system(), make_trace(8))
+        assert history.sla_series().shape == (8,)
+        assert history.watts_series().shape == (8,)
+        assert history.pms_on_series().shape == (8,)
+        assert history.profit_series().shape == (8,)
+        assert history.total_rps_series().shape == (8,)
+
+    def test_vm_location_series(self):
+        def mover(system, trace, t):
+            return {"vm0": "BST-pm0"} if t == 1 else None
+
+        history = run_simulation(make_system(), make_trace(4),
+                                 scheduler=mover)
+        locs = history.vm_location_series("vm0")
+        assert locs[0] == "BCN"
+        assert locs[-1] == "BST"
+
+    def test_vm_sla_series_nan_for_absent(self):
+        history = run_simulation(make_system(), make_trace(3))
+        series = history.vm_sla_series("ghost")
+        assert np.isnan(series).all()
+
+    def test_empty_history_summary(self):
+        s = RunHistory().summary()
+        assert s.n_intervals == 0
+        assert s.avg_sla == 1.0
+        assert s.avg_eur_per_hour == 0.0
+
+    def test_mixed_interval_rejected(self):
+        history = run_simulation(make_system(), make_trace(2))
+        other = WorkloadTrace(interval_s=300.0)
+        for vm in ("vm0", "vm1"):
+            other.add(vm, "BCN", SourceSeries(
+                rps=np.ones(1), bytes_per_req=np.ones(1),
+                cpu_time_per_req=np.ones(1)))
+        report = make_system().step(other, 0)
+        with pytest.raises(ValueError, match="mixed interval"):
+            history.append(report)
+
+    def test_profit_components_sum(self):
+        history = run_simulation(make_system(), make_trace(6))
+        s = history.summary()
+        assert s.profit_eur == pytest.approx(
+            s.revenue_eur - s.migration_penalty_eur - s.energy_cost_eur)
+
+    def test_revenue_bounded_by_price(self):
+        """2 VMs at 0.17 EUR/h for 1 h is the revenue ceiling."""
+        history = run_simulation(make_system(), make_trace(6))
+        s = history.summary()
+        assert s.revenue_eur <= 2 * 0.17 * s.hours + 1e-9

@@ -1,0 +1,134 @@
+"""Tests for host-failure injection and recovery scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import bf_ml_scheduler, oracle_scheduler
+from repro.sim.engine import run_simulation
+from repro.sim.failures import FailureInjector
+from repro.sim.machines import PhysicalMachine, Resources
+from repro.experiments.scenario import multidc_system
+
+
+def injector(p=1.0, repair=3, max_down=1, seed=0):
+    return FailureInjector(rng=np.random.default_rng(seed),
+                           fail_prob_per_interval=p,
+                           repair_intervals=repair, max_down=max_down)
+
+
+class TestPMFailureAPI:
+    def test_fail_orphans_and_downs(self):
+        pm = PhysicalMachine(pm_id="p")
+        pm.place("a", Resources(10, 10, 10))
+        orphans = pm.fail()
+        assert orphans == ["a"]
+        assert not pm.on and pm.failed
+        assert pm.n_vms == 0
+
+    def test_failed_pm_rejects_everything(self):
+        pm = PhysicalMachine(pm_id="p")
+        pm.fail()
+        with pytest.raises(ValueError, match="failed"):
+            pm.place("a", Resources(1, 1, 1))
+        with pytest.raises(ValueError, match="failed"):
+            pm.set_power(True)
+        assert not pm.can_fit(Resources(1, 1, 1))
+
+    def test_repair_restores_availability(self):
+        pm = PhysicalMachine(pm_id="p")
+        pm.fail()
+        pm.repair()
+        assert not pm.failed and not pm.on
+        pm.set_power(True)
+        pm.place("a", Resources(1, 1, 1))
+
+    def test_snapshot_preserves_failed(self):
+        pm = PhysicalMachine(pm_id="p")
+        pm.fail()
+        assert pm.snapshot().failed
+
+
+class TestInjector:
+    def test_deterministic(self, tiny_config, tiny_trace):
+        events = []
+        for _ in range(2):
+            system = multidc_system(tiny_config)
+            inj = injector(p=0.3, seed=5)
+            for t in range(10):
+                inj.step(system, t)
+            events.append([(e.t, e.pm_id) for e in inj.events])
+        assert events[0] == events[1]
+
+    def test_max_down_respected(self, tiny_config):
+        system = multidc_system(tiny_config)
+        inj = injector(p=1.0, repair=100, max_down=2)
+        inj.step(system, 0)
+        inj.step(system, 1)
+        assert len(inj.down_pms) <= 2
+
+    def test_repair_schedule(self, tiny_config):
+        system = multidc_system(tiny_config)
+        inj = injector(p=1.0, repair=3, max_down=1)
+        events = inj.step(system, 0)
+        assert len(events) == 1
+        pm_id = events[0].pm_id
+        assert system.pm(pm_id).failed
+        inj.fail_prob_per_interval = 0.0  # no new failures
+        inj.step(system, 2)
+        assert system.pm(pm_id).failed    # still down at t=2
+        inj.step(system, 3)
+        assert not system.pm(pm_id).failed  # repaired at t=3
+
+    def test_orphans_recorded(self, tiny_config):
+        system = multidc_system(tiny_config)
+        inj = injector(p=1.0, max_down=1)
+        events = inj.step(system, 0)
+        # Each PM hosts at least one VM in this scenario layout.
+        assert len(events[0].orphaned_vms) >= 1
+
+    def test_zero_probability_never_fails(self, tiny_config):
+        system = multidc_system(tiny_config)
+        inj = injector(p=0.0)
+        for t in range(20):
+            assert inj.step(system, t) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            injector(p=1.5)
+        with pytest.raises(ValueError):
+            injector(repair=0)
+        with pytest.raises(ValueError):
+            FailureInjector(rng=np.random.default_rng(0), max_down=-1)
+
+
+class TestRecovery:
+    def test_scheduler_replaces_orphans(self, tiny_config, tiny_trace):
+        """The key invariant: after a crash, the next round re-places every
+        orphan on a live host."""
+        system = multidc_system(tiny_config)
+        inj = injector(p=0.15, repair=4, max_down=2, seed=3)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=oracle_scheduler(),
+                                 failure_injector=inj)
+        assert len(inj.events) > 0  # failures actually happened
+        placement = system.placement()
+        assert set(placement) == set(system.vms)
+        for pm_id in placement.values():
+            assert not system.pm(pm_id).failed
+
+    def test_unplaced_vms_cost_sla(self, tiny_config, tiny_trace):
+        """Without a scheduler, orphans stay down and SLA reflects it."""
+        system = multidc_system(tiny_config)
+        inj = injector(p=1.0, repair=1000, max_down=4, seed=0)
+        history = run_simulation(system, tiny_trace, failure_injector=inj)
+        assert history.summary().avg_sla < 0.3
+
+    def test_failure_resilience_with_ml(self, tiny_config, tiny_trace,
+                                        tiny_models):
+        """BF-ML keeps global SLA reasonable through sporadic crashes."""
+        system = multidc_system(tiny_config)
+        inj = injector(p=0.05, repair=3, max_down=1, seed=2)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=bf_ml_scheduler(tiny_models),
+                                 failure_injector=inj)
+        assert history.summary().avg_sla > 0.5

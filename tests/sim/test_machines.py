@@ -1,0 +1,209 @@
+"""Unit and property tests for Resources / VirtualMachine / PhysicalMachine."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.machines import PhysicalMachine, Resources, VirtualMachine
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def res(cpu=0.0, mem=0.0, bw=0.0):
+    return Resources(cpu=cpu, mem=mem, bw=bw)
+
+
+class TestResources:
+    def test_addition(self):
+        assert res(1, 2, 3) + res(4, 5, 6) == res(5, 7, 9)
+
+    def test_subtraction(self):
+        assert res(5, 7, 9) - res(4, 5, 6) == res(1, 2, 3)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert res(1, 2, 3) * 2 == res(2, 4, 6)
+        assert 2 * res(1, 2, 3) == res(2, 4, 6)
+
+    def test_fits_in_true(self):
+        assert res(1, 1, 1).fits_in(res(2, 2, 2))
+
+    def test_fits_in_false_single_dimension(self):
+        assert not res(3, 1, 1).fits_in(res(2, 2, 2))
+        assert not res(1, 3, 1).fits_in(res(2, 2, 2))
+        assert not res(1, 1, 3).fits_in(res(2, 2, 2))
+
+    def test_fits_in_with_slack(self):
+        assert res(2.0005, 1, 1).fits_in(res(2, 2, 2), slack=1e-2)
+
+    def test_clip_nonnegative(self):
+        assert (res(-1, 2, -3)).clip_nonnegative() == res(0, 2, 0)
+
+    def test_dominant_share(self):
+        cap = res(100, 1000, 10000)
+        assert res(50, 100, 100).dominant_share(cap) == pytest.approx(0.5)
+        assert res(10, 900, 100).dominant_share(cap) == pytest.approx(0.9)
+
+    def test_dominant_share_zero_capacity_ignored(self):
+        assert res(50, 0, 0).dominant_share(res(100, 0, 0)) == pytest.approx(0.5)
+
+    def test_array_round_trip(self):
+        r = res(1.5, 2.5, 3.5)
+        assert Resources.from_array(r.as_array()) == r
+
+    def test_from_array_bad_shape(self):
+        with pytest.raises(ValueError):
+            Resources.from_array(np.zeros(4))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            Resources(cpu=float("nan"))
+        with pytest.raises(ValueError):
+            Resources(mem=float("inf"))
+
+    @given(a=finite, b=finite, c=finite)
+    def test_add_then_subtract_is_identity(self, a, b, c):
+        r = res(a, b, c)
+        out = (r + res(1, 2, 3)) - res(1, 2, 3)
+        assert out.cpu == pytest.approx(r.cpu)
+        assert out.mem == pytest.approx(r.mem)
+        assert out.bw == pytest.approx(r.bw)
+
+
+class TestVirtualMachine:
+    def test_defaults_match_paper(self):
+        vm = VirtualMachine(vm_id="v")
+        assert vm.rt0 == 0.1
+        assert vm.alpha == 10.0
+        assert vm.price_eur_per_hour == 0.17
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(image_size_mb=0.0),
+        dict(image_size_mb=-1.0),
+        dict(base_mem_mb=-1.0),
+        dict(rt0=0.0),
+        dict(alpha=1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            VirtualMachine(vm_id="v", **kwargs)
+
+
+@pytest.fixture
+def pm():
+    return PhysicalMachine(pm_id="pm0",
+                           capacity=res(400, 4096, 125000))
+
+
+class TestPlacement:
+    def test_place_and_evict(self, pm):
+        pm.place("vm0", res(100, 512, 1000))
+        assert pm.hosts("vm0")
+        assert pm.n_vms == 1
+        returned = pm.evict("vm0")
+        assert returned == res(100, 512, 1000)
+        assert pm.n_vms == 0
+
+    def test_place_duplicate_rejected(self, pm):
+        pm.place("vm0", res(10, 10, 10))
+        with pytest.raises(ValueError, match="already"):
+            pm.place("vm0", res(10, 10, 10))
+
+    def test_place_beyond_capacity_rejected(self, pm):
+        with pytest.raises(ValueError, match="exceeds free"):
+            pm.place("vm0", res(500, 0, 0))
+
+    def test_place_on_off_host_rejected(self, pm):
+        pm.set_power(False)
+        with pytest.raises(ValueError, match="powered off"):
+            pm.place("vm0", res(10, 10, 10))
+
+    def test_evict_unknown_rejected(self, pm):
+        with pytest.raises(KeyError):
+            pm.evict("ghost")
+
+    def test_used_and_free_track_grants(self, pm):
+        pm.place("a", res(100, 1000, 10000))
+        pm.place("b", res(50, 500, 5000))
+        assert pm.used == res(150, 1500, 15000)
+        assert pm.free == res(250, 2596, 110000)
+
+    def test_can_fit_overbooking(self, pm):
+        pm.place("a", res(300, 0, 0))
+        assert pm.can_fit(res(50, 0, 0), overbook=1.0)
+        assert not pm.can_fit(res(80, 0, 0), overbook=2.0)
+
+    def test_can_fit_off_host(self, pm):
+        pm.set_power(False)
+        assert not pm.can_fit(res(1, 1, 1))
+
+    def test_negative_grant_clipped(self, pm):
+        pm.place("a", res(-5, 10, 10))
+        assert pm.granted["a"].cpu == 0.0
+
+
+class TestRegrant:
+    def test_regrant_single(self, pm):
+        pm.place("a", res(100, 512, 1000))
+        pm.regrant("a", res(200, 512, 1000))
+        assert pm.granted["a"].cpu == 200.0
+
+    def test_regrant_unknown_rejected(self, pm):
+        with pytest.raises(KeyError):
+            pm.regrant("ghost", res(1, 1, 1))
+
+    def test_regrant_beyond_capacity_rejected(self, pm):
+        pm.place("a", res(100, 512, 1000))
+        with pytest.raises(ValueError):
+            pm.regrant("a", res(500, 512, 1000))
+
+    def test_regrant_all_atomic_swap(self, pm):
+        """Joint regrants may pass through states a per-VM loop would reject."""
+        pm.place("a", res(300, 0, 0))
+        pm.place("b", res(50, 0, 0))
+        pm.regrant_all({"a": res(50, 0, 0), "b": res(300, 0, 0)})
+        assert pm.granted["a"].cpu == 50.0
+        assert pm.granted["b"].cpu == 300.0
+
+    def test_regrant_all_wrong_vms_rejected(self, pm):
+        pm.place("a", res(10, 0, 0))
+        with pytest.raises(KeyError):
+            pm.regrant_all({"b": res(10, 0, 0)})
+
+    def test_regrant_all_over_capacity_rejected(self, pm):
+        pm.place("a", res(10, 0, 0))
+        with pytest.raises(ValueError):
+            pm.regrant_all({"a": res(500, 0, 0)})
+
+
+class TestPower:
+    def test_power_off_with_vms_rejected(self, pm):
+        pm.place("a", res(10, 10, 10))
+        with pytest.raises(ValueError, match="cannot power off"):
+            pm.set_power(False)
+
+    def test_off_host_zero_watts(self, pm):
+        pm.set_power(False)
+        assert pm.it_watts() == 0.0
+        assert pm.facility_watts() == 0.0
+
+    def test_watts_track_granted_cpu(self, pm):
+        before = pm.facility_watts()
+        pm.place("a", res(200, 0, 0))
+        assert pm.facility_watts() > before
+
+    def test_watts_with_explicit_cpu(self, pm):
+        assert pm.facility_watts(400.0) == pytest.approx(31.8 * 1.5)
+
+    def test_snapshot_is_independent(self, pm):
+        pm.place("a", res(10, 10, 10))
+        snap = pm.snapshot()
+        snap.evict("a")
+        assert pm.hosts("a")
+        assert not snap.hosts("a")
+
+
+class TestValidationPM:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMachine(pm_id="x", capacity=res(0, 1, 1))

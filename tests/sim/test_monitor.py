@@ -1,0 +1,122 @@
+"""Tests for the monitoring/observation layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.profit import PriceBook
+from repro.sim.datacenter import build_datacenter
+from repro.sim.machines import VirtualMachine
+from repro.sim.monitor import Monitor
+from repro.sim.multidc import MultiDCSystem
+from repro.sim.network import paper_network_model
+from repro.workload.traces import SourceSeries, WorkloadTrace
+
+
+@pytest.fixture
+def system():
+    dcs = [build_datacenter("BCN", 2)]
+    vms = {f"vm{i}": VirtualMachine(vm_id=f"vm{i}") for i in range(2)}
+    s = MultiDCSystem(datacenters=dcs, vms=vms,
+                      network=paper_network_model(), prices=PriceBook())
+    s.deploy("vm0", "BCN-pm0")
+    s.deploy("vm1", "BCN-pm0")
+    return s
+
+
+@pytest.fixture
+def trace():
+    t = WorkloadTrace(interval_s=600.0)
+    for vm in ("vm0", "vm1"):
+        t.add(vm, "BCN", SourceSeries(
+            rps=np.full(6, 10.0), bytes_per_req=np.full(6, 5000.0),
+            cpu_time_per_req=np.full(6, 0.05)))
+    return t
+
+
+def make_monitor(**kwargs):
+    return Monitor(rng=np.random.default_rng(4), **kwargs)
+
+
+class TestObserve:
+    def test_sample_counts(self, system, trace):
+        monitor = make_monitor()
+        for t in range(3):
+            monitor.observe(system.step(trace, t))
+        assert len(monitor.vm_samples) == 6       # 2 VMs x 3 intervals
+        # Only powered-on PMs are sampled.
+        on_pms = sum(1 for pm in system.pms if pm.on)
+        assert len(monitor.pm_samples) == 3 * on_pms
+
+    def test_noise_free_monitor_matches_truth(self, system, trace):
+        monitor = make_monitor(noise_cpu=0.0, noise_mem=0.0, noise_net=0.0,
+                               noise_rt=0.0, noise_sla=0.0,
+                               rt_outlier_prob=0.0)
+        report = system.step(trace, 0)
+        monitor.observe(report)
+        sample = monitor.vm_samples[0]
+        stats = report.vms[sample.vm_id]
+        assert sample.rt == pytest.approx(stats.process_rt_s)
+        assert sample.sla == pytest.approx(stats.sla_process)
+        assert sample.used_cpu == pytest.approx(
+            min(stats.required.cpu, stats.given.cpu))
+
+    def test_noise_changes_observations(self, system, trace):
+        monitor = make_monitor(noise_cpu=0.2)
+        report = system.step(trace, 0)
+        monitor.observe(report)
+        sample = monitor.vm_samples[0]
+        stats = report.vms[sample.vm_id]
+        assert sample.used_cpu != pytest.approx(
+            min(stats.required.cpu, stats.given.cpu))
+
+    def test_sla_observation_stays_in_unit_interval(self, system, trace):
+        monitor = make_monitor(noise_sla=0.5)
+        for t in range(5):
+            monitor.observe(system.step(trace, t))
+        for s in monitor.vm_samples:
+            assert 0.0 <= s.sla <= 1.0
+
+    def test_observations_nonnegative(self, system, trace):
+        monitor = make_monitor(noise_cpu=0.9, noise_net=0.9, noise_rt=0.9)
+        for t in range(5):
+            monitor.observe(system.step(trace, t))
+        for s in monitor.vm_samples:
+            assert s.used_cpu >= 0 and s.net_in >= 0 and s.net_out >= 0
+            assert s.rt >= 0
+
+    def test_rt_outliers_present(self, system, trace):
+        """With outliers enabled, RT error distribution grows heavy tails."""
+        heavy = make_monitor(rt_outlier_prob=1.0, rt_outlier_max_scale=8.0)
+        clean = make_monitor(rt_outlier_prob=0.0)
+        report = system.step(trace, 0)
+        heavy.observe(report)
+        clean.observe(report)
+        assert heavy.vm_samples[0].rt > clean.vm_samples[0].rt
+
+
+class TestMatrices:
+    def test_vm_matrix_columns(self, system, trace):
+        monitor = make_monitor()
+        monitor.observe(system.step(trace, 0))
+        m = monitor.vm_matrix()
+        for col in ("rps", "used_cpu", "rt", "sla", "vm_id", "queue_len"):
+            assert col in m
+            assert len(m[col]) == 2
+
+    def test_pm_matrix_columns(self, system, trace):
+        monitor = make_monitor()
+        monitor.observe(system.step(trace, 0))
+        m = monitor.pm_matrix()
+        assert set(m) >= {"t", "n_vms", "sum_vm_cpu", "pm_cpu", "pm_id"}
+
+    def test_empty_monitor_matrices(self):
+        monitor = make_monitor()
+        assert monitor.vm_matrix()["rps"].shape == (0,)
+        assert len(monitor) == 0
+
+    def test_clear(self, system, trace):
+        monitor = make_monitor()
+        monitor.observe(system.step(trace, 0))
+        monitor.clear()
+        assert len(monitor) == 0
+        assert len(monitor.pm_samples) == 0

@@ -1,0 +1,136 @@
+"""Tests for the inter-DC network model (Table II constants included)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.network import (PAPER_BANDWIDTH_GBPS, PAPER_LATENCIES_MS,
+                               PAPER_LOCATIONS, LatencyMatrix, NetworkModel,
+                               paper_latency_matrix, paper_network_model)
+
+
+class TestPaperConstants:
+    def test_locations(self):
+        assert PAPER_LOCATIONS == ("BRS", "BNG", "BCN", "BST")
+
+    @pytest.mark.parametrize("pair,ms", [
+        (("BRS", "BNG"), 265.0), (("BRS", "BCN"), 390.0),
+        (("BRS", "BST"), 255.0), (("BNG", "BCN"), 250.0),
+        (("BNG", "BST"), 380.0), (("BCN", "BST"), 90.0),
+    ])
+    def test_latency_values(self, pair, ms):
+        matrix = paper_latency_matrix()
+        assert matrix.ms(*pair) == ms
+        assert matrix.ms(pair[1], pair[0]) == ms  # symmetric
+
+    def test_bandwidth(self):
+        assert PAPER_BANDWIDTH_GBPS == 10.0
+
+    def test_self_latency_zero(self):
+        matrix = paper_latency_matrix()
+        for loc in PAPER_LOCATIONS:
+            assert matrix.ms(loc, loc) == 0.0
+
+
+class TestLatencyMatrix:
+    def test_from_pairs_unknown_location(self):
+        with pytest.raises(KeyError):
+            LatencyMatrix.from_pairs(["A", "B"], {("A", "C"): 1.0})
+
+    def test_asymmetric_rejected(self):
+        m = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            LatencyMatrix(locations=("A", "B"), matrix_ms=m)
+
+    def test_nonzero_diagonal_rejected(self):
+        m = np.array([[1.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="self-latency"):
+            LatencyMatrix(locations=("A", "B"), matrix_ms=m)
+
+    def test_negative_rejected(self):
+        m = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError):
+            LatencyMatrix(locations=("A", "B"), matrix_ms=m)
+
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LatencyMatrix(locations=("A", "A"), matrix_ms=np.zeros((2, 2)))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            paper_latency_matrix().ms("BRS", "XXX")
+
+    def test_row(self):
+        matrix = paper_latency_matrix()
+        row = matrix.row("BCN")
+        assert row.tolist() == [390.0, 250.0, 0.0, 90.0]
+
+    def test_nearest(self):
+        matrix = paper_latency_matrix()
+        assert matrix.nearest("BCN", ["BRS", "BNG", "BST"]) == "BST"
+        assert matrix.nearest("BRS", ["BNG", "BCN", "BST"]) == "BST"
+
+    def test_nearest_empty_candidates(self):
+        with pytest.raises(ValueError):
+            paper_latency_matrix().nearest("BCN", [])
+
+
+class TestNetworkModel:
+    def test_host_to_source_same_dc_is_lan(self):
+        net = paper_network_model()
+        assert net.host_to_source_ms("BCN", "BCN") == net.intra_dc_ms
+
+    def test_host_to_source_cross_dc(self):
+        net = paper_network_model()
+        assert net.host_to_source_ms("BCN", "BST") == 90.0
+
+    def test_host_to_host(self):
+        net = paper_network_model()
+        assert net.host_to_host_ms("BRS", "BNG") == 265.0
+        assert net.host_to_host_ms("BRS", "BRS") == net.intra_dc_ms
+
+    def test_migration_seconds_cross_dc(self):
+        net = paper_network_model()
+        # 4096 MB over 10 Gbps = 4096*8/10000 s plus 90 ms latency.
+        expected = 4096 * 8 / 10_000.0 + 0.09
+        assert net.migration_seconds(4096.0, "BCN", "BST") == pytest.approx(
+            expected)
+
+    def test_migration_seconds_same_dc_faster(self):
+        net = paper_network_model()
+        local = net.migration_seconds(4096.0, "BCN", "BCN")
+        remote = net.migration_seconds(4096.0, "BCN", "BRS")
+        assert local < remote
+
+    def test_migration_zero_image(self):
+        net = paper_network_model()
+        assert net.migration_seconds(0.0, "BCN", "BST") == pytest.approx(0.09)
+
+    def test_migration_negative_image_rejected(self):
+        with pytest.raises(ValueError):
+            paper_network_model().migration_seconds(-1.0, "BCN", "BST")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency=paper_latency_matrix(), bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(latency=paper_latency_matrix(), intra_dc_ms=-1.0)
+
+    def test_locations_passthrough(self):
+        assert paper_network_model().locations == PAPER_LOCATIONS
+
+
+class TestProperties:
+    @given(size=st.floats(min_value=0.0, max_value=1e5))
+    def test_migration_time_monotone_in_image_size(self, size):
+        net = paper_network_model()
+        t1 = net.migration_seconds(size, "BCN", "BST")
+        t2 = net.migration_seconds(size + 100.0, "BCN", "BST")
+        assert t2 > t1
+
+    @given(a=st.sampled_from(PAPER_LOCATIONS),
+           b=st.sampled_from(PAPER_LOCATIONS))
+    def test_symmetry_everywhere(self, a, b):
+        net = paper_network_model()
+        assert net.host_to_host_ms(a, b) == net.host_to_host_ms(b, a)

@@ -1,0 +1,169 @@
+"""Unit and property tests for the PM power models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.power import (ATOM_CORE_WATTS, COOLING_FACTOR, PowerModel,
+                             atom_power_model, linear_power_model)
+
+
+class TestAtomCurve:
+    """The paper's measured Atom figures must be reproduced exactly."""
+
+    def test_paper_constants(self):
+        assert ATOM_CORE_WATTS == (29.1, 30.4, 31.3, 31.8)
+        assert COOLING_FACTOR == 1.5
+
+    @pytest.mark.parametrize("cores,watts", [(1, 29.1), (2, 30.4),
+                                             (3, 31.3), (4, 31.8)])
+    def test_it_watts_at_full_cores(self, cores, watts):
+        model = atom_power_model()
+        assert model.it_watts(cores * 100.0) == pytest.approx(watts)
+
+    def test_second_machine_costs_more_than_second_core(self):
+        """The consolidation argument: +1 machine >> +1 core."""
+        model = atom_power_model()
+        second_core = model.it_watts(200.0) - model.it_watts(100.0)
+        second_machine = model.it_watts(100.0)
+        assert second_machine > 20.0 * second_core
+
+    def test_idle_below_one_core(self):
+        model = atom_power_model()
+        assert model.idle_watts < ATOM_CORE_WATTS[0]
+        assert model.it_watts(0.0) == pytest.approx(model.idle_watts)
+
+    def test_cooling_factor_applied(self):
+        model = atom_power_model()
+        assert model.facility_watts(400.0) == pytest.approx(31.8 * 1.5)
+
+    def test_off_machine_draws_nothing(self):
+        model = atom_power_model()
+        assert model.facility_watts(400.0, on=False) == 0.0
+
+    def test_max_cpu_and_cores(self):
+        model = atom_power_model()
+        assert model.n_cores == 4
+        assert model.max_cpu == 400.0
+        assert model.peak_watts == 31.8
+
+
+class TestInterpolation:
+    def test_halfway_within_first_core(self):
+        model = PowerModel(core_watts=(30.0,), idle_watts=20.0)
+        assert model.it_watts(50.0) == pytest.approx(25.0)
+
+    def test_clipping_above_capacity(self):
+        model = atom_power_model()
+        assert model.it_watts(1000.0) == pytest.approx(31.8)
+
+    def test_clipping_below_zero(self):
+        model = atom_power_model()
+        assert model.it_watts(-50.0) == pytest.approx(model.idle_watts)
+
+    def test_vectorized_matches_scalar(self):
+        model = atom_power_model()
+        xs = np.linspace(0, 400, 33)
+        vec = model.it_watts(xs)
+        assert vec.shape == xs.shape
+        for x, v in zip(xs, vec):
+            assert model.it_watts(float(x)) == pytest.approx(v)
+
+    def test_facility_watts_with_bool_array(self):
+        model = atom_power_model()
+        out = model.facility_watts(np.array([100.0, 100.0]),
+                                   on=np.array([True, False]))
+        assert out[0] > 0 and out[1] == 0.0
+
+
+class TestEnergy:
+    def test_energy_wh_one_hour(self):
+        model = atom_power_model()
+        wh = model.energy_wh(400.0, 3600.0)
+        assert wh == pytest.approx(31.8 * 1.5)
+
+    def test_energy_wh_ten_minutes(self):
+        model = atom_power_model()
+        assert model.energy_wh(0.0, 600.0) == pytest.approx(
+            model.idle_watts * 1.5 / 6.0)
+
+    def test_energy_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            atom_power_model().energy_wh(100.0, -1.0)
+
+    def test_marginal_watts_positive_for_increase(self):
+        model = atom_power_model()
+        assert model.marginal_watts(100.0, 200.0) > 0.0
+
+    def test_marginal_watts_zero_for_no_change(self):
+        model = atom_power_model()
+        assert model.marginal_watts(150.0, 150.0) == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_empty_core_watts_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(core_watts=())
+
+    def test_decreasing_core_watts_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(core_watts=(30.0, 29.0))
+
+    def test_idle_above_first_core_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(core_watts=(29.0,), idle_watts=30.0)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(core_watts=(29.0,), idle_watts=-1.0)
+
+    def test_cooling_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(core_watts=(29.0,), idle_watts=20.0,
+                       cooling_factor=0.9)
+
+
+class TestLinearModel:
+    def test_endpoints(self):
+        model = linear_power_model(n_cores=2, idle_watts=10.0,
+                                   peak_watts=50.0)
+        assert model.it_watts(0.0) == pytest.approx(10.0)
+        assert model.it_watts(200.0) == pytest.approx(50.0)
+
+    def test_midpoint(self):
+        model = linear_power_model(n_cores=2, idle_watts=10.0,
+                                   peak_watts=50.0)
+        assert model.it_watts(100.0) == pytest.approx(30.0)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            linear_power_model(0, 10.0, 50.0)
+        with pytest.raises(ValueError):
+            linear_power_model(2, 50.0, 10.0)
+
+
+class TestProperties:
+    @given(cpu=st.floats(min_value=0.0, max_value=400.0))
+    def test_monotone_in_cpu(self, cpu):
+        model = atom_power_model()
+        assert model.it_watts(cpu + 1.0) >= model.it_watts(cpu) - 1e-9
+
+    @given(cpu=st.floats(min_value=0.0, max_value=400.0))
+    def test_bounded_by_idle_and_peak(self, cpu):
+        model = atom_power_model()
+        w = model.it_watts(cpu)
+        assert model.idle_watts - 1e-9 <= w <= model.peak_watts + 1e-9
+
+    @given(cpu=st.floats(min_value=0.0, max_value=400.0),
+           seconds=st.floats(min_value=0.0, max_value=86400.0))
+    def test_energy_proportional_to_time(self, cpu, seconds):
+        model = atom_power_model()
+        half = model.energy_wh(cpu, seconds / 2.0)
+        full = model.energy_wh(cpu, seconds)
+        assert full == pytest.approx(2.0 * half, abs=1e-9)
+
+    @given(cpu=st.floats(min_value=0.0, max_value=800.0))
+    def test_facility_at_least_it(self, cpu):
+        model = atom_power_model()
+        assert model.facility_watts(cpu) >= model.it_watts(cpu) - 1e-9

@@ -1,0 +1,162 @@
+"""Tests for the ground-truth response-time model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.demand import LoadVector
+from repro.sim.machines import Resources
+from repro.sim.rtmodel import ResponseTimeModel
+
+
+@pytest.fixture
+def model():
+    return ResponseTimeModel()
+
+
+def load(rps=10.0, cpu_time=0.05):
+    return LoadVector(rps=rps, bytes_per_req=5000.0, cpu_time_per_req=cpu_time)
+
+
+def res(cpu, mem=1024.0, bw=10000.0):
+    return Resources(cpu=cpu, mem=mem, bw=bw)
+
+
+class TestBaseRT:
+    def test_unstressed_floor(self, model):
+        # Plenty of resources: RT = service time + dispatch overhead.
+        rt = model.process_rt(load(cpu_time=0.05), res(50.0), res(400.0))
+        assert rt == pytest.approx(0.05 + model.dispatch_overhead_s)
+
+    def test_zero_load_reports_floor(self, model):
+        rt = model.process_rt(load(rps=0.0, cpu_time=0.05),
+                              res(0.0), res(0.0))
+        assert rt == pytest.approx(0.05 + model.dispatch_overhead_s)
+
+    def test_paper_unstressed_rt_near_rt0(self, model):
+        """Paper: 0.1 s is 'a reasonable response value without stress'."""
+        rt = model.process_rt(load(cpu_time=0.06), res(100.0), res(400.0))
+        assert 0.05 <= rt <= 0.15
+
+
+class TestStressRamp:
+    def test_no_penalty_below_knee(self, model):
+        rt_low = model.process_rt(load(), res(100.0), res(400.0))   # 0.25
+        rt_knee = model.process_rt(load(), res(270.0), res(400.0))  # 0.675
+        assert rt_low == pytest.approx(rt_knee)
+
+    def test_ramp_between_knee_and_one(self, model):
+        rt_a = model.process_rt(load(), res(300.0), res(400.0))  # 0.75
+        rt_b = model.process_rt(load(), res(360.0), res(400.0))  # 0.9
+        assert rt_b > rt_a
+
+    def test_multiplier_reaches_ramp_factor_at_saturation(self, model):
+        assert model.stress_multiplier(1.0) == pytest.approx(
+            model.ramp_factor)
+
+    def test_overload_adds_queueing(self, model):
+        rt_sat = model.process_rt(load(), res(400.0), res(400.0))
+        rt_over = model.process_rt(load(), res(800.0), res(400.0))
+        assert rt_over >= rt_sat + model.overload_gain_s * 0.9
+
+    def test_rt_capped(self, model):
+        rt = model.process_rt(load(), res(1e6), res(1.0))
+        assert rt == model.rt_cap_s
+
+
+class TestShortfalls:
+    def test_memory_shortfall_penalty(self, model):
+        ok = model.process_rt(load(), res(100.0, mem=1024.0),
+                              res(400.0, mem=1024.0))
+        swap = model.process_rt(load(), res(100.0, mem=1024.0),
+                                res(400.0, mem=512.0))
+        assert swap > ok
+
+    def test_bw_shortfall_penalty(self, model):
+        ok = model.process_rt(load(), res(100.0, bw=1000.0),
+                              res(400.0, bw=1000.0))
+        choked = model.process_rt(load(), res(100.0, bw=1000.0),
+                                  res(400.0, bw=100.0))
+        assert choked > ok
+
+    def test_shortfall_penalty_bounded(self, model):
+        assert model.shortfall_penalty(100.0, 0.0, 8.0) == pytest.approx(8.0)
+        assert model.shortfall_penalty(100.0, 100.0, 8.0) == 0.0
+        assert model.shortfall_penalty(0.0, 0.0, 8.0) == 0.0
+
+
+class TestTransport:
+    def test_total_rt_adds_rtt_once(self, model):
+        assert model.total_rt(0.1, 250.0) == pytest.approx(0.35)
+
+    def test_negative_latency_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.total_rt(0.1, -1.0)
+
+
+class TestQueue:
+    def test_no_queue_when_keeping_up(self, model):
+        assert model.queue_length(load(), res(200.0), res(400.0), 600.0) == 0.0
+
+    def test_queue_grows_with_overload(self, model):
+        q1 = model.queue_length(load(rps=10.0), res(800.0), res(400.0), 600.0)
+        q2 = model.queue_length(load(rps=10.0), res(1600.0), res(400.0), 600.0)
+        assert q2 > q1 > 0.0
+
+    def test_zero_load_no_queue(self, model):
+        assert model.queue_length(load(rps=0.0), res(0.0), res(400.0),
+                                  600.0) == 0.0
+
+
+class TestVectorized:
+    def test_matches_scalar(self, model):
+        rng = np.random.default_rng(3)
+        n = 50
+        cpu_t = rng.uniform(0.01, 0.1, n)
+        rps = rng.uniform(0.0, 50.0, n)
+        req_c = rng.uniform(10.0, 900.0, n)
+        giv_c = rng.uniform(10.0, 400.0, n)
+        req_m = rng.uniform(256.0, 1024.0, n)
+        giv_m = rng.uniform(128.0, 1024.0, n)
+        req_b = rng.uniform(10.0, 1000.0, n)
+        giv_b = rng.uniform(10.0, 1000.0, n)
+        vec = model.process_rt_arrays(cpu_t, rps, req_c, giv_c, req_m,
+                                      giv_m, req_b, giv_b)
+        for i in range(n):
+            scalar = model.process_rt(
+                LoadVector(rps[i], 1000.0, cpu_t[i]),
+                Resources(req_c[i], req_m[i], req_b[i]),
+                Resources(giv_c[i], giv_m[i], giv_b[i]))
+            assert vec[i] == pytest.approx(scalar)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(knee=0.0), dict(knee=1.0), dict(ramp_factor=0.5),
+        dict(overload_gain_s=-1.0), dict(rt_cap_s=0.0),
+    ])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            ResponseTimeModel(**kwargs)
+
+
+class TestProperties:
+    @given(stress=st.floats(min_value=0.0, max_value=10.0))
+    def test_multiplier_monotone(self, stress):
+        m = ResponseTimeModel()
+        assert m.stress_multiplier(stress + 0.1) >= m.stress_multiplier(stress) - 1e-9
+
+    @given(req=st.floats(min_value=0.0, max_value=2000.0),
+           giv=st.floats(min_value=1.0, max_value=400.0))
+    def test_rt_positive_and_capped(self, req, giv):
+        m = ResponseTimeModel()
+        rt = m.process_rt(load(), res(req), res(giv))
+        assert 0.0 < rt <= m.rt_cap_s
+
+    @given(giv=st.floats(min_value=1.0, max_value=400.0))
+    def test_rt_monotone_in_shortfall(self, giv):
+        m = ResponseTimeModel()
+        rt_more = m.process_rt(load(), res(300.0), res(min(400.0, giv + 10)))
+        rt_less = m.process_rt(load(), res(300.0), res(giv))
+        assert rt_less >= rt_more - 1e-9

@@ -1,0 +1,144 @@
+"""Tests for time-varying tariffs (green-energy extension)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.datacenter import PAPER_ENERGY_PRICES
+from repro.sim.engine import run_simulation
+from repro.sim.tariffs import (TariffSchedule, flat_tariff, solar_tariff,
+                               time_of_use_tariff)
+from repro.core.policies import oracle_scheduler
+from repro.experiments.scenario import multidc_system
+
+
+class TestSchedule:
+    def test_lookup_and_wraparound(self):
+        sched = TariffSchedule(prices={"A": np.array([0.1, 0.2])})
+        assert sched.price("A", 0) == 0.1
+        assert sched.price("A", 1) == 0.2
+        assert sched.price("A", 2) == 0.1  # periodic
+
+    def test_unknown_location_default(self):
+        sched = TariffSchedule(prices={}, default_eur_kwh=0.5)
+        assert sched.price("X", 0) == 0.5
+
+    def test_negative_t_rejected(self):
+        sched = flat_tariff({"A": 0.1})
+        with pytest.raises(ValueError):
+            sched.price("A", -1)
+
+    def test_cheapest(self):
+        sched = TariffSchedule(prices={"A": np.array([0.1, 0.9]),
+                                       "B": np.array([0.5, 0.2])})
+        assert sched.cheapest(["A", "B"], 0) == "A"
+        assert sched.cheapest(["A", "B"], 1) == "B"
+
+    def test_cheapest_empty(self):
+        with pytest.raises(ValueError):
+            flat_tariff({"A": 0.1}).cheapest([], 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TariffSchedule(prices={"A": np.array([-0.1])})
+        with pytest.raises(ValueError):
+            TariffSchedule(prices={"A": np.zeros((2, 2))})
+        with pytest.raises(ValueError):
+            TariffSchedule(prices={"A": np.array([])})
+        with pytest.raises(ValueError):
+            TariffSchedule(prices={}, default_eur_kwh=-1.0)
+
+
+class TestFlat:
+    def test_matches_paper_prices(self):
+        sched = flat_tariff(PAPER_ENERGY_PRICES, n_intervals=144)
+        for loc, price in PAPER_ENERGY_PRICES.items():
+            assert sched.price(loc, 0) == price
+            assert sched.price(loc, 100) == price
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            flat_tariff({"A": 0.1}, n_intervals=0)
+
+
+class TestSolar:
+    def test_discount_at_local_noon(self):
+        sched = solar_tariff({"BCN": 0.15}, n_intervals=144,
+                             solar_discount=0.7)
+        series = sched.prices["BCN"]
+        # Local noon in BCN (tz +1) is sim hour 12 (13 - 1): interval 72.
+        noon_idx = int(12 * 6)
+        assert series[noon_idx] == pytest.approx(0.15 * 0.3, rel=0.05)
+
+    def test_full_price_at_night(self):
+        sched = solar_tariff({"BCN": 0.15}, n_intervals=144)
+        midnight_local = int(((24 - 1) % 24) * 6)  # local 00:00
+        assert sched.prices["BCN"][midnight_local] == pytest.approx(0.15)
+
+    def test_cheapest_location_rotates_with_sun(self):
+        sched = solar_tariff({loc: 0.13 for loc in ("BRS", "BNG", "BCN",
+                                                    "BST")},
+                             n_intervals=144)
+        cheapest = [sched.cheapest(["BRS", "BNG", "BCN", "BST"], t)
+                    for t in range(144)]
+        assert len(set(cheapest)) >= 3  # sun visits most regions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solar_tariff({"A": 0.1}, 10, solar_discount=1.5)
+        with pytest.raises(ValueError):
+            solar_tariff({"A": 0.1}, 10, daylight_hours=0.0)
+
+
+class TestTimeOfUse:
+    def test_peak_pricing_local_time(self):
+        sched = time_of_use_tariff({"BCN": 0.10}, n_intervals=144,
+                                   peak_multiplier=2.0)
+        series = sched.prices["BCN"]
+        peak_idx = int(((18 - 1) % 24) * 6)     # local 18:00
+        off_idx = int(((3 - 1) % 24) * 6)       # local 03:00
+        assert series[peak_idx] == pytest.approx(0.20)
+        assert series[off_idx] == pytest.approx(0.10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_of_use_tariff({"A": 0.1}, 10, peak_multiplier=0.5)
+        with pytest.raises(ValueError):
+            time_of_use_tariff({"A": 0.1}, 10, peak_start_hour=22.0,
+                               peak_end_hour=20.0)
+
+
+class TestSystemIntegration:
+    def test_apply_tariffs_updates_prices(self, tiny_config):
+        system = multidc_system(tiny_config)
+        system.tariff_schedule = TariffSchedule(
+            prices={"BCN": np.array([0.5, 0.9])})
+        system.apply_tariffs(1)
+        assert system.dc("BCN").energy_price_eur_kwh == 0.9
+        # Locations without a series fall back to the default.
+        assert system.dc("BST").energy_price_eur_kwh == 0.13
+
+    def test_apply_tariffs_noop_without_schedule(self, tiny_config):
+        system = multidc_system(tiny_config)
+        before = system.dc("BCN").energy_price_eur_kwh
+        system.apply_tariffs(5)
+        assert system.dc("BCN").energy_price_eur_kwh == before
+
+    def test_engine_applies_tariffs(self, tiny_config, tiny_trace):
+        system = multidc_system(tiny_config)
+        system.tariff_schedule = flat_tariff({"BCN": 0.99},
+                                             n_intervals=4)
+        run_simulation(system, tiny_trace, stop=2)
+        assert system.dc("BCN").energy_price_eur_kwh == 0.99
+
+    def test_solar_tariff_attracts_consolidation(self, tiny_config,
+                                                 tiny_trace):
+        """Follow-the-sun: with extreme solar discounts, the scheduler's
+        energy-cost term sees daylight DCs as nearly free."""
+        system = multidc_system(tiny_config)
+        system.tariff_schedule = solar_tariff(
+            {loc: 5.0 for loc in tiny_config.locations},
+            n_intervals=tiny_config.n_intervals,
+            solar_discount=0.95)
+        history = run_simulation(system, tiny_trace,
+                                 scheduler=oracle_scheduler())
+        assert history.summary().n_migrations > 0

@@ -1,0 +1,83 @@
+"""Tests for the system invariant checker."""
+
+import pytest
+
+from repro.sim.machines import Resources
+from repro.sim.validation import (assert_system_invariants,
+                                  check_system_invariants)
+from repro.experiments.scenario import multidc_system
+
+
+@pytest.fixture
+def system(tiny_config):
+    return multidc_system(tiny_config)
+
+
+class TestClean:
+    def test_fresh_system_passes(self, system):
+        assert check_system_invariants(system) == []
+        assert_system_invariants(system)  # no raise
+
+
+class TestDetection:
+    def test_negative_price(self, system):
+        system.datacenters[0].energy_price_eur_kwh = -0.1
+        kinds = {v.kind for v in check_system_invariants(system)}
+        assert "tariff" in kinds
+
+    def test_unregistered_vm(self, system):
+        system.pm("BCN-pm0").place("ghost", Resources(1, 1, 1))
+        kinds = {v.kind for v in check_system_invariants(system)}
+        assert "registry" in kinds
+
+    def test_duplicate_placement(self, system):
+        # vm0 lives on BRS-pm0; force a second copy.
+        system.pm("BCN-pm0").granted["vm0"] = Resources(1, 1, 1)
+        kinds = {v.kind for v in check_system_invariants(system)}
+        assert "duplicate" in kinds
+
+    def test_hosting_while_off(self, system):
+        pm = system.pm("BRS-pm0")
+        pm.on = False  # bypass set_power guard deliberately
+        kinds = {v.kind for v in check_system_invariants(system)}
+        assert "power" in kinds
+
+    def test_failed_but_hosting(self, system):
+        pm = system.pm("BRS-pm0")
+        pm.failed = True
+        kinds = {v.kind for v in check_system_invariants(system)}
+        assert "failure" in kinds
+
+    def test_over_capacity(self, system):
+        pm = system.pm("BRS-pm0")
+        pm.granted["vm0"] = Resources(cpu=10_000.0, mem=0, bw=0)
+        kinds = {v.kind for v in check_system_invariants(system)}
+        assert "capacity" in kinds
+
+    def test_negative_grant(self, system):
+        pm = system.pm("BRS-pm0")
+        pm.granted["vm0"] = Resources(cpu=-5.0, mem=0, bw=0)
+        kinds = {v.kind for v in check_system_invariants(system)}
+        assert "grant" in kinds
+
+    def test_assert_raises_with_details(self, system):
+        system.datacenters[0].energy_price_eur_kwh = -0.1
+        with pytest.raises(AssertionError, match="tariff"):
+            assert_system_invariants(system)
+
+
+class TestAfterRuns:
+    def test_invariants_hold_after_chaotic_run(self, tiny_config,
+                                               tiny_trace, tiny_models):
+        import numpy as np
+        from repro.core.policies import bf_ml_scheduler
+        from repro.sim.engine import run_simulation
+        from repro.sim.failures import FailureInjector
+        system = multidc_system(tiny_config)
+        injector = FailureInjector(rng=np.random.default_rng(1),
+                                   fail_prob_per_interval=0.08,
+                                   repair_intervals=3, max_down=2)
+        run_simulation(system, tiny_trace,
+                       scheduler=bf_ml_scheduler(tiny_models),
+                       failure_injector=injector)
+        assert_system_invariants(system)

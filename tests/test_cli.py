@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_artifact_choices_cover_all_paper_artifacts(self):
+        assert set(ARTIFACTS) == {"table1", "table2", "table3", "figure4",
+                                  "figure5", "figure6", "figure7",
+                                  "figure8", "delocation"}
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.intervals == 144
+        assert args.scale == 3.0
+        assert args.seed == 7
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table3", "--intervals", "24", "--scale", "2.0", "--seed",
+             "1"])
+        assert args.intervals == 24
+        assert args.scale == 2.0
+
+    def test_bad_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Barcelona" in out
+
+    def test_figure5_small(self, capsys):
+        assert main(["figure5", "--intervals", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "following the load" in out
+
+    def test_table3_small(self, capsys):
+        assert main(["table3", "--intervals", "18", "--scale", "2.5"]) == 0
+        out = capsys.readouterr().out
+        assert "Static-Global" in out

@@ -1,0 +1,157 @@
+"""Tests for the load forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.sim.demand import LoadVector
+from repro.workload.forecast import LoadForecaster, forecast_loads
+from repro.workload.traces import SourceSeries, WorkloadTrace
+
+
+def lv(rps, bytes_per_req=1000.0, cpu=0.05):
+    return LoadVector(rps=rps, bytes_per_req=bytes_per_req,
+                      cpu_time_per_req=cpu)
+
+
+class TestEWMA:
+    def test_first_observation_is_forecast(self):
+        f = LoadForecaster(period=4)
+        f.observe("vm0", "BCN", lv(10.0))
+        pred = f.predict("vm0", "BCN")
+        assert pred.rps == pytest.approx(10.0)
+        assert pred.bytes_per_req == pytest.approx(1000.0)
+
+    def test_level_tracks_shift(self):
+        f = LoadForecaster(period=1000, alpha=0.5)
+        for _ in range(20):
+            f.observe("vm0", "BCN", lv(10.0))
+        for _ in range(20):
+            f.observe("vm0", "BCN", lv(30.0))
+        assert f.predict("vm0", "BCN").rps == pytest.approx(30.0, abs=0.5)
+
+    def test_unknown_stream_none(self):
+        assert LoadForecaster().predict("ghost", "BCN") is None
+
+
+class TestSeasonal:
+    def test_seasonal_component_learns_cycle(self):
+        """After two periods of a square wave, forecasts must follow it."""
+        f = LoadForecaster(period=8, alpha=0.3, seasonal_weight=0.8)
+        wave = [5.0] * 4 + [50.0] * 4
+        for _ in range(3):
+            for x in wave:
+                f.observe("vm0", "BCN", lv(x))
+        # Next value in the cycle is wave[0] = 5: seasonal term pulls the
+        # forecast far below the running mean (~27.5).
+        assert f.predict("vm0", "BCN").rps < 20.0
+
+    def test_pure_ewma_before_one_period(self):
+        f = LoadForecaster(period=100, seasonal_weight=1.0)
+        for x in (10.0, 12.0, 8.0):
+            f.observe("vm0", "BCN", lv(x))
+        pred = f.predict("vm0", "BCN")
+        assert 8.0 <= pred.rps <= 12.0
+
+    def test_history_bounded(self):
+        f = LoadForecaster(period=4)
+        for i in range(100):
+            f.observe("vm0", "BCN", lv(float(i)))
+        state = f._state[("vm0", "BCN")]
+        assert len(state.history_rps) <= 8
+
+
+class TestTraceIntegration:
+    def make_trace(self, n=24):
+        trace = WorkloadTrace(interval_s=600.0)
+        rng = np.random.default_rng(0)
+        for vm in ("vm0", "vm1"):
+            for src in ("BCN", "BST"):
+                trace.add(vm, src, SourceSeries(
+                    rps=rng.uniform(5, 15, n),
+                    bytes_per_req=np.full(n, 2000.0),
+                    cpu_time_per_req=np.full(n, 0.04)))
+        return trace
+
+    def test_observe_interval_counts(self):
+        trace = self.make_trace()
+        f = LoadForecaster(period=12)
+        for t in range(5):
+            f.observe_interval(trace, t)
+        assert f.n_observed == 5
+
+    def test_forecast_loads_covers_all_streams(self):
+        trace = self.make_trace()
+        f = LoadForecaster(period=12)
+        f.observe_interval(trace, 0)
+        out = forecast_loads(f, trace)
+        assert set(out) == {"vm0", "vm1"}
+        assert set(out["vm0"]) == {"BCN", "BST"}
+
+    def test_cold_start_zero_rate_with_trace_mix(self):
+        trace = self.make_trace()
+        f = LoadForecaster(period=12)
+        out = forecast_loads(f, trace)
+        assert out["vm0"]["BCN"].rps == 0.0
+        assert out["vm0"]["BCN"].bytes_per_req == 2000.0
+
+    def test_forecast_quality_on_diurnal_trace(self):
+        """On a smooth diurnal pattern the forecaster must clearly beat a
+        global-mean predictor."""
+        n = 288  # two days, 10-minute intervals
+        t = np.arange(n)
+        rps = 10.0 + 8.0 * np.sin(2 * np.pi * t / 144.0)
+        trace = WorkloadTrace(interval_s=600.0)
+        trace.add("vm0", "BCN", SourceSeries(
+            rps=rps, bytes_per_req=np.full(n, 1000.0),
+            cpu_time_per_req=np.full(n, 0.05)))
+        f = LoadForecaster(period=144)
+        errors, mean_errors = [], []
+        for step in range(n - 1):
+            f.observe_interval(trace, step)
+            if step >= 150:  # after a full seasonal period
+                pred = f.predict("vm0", "BCN").rps
+                actual = rps[step + 1]
+                errors.append(abs(pred - actual))
+                mean_errors.append(abs(rps[:step].mean() - actual))
+        assert np.mean(errors) < 0.5 * np.mean(mean_errors)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            LoadForecaster(period=0)
+        with pytest.raises(ValueError):
+            LoadForecaster(alpha=0.0)
+        with pytest.raises(ValueError):
+            LoadForecaster(seasonal_weight=1.5)
+
+
+class TestSchedulerIntegration:
+    def test_forecasting_scheduler_runs(self, tiny_config, tiny_trace,
+                                        tiny_models):
+        from repro.core.policies import bf_ml_scheduler
+        from repro.sim.engine import run_simulation
+        from repro.experiments.scenario import multidc_system
+        forecaster = LoadForecaster(period=144)
+        history = run_simulation(
+            multidc_system(tiny_config), tiny_trace,
+            scheduler=bf_ml_scheduler(tiny_models, forecaster=forecaster))
+        assert len(history) == tiny_config.n_intervals
+        assert forecaster.n_observed == tiny_config.n_intervals - 1
+
+    def test_forecasting_close_to_peeking(self, tiny_config, tiny_trace,
+                                          tiny_models):
+        """Planning on forecasts must stay near the peek-ahead harness
+        default on a smooth workload."""
+        from repro.core.policies import bf_ml_scheduler
+        from repro.sim.engine import run_simulation
+        from repro.experiments.scenario import multidc_system
+        peek = run_simulation(
+            multidc_system(tiny_config), tiny_trace,
+            scheduler=bf_ml_scheduler(tiny_models)).summary()
+        fore = run_simulation(
+            multidc_system(tiny_config), tiny_trace,
+            scheduler=bf_ml_scheduler(
+                tiny_models,
+                forecaster=LoadForecaster(period=144))).summary()
+        assert fore.avg_sla > peek.avg_sla - 0.1

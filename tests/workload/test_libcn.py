@@ -1,0 +1,117 @@
+"""Tests for the Li-BCN-like generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.libcn import (SERVICE_PROFILES, LiBCNGenerator,
+                                  ServiceProfile)
+from repro.workload.patterns import FlashCrowd
+
+
+def gen(seed=3):
+    return LiBCNGenerator(rng=np.random.default_rng(seed))
+
+
+class TestProfiles:
+    def test_catalogue_has_paper_service_types(self):
+        assert "file-hosting" in SERVICE_PROFILES
+        assert "image-gallery" in SERVICE_PROFILES
+
+    def test_file_hosting_heaviest_payload(self):
+        sizes = {k: p.mean_bytes_per_req for k, p in SERVICE_PROFILES.items()}
+        assert max(sizes, key=sizes.get) == "file-hosting"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceProfile(name="x", mean_bytes_per_req=-1.0,
+                           mean_cpu_time_per_req=0.1, base_rps=1.0)
+
+
+class TestSourceSeries:
+    def test_deterministic(self):
+        p = SERVICE_PROFILES["blog"]
+        a = gen(7).source_series(p, "BCN", 48)
+        b = gen(7).source_series(p, "BCN", 48)
+        assert np.array_equal(a.rps, b.rps)
+
+    def test_scale_multiplies_rate_only(self):
+        p = SERVICE_PROFILES["blog"]
+        base = gen(7).source_series(p, "BCN", 48, scale=1.0)
+        scaled = gen(7).source_series(p, "BCN", 48, scale=3.0)
+        assert scaled.rps == pytest.approx(3.0 * base.rps)
+        assert scaled.bytes_per_req == pytest.approx(base.bytes_per_req)
+
+    def test_flash_crowd_applied(self):
+        p = SERVICE_PROFILES["blog"]
+        fc = FlashCrowd(start_minute=0.0, end_minute=30.0, factor=4.0)
+        plain = gen(7).source_series(p, "BCN", 12)
+        crowd = gen(7).source_series(p, "BCN", 12, flash_crowds=[fc])
+        assert crowd.rps[0] == pytest.approx(4.0 * plain.rps[0])
+        assert crowd.rps[-1] == pytest.approx(plain.rps[-1])
+
+    def test_nonnegative(self):
+        p = SERVICE_PROFILES["forum"]
+        s = gen(11).source_series(p, "BRS", 500)
+        assert (s.rps >= 0).all()
+
+    def test_diurnal_shape_visible(self):
+        """Peak-hour rate should clearly exceed trough rate on average."""
+        p = SERVICE_PROFILES["blog"]
+        s = gen(0).source_series(p, "BCN", 144)
+        t_h = np.arange(144) / 6.0
+        local = (t_h + 1.0) % 24  # BCN tz +1
+        peak = s.rps[np.abs(local - p.peak_hour) < 3.0].mean()
+        trough = s.rps[np.abs((local - p.peak_hour + 24) % 24 - 12) < 3.0].mean()
+        assert peak > 1.5 * trough
+
+    def test_negative_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            gen().source_series(SERVICE_PROFILES["blog"], "BCN", -1)
+
+
+class TestTrace:
+    def test_all_pairs_present(self):
+        profiles = {"vm0": SERVICE_PROFILES["blog"],
+                    "vm1": SERVICE_PROFILES["forum"]}
+        trace = gen().trace(profiles, ["BCN", "BST"], 24)
+        assert set(trace.series) == {("vm0", "BCN"), ("vm0", "BST"),
+                                     ("vm1", "BCN"), ("vm1", "BST")}
+
+    def test_affinity_boosts_home_region(self):
+        profiles = {"vm0": SERVICE_PROFILES["blog"]}
+        trace = gen(5).trace(profiles, ["BCN", "BST"], 144,
+                             vm_region_affinity={"vm0": "BCN"},
+                             affinity_boost=5.0)
+        home = trace.series[("vm0", "BCN")].rps.mean()
+        away = trace.series[("vm0", "BST")].rps.mean()
+        assert home > 2.0 * away
+
+    def test_region_weights(self):
+        profiles = {"vm0": SERVICE_PROFILES["blog"]}
+        g = LiBCNGenerator(rng=np.random.default_rng(5),
+                           region_weights={"BCN": 1.0, "BST": 0.1})
+        trace = g.trace(profiles, ["BCN", "BST"], 144)
+        assert (trace.series[("vm0", "BCN")].rps.mean()
+                > 3.0 * trace.series[("vm0", "BST")].rps.mean())
+
+
+class TestRotatingTrace:
+    def test_dominance_rotates(self):
+        trace = gen(5).rotating_trace("vm0", SERVICE_PROFILES["blog"],
+                                      ["A", "B", "C", "D"], 80,
+                                      dominance=10.0)
+        doms = [trace.dominant_source("vm0", t) for t in range(80)]
+        # Each region dominates its own segment.
+        assert doms[5] == "A"
+        assert doms[25] == "B"
+        assert doms[45] == "C"
+        assert doms[65] == "D"
+
+    def test_invalid_dominance(self):
+        with pytest.raises(ValueError):
+            gen().rotating_trace("vm0", SERVICE_PROFILES["blog"], ["A"],
+                                 10, dominance=1.0)
+
+    def test_empty_regions(self):
+        with pytest.raises(ValueError):
+            gen().rotating_trace("vm0", SERVICE_PROFILES["blog"], [], 10)

@@ -1,0 +1,124 @@
+"""Tests for temporal load patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.patterns import (PAPER_FLASH_CROWD, TIMEZONE_OFFSETS_H,
+                                     FlashCrowd, apply_flash_crowds,
+                                     ar1_noise, diurnal_profile,
+                                     poisson_bursts)
+
+
+class TestDiurnal:
+    def test_range(self):
+        prof = diurnal_profile(144, 600.0, trough_fraction=0.25)
+        assert prof.min() >= 0.25 - 1e-9
+        assert prof.max() <= 1.0 + 1e-9
+
+    def test_peak_at_peak_hour(self):
+        prof = diurnal_profile(144, 600.0, peak_hour=12.0)
+        peak_idx = int(np.argmax(prof))
+        assert abs(peak_idx * 600.0 / 3600.0 - 12.0) < 0.5
+
+    def test_timezone_shifts_peak(self):
+        base = diurnal_profile(144, 600.0, peak_hour=12.0, tz_offset_h=0.0)
+        shifted = diurnal_profile(144, 600.0, peak_hour=12.0,
+                                  tz_offset_h=6.0)
+        # +6 h local offset means the sim-time peak comes 6 h earlier.
+        delta_h = (np.argmax(base) - np.argmax(shifted)) * 600.0 / 3600.0
+        assert delta_h == pytest.approx(6.0, abs=0.5)
+
+    def test_period_is_24h(self):
+        prof = diurnal_profile(288, 600.0)
+        assert prof[:144] == pytest.approx(prof[144:], abs=1e-9)
+
+    def test_zero_length(self):
+        assert diurnal_profile(0, 600.0).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_profile(-1, 600.0)
+        with pytest.raises(ValueError):
+            diurnal_profile(10, 600.0, trough_fraction=1.5)
+
+    def test_paper_timezones_present(self):
+        assert set(TIMEZONE_OFFSETS_H) == {"BRS", "BNG", "BCN", "BST"}
+
+
+class TestAR1:
+    def test_deterministic_given_seed(self):
+        a = ar1_noise(100, np.random.default_rng(5))
+        b = ar1_noise(100, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_stationary_std_close_to_sigma(self):
+        noise = ar1_noise(20_000, np.random.default_rng(0), sigma=0.1,
+                          rho=0.8)
+        assert noise.std() == pytest.approx(0.1, rel=0.1)
+
+    def test_autocorrelated(self):
+        noise = ar1_noise(5000, np.random.default_rng(0), sigma=0.1, rho=0.9)
+        corr = np.corrcoef(noise[:-1], noise[1:])[0, 1]
+        assert corr > 0.7
+
+    def test_zero_length(self):
+        assert ar1_noise(0, np.random.default_rng(0)).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ar1_noise(10, np.random.default_rng(0), rho=1.0)
+        with pytest.raises(ValueError):
+            ar1_noise(10, np.random.default_rng(0), sigma=-0.1)
+
+
+class TestBursts:
+    def test_multiplier_at_least_one(self):
+        mult = poisson_bursts(1000, np.random.default_rng(1),
+                              rate_per_day=10.0)
+        assert (mult >= 1.0).all()
+
+    def test_zero_rate_no_bursts(self):
+        mult = poisson_bursts(1000, np.random.default_rng(1),
+                              rate_per_day=0.0)
+        assert (mult == 1.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_bursts(10, np.random.default_rng(0), rate_per_day=-1.0)
+
+
+class TestFlashCrowd:
+    def test_paper_window(self):
+        assert PAPER_FLASH_CROWD.start_minute == 70.0
+        assert PAPER_FLASH_CROWD.end_minute == 90.0
+        assert PAPER_FLASH_CROWD.factor >= 1.0
+
+    def test_multiplier_window(self):
+        fc = FlashCrowd(start_minute=20.0, end_minute=40.0, factor=3.0)
+        mult = fc.multiplier(6, 600.0)  # 10-minute intervals
+        assert mult.tolist() == [1.0, 1.0, 3.0, 3.0, 1.0, 1.0]
+
+    def test_apply(self):
+        fc = FlashCrowd(start_minute=0.0, end_minute=10.0, factor=2.0)
+        out = apply_flash_crowds(np.ones(3), 600.0, [fc])
+        assert out.tolist() == [2.0, 1.0, 1.0]
+
+    def test_apply_does_not_mutate_input(self):
+        series = np.ones(3)
+        apply_flash_crowds(series, 600.0,
+                           [FlashCrowd(0.0, 10.0, 2.0)])
+        assert (series == 1.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(start_minute=10.0, end_minute=5.0, factor=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(start_minute=0.0, end_minute=5.0, factor=0.5)
+
+    @given(factor=st.floats(min_value=1.0, max_value=10.0))
+    def test_scaling_property(self, factor):
+        fc = FlashCrowd(start_minute=0.0, end_minute=60.0, factor=factor)
+        out = apply_flash_crowds(np.full(3, 2.0), 600.0, [fc])
+        assert out[0] == pytest.approx(2.0 * factor)

@@ -1,0 +1,83 @@
+"""Tests for trace persistence and run-history export."""
+
+import csv
+import os
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import run_simulation
+from repro.workload.traces import SourceSeries, WorkloadTrace
+from repro.experiments.scenario import multidc_system, multidc_trace
+
+
+class TestTraceIO:
+    def make_trace(self):
+        trace = WorkloadTrace(interval_s=300.0)
+        rng = np.random.default_rng(2)
+        for vm in ("vm0", "vm-with-dash"):
+            for src in ("BCN", "BST"):
+                trace.add(vm, src, SourceSeries(
+                    rps=rng.uniform(0, 20, 12),
+                    bytes_per_req=rng.uniform(500, 5000, 12),
+                    cpu_time_per_req=rng.uniform(0.01, 0.1, 12)))
+        return trace
+
+    def test_round_trip(self, tmp_path):
+        trace = self.make_trace()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.interval_s == trace.interval_s
+        assert set(loaded.series) == set(trace.series)
+        for key in trace.series:
+            assert np.allclose(loaded.series[key].rps,
+                               trace.series[key].rps)
+            assert np.allclose(loaded.series[key].cpu_time_per_req,
+                               trace.series[key].cpu_time_per_req)
+
+    def test_loaded_trace_behaves_identically(self, tmp_path):
+        trace = self.make_trace()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        for t in range(trace.n_intervals):
+            assert loaded.total_rps(t) == pytest.approx(trace.total_rps(t))
+
+    def test_canonical_trace_round_trip(self, tmp_path, tiny_config):
+        trace = multidc_trace(tiny_config)
+        path = tmp_path / "canon.npz"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.n_intervals == trace.n_intervals
+        assert loaded.vm_ids == trace.vm_ids
+
+
+class TestHistoryExport:
+    def test_rows_align_with_series(self, tiny_config, tiny_trace):
+        history = run_simulation(multidc_system(tiny_config), tiny_trace,
+                                 stop=6)
+        rows = history.to_rows()
+        assert len(rows) == 6
+        assert rows[0]["t"] == 0
+        sla = history.sla_series()
+        for i, row in enumerate(rows):
+            assert row["mean_sla"] == pytest.approx(sla[i])
+            assert row["profit_eur"] == pytest.approx(
+                row["revenue_eur"] - row["migration_penalty_eur"]
+                - row["energy_cost_eur"])
+
+    def test_csv_written(self, tmp_path, tiny_config, tiny_trace):
+        history = run_simulation(multidc_system(tiny_config), tiny_trace,
+                                 stop=4)
+        path = tmp_path / "run.csv"
+        history.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert float(rows[0]["total_watts"]) > 0
+
+    def test_empty_history_rejected(self, tmp_path):
+        from repro.sim.engine import RunHistory
+        with pytest.raises(ValueError):
+            RunHistory().to_csv(tmp_path / "x.csv")

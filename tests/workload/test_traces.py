@@ -1,0 +1,132 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.workload.traces import SourceSeries, WorkloadTrace
+
+
+def series(n=4, rps=10.0):
+    return SourceSeries(rps=np.full(n, rps),
+                        bytes_per_req=np.full(n, 1000.0),
+                        cpu_time_per_req=np.full(n, 0.05))
+
+
+class TestSourceSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSeries(rps=np.ones(3), bytes_per_req=np.ones(2),
+                         cpu_time_per_req=np.ones(3))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSeries(rps=np.array([-1.0]), bytes_per_req=np.ones(1),
+                         cpu_time_per_req=np.ones(1))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSeries(rps=np.ones((2, 2)), bytes_per_req=np.ones((2, 2)),
+                         cpu_time_per_req=np.ones((2, 2)))
+
+    def test_at(self):
+        s = series(rps=7.0)
+        lv = s.at(2)
+        assert lv.rps == 7.0
+        assert lv.bytes_per_req == 1000.0
+
+    def test_scaled(self):
+        s = series(rps=10.0).scaled(0.5)
+        assert s.rps[0] == 5.0
+        assert s.bytes_per_req[0] == 1000.0  # mix unchanged
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            series().scaled(-1.0)
+
+    def test_len(self):
+        assert len(series(n=7)) == 7
+
+
+class TestWorkloadTrace:
+    def test_add_and_lookup(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series())
+        t.add("vm0", "BST", series(rps=20.0))
+        loads = t.load_at("vm0", 0)
+        assert set(loads) == {"BCN", "BST"}
+        assert loads["BST"].rps == 20.0
+
+    def test_add_duplicate_rejected(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series())
+        with pytest.raises(ValueError, match="already"):
+            t.add("vm0", "BCN", series())
+
+    def test_add_length_mismatch_rejected(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series(n=4))
+        with pytest.raises(ValueError, match="length"):
+            t.add("vm0", "BST", series(n=5))
+
+    def test_unknown_vm_rejected(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series())
+        with pytest.raises(KeyError):
+            t.load_at("ghost", 0)
+
+    def test_aggregate_combines_sources(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series(rps=10.0))
+        t.add("vm0", "BST", series(rps=30.0))
+        assert t.aggregate_at("vm0", 0).rps == pytest.approx(40.0)
+
+    def test_total_rps(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series(rps=10.0))
+        t.add("vm1", "BCN", series(rps=5.0))
+        assert t.total_rps(0) == pytest.approx(15.0)
+
+    def test_dominant_source(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series(rps=10.0))
+        t.add("vm0", "BST", series(rps=30.0))
+        assert t.dominant_source("vm0", 0) == "BST"
+
+    def test_vm_ids_and_sources(self):
+        t = WorkloadTrace()
+        t.add("vmB", "BCN", series())
+        t.add("vmA", "BST", series())
+        assert t.vm_ids == ["vmA", "vmB"]
+        assert t.sources == ["BCN", "BST"]
+
+    def test_n_intervals(self):
+        t = WorkloadTrace()
+        assert t.n_intervals == 0
+        t.add("vm0", "BCN", series(n=9))
+        assert t.n_intervals == 9
+
+    def test_slice(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", SourceSeries(
+            rps=np.arange(6, dtype=float), bytes_per_req=np.ones(6),
+            cpu_time_per_req=np.ones(6)))
+        sub = t.slice(2, 5)
+        assert sub.n_intervals == 3
+        assert sub.load_at("vm0", 0)["BCN"].rps == 2.0
+
+    def test_slice_bad_range(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series(n=4))
+        with pytest.raises(ValueError):
+            t.slice(3, 2)
+        with pytest.raises(ValueError):
+            t.slice(0, 10)
+
+    def test_scaled(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series(rps=10.0))
+        assert t.scaled(2.0).total_rps(0) == pytest.approx(20.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(interval_s=0.0)
