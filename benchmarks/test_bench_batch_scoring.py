@@ -1,0 +1,43 @@
+"""Bench batch scoring — vectorized vs scalar Best-Fit on a large fleet.
+
+The paper's pitch is that Ordered Best-Fit is fast enough to re-run every
+10 minutes where MILP takes minutes for tens of jobs.  The batch scoring
+subsystem extends that argument to production fleet sizes: one 500-VM x
+200-host round must clear a >= 5x speedup over the scalar reference loop
+while computing the *same* schedule.
+"""
+
+import pytest
+
+from repro.experiments.scaling import format_large_fleet, run_large_fleet
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_large_fleet(n_hosts=200, n_vms=500, seed=7)
+
+
+def test_bench_batch_scoring(benchmark, result):
+    from repro.core.bestfit import descending_best_fit
+    from repro.experiments.scaling import synthetic_fleet_problem
+
+    problem = synthetic_fleet_problem(n_hosts=200, n_vms=500, seed=7)
+    benchmark.pedantic(lambda: descending_best_fit(problem, batch=True),
+                       rounds=3, iterations=1)
+    print()
+    print(format_large_fleet(result))
+
+
+class TestShape:
+    def test_batch_at_least_5x_faster(self, result):
+        assert result.speedup >= 5.0, (
+            f"batch path only {result.speedup:.1f}x faster "
+            f"({result.batch_ms:.1f} ms vs {result.scalar_ms:.1f} ms)")
+
+    def test_batch_computes_the_same_schedule(self, result):
+        assert result.assignments_match
+        assert result.profit_abs_diff < 1e-9
+
+    def test_fleet_is_large(self, result):
+        assert result.n_pms >= 200
+        assert result.n_vms >= 500

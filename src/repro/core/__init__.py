@@ -16,9 +16,11 @@ from .estimators import (Estimator, MLEstimator, ObservedEstimator,
                          OracleEstimator)
 from .exact import ExactResult, exact_schedule
 from .hierarchical import HierarchicalScheduler, RoundDiagnostics
-from .model import (HostView, ObjectiveWeights, PlacementEvaluation,
-                    SchedulingProblem, ScheduleViolation, VMRequest,
-                    check_schedule, evaluate_schedule, placement_profit)
+from .model import (BatchEvaluation, HostBatch, HostView, ObjectiveWeights,
+                    PlacementEvaluation, SchedulingProblem,
+                    ScheduleViolation, VMRequest, check_schedule,
+                    evaluate_candidates, evaluate_schedule,
+                    placement_profit, score_candidates)
 from .online import OnlineLearningScheduler
 from .policies import (bf_ml_scheduler, bf_overbook_scheduler, bf_scheduler,
                        follow_the_load_scheduler, hierarchical_ml_scheduler,
@@ -33,9 +35,10 @@ __all__ = [
     "Estimator", "MLEstimator", "ObservedEstimator", "OracleEstimator",
     "ExactResult", "exact_schedule",
     "HierarchicalScheduler", "RoundDiagnostics",
-    "HostView", "ObjectiveWeights", "PlacementEvaluation",
-    "SchedulingProblem", "ScheduleViolation", "VMRequest",
-    "check_schedule", "evaluate_schedule", "placement_profit",
+    "BatchEvaluation", "HostBatch", "HostView", "ObjectiveWeights",
+    "PlacementEvaluation", "SchedulingProblem", "ScheduleViolation",
+    "VMRequest", "check_schedule", "evaluate_candidates",
+    "evaluate_schedule", "placement_profit", "score_candidates",
     "OnlineLearningScheduler",
     "bf_ml_scheduler", "bf_overbook_scheduler", "bf_scheduler",
     "follow_the_load_scheduler", "hierarchical_ml_scheduler",

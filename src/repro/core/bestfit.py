@@ -29,10 +29,12 @@ import numpy as np
 
 from ..sim.engine import Scheduler
 from ..sim.multidc import MultiDCSystem
+from ..sim.machines import Resources
 from ..workload.traces import WorkloadTrace
 from .estimators import Estimator, MLEstimator, ObservedEstimator
-from .model import (HostView, ObjectiveWeights, PlacementEvaluation,
-                    SchedulingProblem, VMRequest, placement_profit)
+from .model import (HostBatch, HostView, ObjectiveWeights,
+                    PlacementEvaluation, SchedulingProblem, VMRequest,
+                    evaluate_candidates, placement_profit)
 
 __all__ = ["descending_best_fit", "build_problem",
            "make_bestfit_scheduler", "BestFitResult"]
@@ -52,7 +54,8 @@ class BestFitResult:
 
 
 def descending_best_fit(problem: SchedulingProblem,
-                        min_gain_eur: float = 0.0) -> BestFitResult:
+                        min_gain_eur: float = 0.0,
+                        batch: bool = True) -> BestFitResult:
     """Algorithm 1: order VMs by demand, best-profit host for each.
 
     The VM's current host (when present among candidates) is the baseline;
@@ -60,6 +63,13 @@ def descending_best_fit(problem: SchedulingProblem,
     ``min_gain_eur`` (migration hysteresis — the migration penalty inside
     the profit already discourages churn, the explicit margin guards
     against noise-driven flapping).
+
+    With ``batch`` (the default) each VM is scored against all hosts in one
+    vectorized :func:`~repro.core.model.evaluate_candidates` call over an
+    incrementally updated :class:`~repro.core.model.HostBatch`; committing
+    a VM refreshes only the chosen host's column.  ``batch=False`` runs the
+    scalar reference loop — both produce the same assignments (the golden
+    and differential tests pin this down).
     """
     if not problem.hosts:
         raise ValueError("no candidate hosts")
@@ -84,7 +94,63 @@ def descending_best_fit(problem: SchedulingProblem,
     order = sorted(problem.requests,
                    key=lambda r: required[r.vm_id].dominant_share(ref),
                    reverse=True)
+    if batch:
+        return _best_fit_batch(problem, order, required, hosts,
+                               min_gain_eur)
+    return _best_fit_scalar(problem, order, required, hosts, min_gain_eur)
 
+
+def _best_fit_batch(problem: SchedulingProblem,
+                    order: Sequence[VMRequest],
+                    required: Mapping[str, Resources],
+                    hosts: List[HostView],
+                    min_gain_eur: float) -> BestFitResult:
+    """Vectorized packing loop: one score vector + argmax per VM.
+
+    Reproduces the scalar loop's selection rule exactly: the running
+    strict-``>`` maximum is the *first* host attaining the best score (ties
+    keep the earlier host, as ``np.argmax`` does), and with a current host
+    present the best challenger wins only when it beats the stay-put
+    baseline by ``min_gain_eur``.
+    """
+    host_batch = HostBatch.of(hosts)
+    assignment: Dict[str, str] = {}
+    evaluations: Dict[str, PlacementEvaluation] = {}
+    for request in order:
+        req = required[request.vm_id]
+        evs = evaluate_candidates(problem, request, host_batch,
+                                  required=req)
+        scores = evs.profit_eur
+        cur = (host_batch.index.get(request.current_pm)
+               if request.current_pm is not None else None)
+        if cur is None:
+            choice = int(np.argmax(scores))
+        else:
+            others = scores.copy()
+            others[cur] = -np.inf
+            challenger = int(np.argmax(others))
+            # Scalar bar: beat max(baseline + min_gain, baseline) — the
+            # running best starts at the baseline, so a negative min_gain
+            # never lowers the bar below staying put.
+            bar = max(scores[cur] + min_gain_eur, scores[cur])
+            if others[challenger] > bar:
+                choice = challenger
+            else:
+                choice = cur
+        host_batch.commit(choice, request.vm_id, evs.required,
+                          float(evs.used_cpu[choice]))
+        assignment[request.vm_id] = host_batch.hosts[choice].pm_id
+        evaluations[request.vm_id] = evs.evaluation(choice)
+    return BestFitResult(assignment=assignment, evaluations=evaluations,
+                         order=[r.vm_id for r in order])
+
+
+def _best_fit_scalar(problem: SchedulingProblem,
+                     order: Sequence[VMRequest],
+                     required: Mapping[str, Resources],
+                     hosts: List[HostView],
+                     min_gain_eur: float) -> BestFitResult:
+    """Reference packing loop: one scalar ``placement_profit`` per host."""
     assignment: Dict[str, str] = {}
     evaluations: Dict[str, PlacementEvaluation] = {}
     for request in order:

@@ -36,11 +36,60 @@ from ..sim.rtmodel import ResponseTimeModel
 from .sla import SLAContract
 
 __all__ = ["Estimator", "OracleEstimator", "ObservedEstimator",
-           "MLEstimator"]
+           "MLEstimator", "scalar_process_rt_batch",
+           "scalar_process_sla_batch"]
+
+
+def scalar_process_rt_batch(est, vm: VirtualMachine, load: LoadVector,
+                            required: Resources, given_cpu, given_mem,
+                            given_bw,
+                            queue_len: float = 0.0) -> Optional[np.ndarray]:
+    """Per-host ``process_rt`` via the scalar method (the shared fallback).
+
+    Returns None as soon as the estimator declines an RT (direct-SLA
+    estimators), mirroring the scalar scorer's dispatch.
+    """
+    out = []
+    for gc, gm, gb in zip(np.asarray(given_cpu, dtype=float),
+                          np.asarray(given_mem, dtype=float),
+                          np.asarray(given_bw, dtype=float)):
+        rt = est.process_rt(vm, load, required,
+                            Resources(cpu=float(gc), mem=float(gm),
+                                      bw=float(gb)), queue_len=queue_len)
+        if rt is None:
+            return None
+        out.append(float(rt))
+    return np.asarray(out, dtype=float)
+
+
+def scalar_process_sla_batch(est, vm: VirtualMachine, load: LoadVector,
+                             required: Resources, given_cpu, given_mem,
+                             given_bw, contract: SLAContract,
+                             queue_len: float = 0.0) -> np.ndarray:
+    """Per-host ``process_sla`` via the scalar method (the shared fallback)."""
+    return np.asarray(
+        [est.process_sla(vm, load, required,
+                         Resources(cpu=float(gc), mem=float(gm),
+                                   bw=float(gb)), contract,
+                         queue_len=queue_len)
+         for gc, gm, gb in zip(np.asarray(given_cpu, dtype=float),
+                               np.asarray(given_mem, dtype=float),
+                               np.asarray(given_bw, dtype=float))],
+        dtype=float)
 
 
 class Estimator:
-    """Interface; see module docstring.  Subclasses override all methods."""
+    """Interface; see module docstring.  Subclasses override all methods.
+
+    The ``*_batch`` methods answer the same queries for one VM against a
+    whole host batch at once (aligned arrays, one entry per candidate
+    host).  The defaults fall back to looping the scalar methods so any
+    estimator works with the batch scorer; the built-in estimators
+    override them with vectorized numpy, which is where the batch
+    scheduler's speedup comes from.  An estimator must be *consistent*
+    about its RT path: ``process_rt`` should return None for every host or
+    for none (all built-ins are).
+    """
 
     def required_resources(self, vm: VirtualMachine, load: LoadVector,
                            cpu_cap: float) -> Resources:
@@ -59,6 +108,34 @@ class Estimator:
                     contract: SLAContract,
                     queue_len: float = 0.0) -> float:
         raise NotImplementedError
+
+    # -- batch interface (vectorized over candidate hosts) -------------------
+    def pm_cpu_batch(self, counts, sums) -> Optional[np.ndarray]:
+        """Host CPU from per-host (#VMs, sum of VM CPU) aggregates.
+
+        Returns None when the estimator has no aggregate-only formulation;
+        the batch scorer then falls back to per-host :meth:`pm_cpu` calls.
+        """
+        return None
+
+    def process_rt_batch(self, vm: VirtualMachine, load: LoadVector,
+                         required: Resources, given_cpu, given_mem,
+                         given_bw,
+                         queue_len: float = 0.0) -> Optional[np.ndarray]:
+        """Per-host :meth:`process_rt`; None when the estimator scores SLA
+        directly."""
+        return scalar_process_rt_batch(self, vm, load, required, given_cpu,
+                                       given_mem, given_bw,
+                                       queue_len=queue_len)
+
+    def process_sla_batch(self, vm: VirtualMachine, load: LoadVector,
+                          required: Resources, given_cpu, given_mem,
+                          given_bw, contract: SLAContract,
+                          queue_len: float = 0.0) -> np.ndarray:
+        """Per-host :meth:`process_sla` (default: scalar loop)."""
+        return scalar_process_sla_batch(self, vm, load, required, given_cpu,
+                                        given_mem, given_bw, contract,
+                                        queue_len=queue_len)
 
 
 @dataclass
@@ -89,6 +166,25 @@ class OracleEstimator:
                     contract: SLAContract,
                     queue_len: float = 0.0) -> float:
         rt = self.process_rt(vm, load, required, given, queue_len)
+        return contract.fulfillment(rt)
+
+    # -- batch interface ------------------------------------------------------
+    def pm_cpu_batch(self, counts, sums) -> np.ndarray:
+        return self.demand_model.pm_cpu_batch(counts, sums)
+
+    def process_rt_batch(self, vm: VirtualMachine, load: LoadVector,
+                         required: Resources, given_cpu, given_mem,
+                         given_bw, queue_len: float = 0.0) -> np.ndarray:
+        return self.rt_model.process_rt_arrays(
+            load.cpu_time_per_req, load.rps, required.cpu, given_cpu,
+            required.mem, given_mem, required.bw, given_bw)
+
+    def process_sla_batch(self, vm: VirtualMachine, load: LoadVector,
+                          required: Resources, given_cpu, given_mem,
+                          given_bw, contract: SLAContract,
+                          queue_len: float = 0.0) -> np.ndarray:
+        rt = self.process_rt_batch(vm, load, required, given_cpu,
+                                   given_mem, given_bw, queue_len)
         return contract.fulfillment(rt)
 
 
@@ -170,6 +266,31 @@ class ObservedEstimator:
                    (given.bw / required.bw) if required.bw > 0 else 1.0)
         return max(0.0, frac)
 
+    # -- batch interface ------------------------------------------------------
+    def pm_cpu_batch(self, counts, sums) -> np.ndarray:
+        return np.asarray(sums, dtype=float)
+
+    def process_rt_batch(self, vm: VirtualMachine, load: LoadVector,
+                         required: Resources, given_cpu, given_mem,
+                         given_bw, queue_len: float = 0.0) -> None:
+        return None
+
+    def process_sla_batch(self, vm: VirtualMachine, load: LoadVector,
+                          required: Resources, given_cpu, given_mem,
+                          given_bw, contract: SLAContract,
+                          queue_len: float = 0.0) -> np.ndarray:
+        gc = np.asarray(given_cpu, dtype=float)
+        gm = np.asarray(given_mem, dtype=float)
+        gb = np.asarray(given_bw, dtype=float)
+        fits = ((required.cpu <= gc + 1e-9) & (required.mem <= gm + 1e-9)
+                & (required.bw <= gb + 1e-9))
+        ones = np.ones_like(gc)
+        frac = np.minimum(
+            np.minimum(gc / required.cpu if required.cpu > 0 else ones,
+                       gm / required.mem if required.mem > 0 else ones),
+            gb / required.bw if required.bw > 0 else ones)
+        return np.where(fits, 1.0, np.maximum(0.0, frac))
+
 
 @dataclass
 class MLEstimator:
@@ -218,4 +339,29 @@ class MLEstimator:
         if self.sla_mode == "direct":
             return self.models.predict_sla(load, given, queue_len=queue_len)
         rt = self.models.predict_rt(load, given, queue_len=queue_len)
+        return contract.fulfillment(rt)
+
+    # -- batch interface ------------------------------------------------------
+    def pm_cpu_batch(self, counts, sums) -> np.ndarray:
+        return self.models.predict_pm_cpu_batch(counts, sums)
+
+    def process_rt_batch(self, vm: VirtualMachine, load: LoadVector,
+                         required: Resources, given_cpu, given_mem,
+                         given_bw,
+                         queue_len: float = 0.0) -> Optional[np.ndarray]:
+        if self.sla_mode == "direct":
+            return None
+        return self.models.predict_rt_batch(load, given_cpu, given_mem,
+                                            given_bw, queue_len=queue_len)
+
+    def process_sla_batch(self, vm: VirtualMachine, load: LoadVector,
+                          required: Resources, given_cpu, given_mem,
+                          given_bw, contract: SLAContract,
+                          queue_len: float = 0.0) -> np.ndarray:
+        if self.sla_mode == "direct":
+            return self.models.predict_sla_batch(load, given_cpu, given_mem,
+                                                 given_bw,
+                                                 queue_len=queue_len)
+        rt = self.models.predict_rt_batch(load, given_cpu, given_mem,
+                                          given_bw, queue_len=queue_len)
         return contract.fulfillment(rt)

@@ -21,6 +21,17 @@ the shallow slope of the Atom curve.
 :func:`evaluate_schedule` scores a complete assignment (used by the exact
 solver and by tests), and :func:`check_schedule` verifies the hard
 constraints (1: one host per VM; 2: capacity).
+
+Batch scoring
+-------------
+
+:func:`placement_profit` is the *reference* scalar implementation.  The hot
+path of the schedulers is :func:`evaluate_candidates` /
+:func:`score_candidates`, which score one VM against *all* candidate hosts in
+vectorized numpy over a :class:`HostBatch` — an array-shaped, incrementally
+updated snapshot of the host views.  The batch path mirrors the scalar
+arithmetic operation-for-operation so the two agree within 1e-9 (the
+differential tests enforce this).
 """
 
 from __future__ import annotations
@@ -34,12 +45,14 @@ from ..sim.demand import LoadVector
 from ..sim.machines import PhysicalMachine, Resources, VirtualMachine
 from ..sim.network import NetworkModel
 from ..sim.power import PowerModel
-from .estimators import Estimator
+from .estimators import (Estimator, scalar_process_rt_batch,
+                         scalar_process_sla_batch)
 from .profit import PriceBook, energy_cost_eur, migration_penalty_eur
 from .sla import SLAContract, weighted_sla
 
-__all__ = ["ObjectiveWeights", "VMRequest", "HostView",
-           "SchedulingProblem", "PlacementEvaluation", "placement_profit",
+__all__ = ["ObjectiveWeights", "VMRequest", "HostView", "HostBatch",
+           "SchedulingProblem", "PlacementEvaluation", "BatchEvaluation",
+           "placement_profit", "evaluate_candidates", "score_candidates",
            "evaluate_schedule", "check_schedule", "ScheduleViolation"]
 
 
@@ -195,6 +208,102 @@ class HostView:
         self.committed_used_cpu.pop(vm_id, None)
 
 
+class HostBatch:
+    """Array-shaped, incrementally maintained snapshot of host views.
+
+    Column ``i`` of every array describes ``hosts[i]``.  The batch scorer
+    reads only these arrays (plus per-location and per-power-model index
+    groups computed once), so scoring a VM against ``n`` hosts is a handful
+    of length-``n`` numpy operations instead of ``n`` Python calls.
+
+    Mutations go through :meth:`commit` / :meth:`release`, which update the
+    underlying :class:`HostView` and then :meth:`refresh` *only the changed
+    column* — the incremental contract that lets Best-Fit reuse one batch
+    across a whole scheduling round.
+
+    Aggregates deliberately mirror the scalar path's arithmetic:
+    ``used_*`` accumulates in the same order as :attr:`HostView.used` and
+    ``committed_cpu_sum`` uses the same ``np.sum`` as the estimators'
+    ``pm_cpu``, so batch and scalar scores agree within 1e-9.
+    """
+
+    def __init__(self, hosts: Sequence[HostView]) -> None:
+        self.hosts: List[HostView] = list(hosts)
+        n = len(self.hosts)
+        self.index: Dict[str, int] = {h.pm_id: i
+                                      for i, h in enumerate(self.hosts)}
+        if len(self.index) != n:
+            raise ValueError("duplicate host ids in batch")
+        self.cap_cpu = np.array([h.capacity.cpu for h in self.hosts])
+        self.cap_mem = np.array([h.capacity.mem for h in self.hosts])
+        self.cap_bw = np.array([h.capacity.bw for h in self.hosts])
+        self.energy_price = np.array([h.energy_price_eur_kwh
+                                      for h in self.hosts])
+        self.initially_on = np.array([h.initially_on for h in self.hosts],
+                                     dtype=bool)
+        self.used_cpu = np.zeros(n)
+        self.used_mem = np.zeros(n)
+        self.used_bw = np.zeros(n)
+        self.committed_cpu_sum = np.zeros(n)
+        self.committed_count = np.zeros(n, dtype=np.intp)
+        for i in range(n):
+            self.refresh(i)
+        # Few distinct locations / power curves per fleet: group host
+        # indices so latency and power lookups vectorize per group.
+        by_loc: Dict[str, List[int]] = {}
+        for i, h in enumerate(self.hosts):
+            by_loc.setdefault(h.location, []).append(i)
+        self.location_groups: Dict[str, np.ndarray] = {
+            loc: np.asarray(ix, dtype=np.intp)
+            for loc, ix in by_loc.items()}
+        by_pm: Dict[PowerModel, List[int]] = {}
+        for i, h in enumerate(self.hosts):
+            by_pm.setdefault(h.power_model, []).append(i)
+        self.power_groups: List[Tuple[PowerModel, np.ndarray]] = [
+            (model, np.asarray(ix, dtype=np.intp))
+            for model, ix in by_pm.items()]
+
+    @staticmethod
+    def of(hosts: Sequence[HostView]) -> "HostBatch":
+        return HostBatch(hosts)
+
+    def __len__(self) -> int:
+        return len(self.hosts)
+
+    def refresh(self, i: int) -> None:
+        """Recompute column ``i`` from its host view (O(VMs on that host))."""
+        view = self.hosts[i]
+        cpu = mem = bw = 0.0
+        # Same accumulation order as HostView.used.
+        for r in view.committed.values():
+            cpu += r.cpu
+            mem += r.mem
+            bw += r.bw
+        self.used_cpu[i] = cpu
+        self.used_mem[i] = mem
+        self.used_bw[i] = bw
+        # Same np.sum the estimators' pm_cpu applies to the scalar list.
+        self.committed_cpu_sum[i] = float(np.sum(np.asarray(
+            list(view.committed_used_cpu.values()), dtype=float)))
+        self.committed_count[i] = len(view.committed)
+
+    def commit(self, i: int, vm_id: str, demand: Resources,
+               used_cpu: float) -> None:
+        self.hosts[i].commit(vm_id, demand, used_cpu)
+        self.refresh(i)
+
+    def release(self, i: int, vm_id: str) -> None:
+        self.hosts[i].release(vm_id)
+        self.refresh(i)
+
+    def would_be_on(self, auto_power_off: bool = True) -> np.ndarray:
+        """Vectorized :meth:`HostView.would_be_on` over the batch."""
+        on = self.committed_count > 0
+        if not auto_power_off:
+            on = on | self.initially_on
+        return on
+
+
 @dataclass
 class SchedulingProblem:
     """One scheduling round's full input."""
@@ -325,6 +434,240 @@ def placement_profit(problem: SchedulingProblem, request: VMRequest,
         profit_eur=profit, revenue_eur=revenue, energy_cost_eur=energy,
         migration_penalty_eur=penalty, sla=sla, required=required,
         given=given, used_cpu=used_cpu, migration_seconds=migration_s)
+
+
+@dataclass(frozen=True)
+class BatchEvaluation:
+    """Outcome of scoring one VM against every host of a :class:`HostBatch`.
+
+    All arrays are aligned with the batch's host order; ``required`` is the
+    (host-independent) demand estimate shared by every column.
+    :meth:`evaluation` materializes one column as the scalar
+    :class:`PlacementEvaluation`.
+    """
+
+    pm_ids: Tuple[str, ...]
+    required: Resources
+    profit_eur: np.ndarray
+    revenue_eur: np.ndarray
+    energy_cost_eur: np.ndarray
+    migration_penalty_eur: np.ndarray
+    sla: np.ndarray
+    given_cpu: np.ndarray
+    given_mem: np.ndarray
+    given_bw: np.ndarray
+    used_cpu: np.ndarray
+    migration_seconds: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.pm_ids)
+
+    def evaluation(self, i: int) -> PlacementEvaluation:
+        return PlacementEvaluation(
+            profit_eur=float(self.profit_eur[i]),
+            revenue_eur=float(self.revenue_eur[i]),
+            energy_cost_eur=float(self.energy_cost_eur[i]),
+            migration_penalty_eur=float(self.migration_penalty_eur[i]),
+            sla=float(self.sla[i]),
+            required=self.required,
+            given=Resources(cpu=float(self.given_cpu[i]),
+                            mem=float(self.given_mem[i]),
+                            bw=float(self.given_bw[i])),
+            used_cpu=float(self.used_cpu[i]),
+            migration_seconds=float(self.migration_seconds[i]))
+
+
+def _burst_vec(demand: float, other: np.ndarray,
+               cap: np.ndarray) -> np.ndarray:
+    """Vectorized twin of ``HostView.grantable``'s ``burst``."""
+    total = demand + other
+    blocked = (demand <= 0.0) | (total <= 0.0)
+    safe_total = np.where(blocked, 1.0, total)
+    out = np.minimum(cap, demand * cap / safe_total)
+    return np.where(blocked, 0.0, out)
+
+
+def _share_vec(demand: float, other: np.ndarray,
+               cap: np.ndarray) -> np.ndarray:
+    """Vectorized twin of ``HostView.grantable``'s ``share``."""
+    if demand <= 0.0:
+        return np.zeros_like(other)
+    total = demand + other
+    return np.where(total <= cap, demand, demand * cap / total)
+
+
+def _est_rt_batch(est, vm, load, required: Resources, given_cpu, given_mem,
+                  given_bw, queue_len: float) -> Optional[np.ndarray]:
+    """Estimator RT over a host batch, falling back to scalar calls.
+
+    Estimators are duck-typed (they need not subclass
+    :class:`~repro.core.estimators.Estimator`), so the vectorized method is
+    optional; without it the shared scalar-loop fallback runs.
+    """
+    fn = getattr(est, "process_rt_batch", None)
+    if fn is not None:
+        return fn(vm, load, required, given_cpu, given_mem, given_bw,
+                  queue_len=queue_len)
+    return scalar_process_rt_batch(est, vm, load, required, given_cpu,
+                                   given_mem, given_bw, queue_len=queue_len)
+
+
+def _est_sla_batch(est, vm, load, required: Resources, given_cpu, given_mem,
+                   given_bw, contract, queue_len: float) -> np.ndarray:
+    """Estimator SLA over a host batch, falling back to scalar calls."""
+    fn = getattr(est, "process_sla_batch", None)
+    if fn is not None:
+        return fn(vm, load, required, given_cpu, given_mem, given_bw,
+                  contract, queue_len=queue_len)
+    return scalar_process_sla_batch(est, vm, load, required, given_cpu,
+                                    given_mem, given_bw, contract,
+                                    queue_len=queue_len)
+
+
+def _batch_sla(problem: SchedulingProblem, request: VMRequest,
+               batch: HostBatch, required: Resources,
+               given_cpu: np.ndarray, given_mem: np.ndarray,
+               given_bw: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_placement_sla` over every host of the batch."""
+    est = problem.estimator
+    agg = request.aggregate_load
+    contract = request.contract
+    n = len(batch)
+    rt_proc = _est_rt_batch(est, request.vm, agg, required, given_cpu,
+                            given_mem, given_bw, request.queue_len)
+    if rt_proc is not None:
+        eq_rt = np.asarray(rt_proc, dtype=float)
+    else:
+        sla_proc = np.asarray(_est_sla_batch(
+            est, request.vm, agg, required, given_cpu, given_mem, given_bw,
+            contract, request.queue_len), dtype=float)
+        # contract.rt_for_fulfillment, elementwise.
+        eq_rt = np.where(
+            sla_proc >= 1.0, contract.rt0,
+            contract.rt0 + (1.0 - sla_proc) * (contract.alpha - 1.0)
+            * contract.rt0)
+    # weighted_sla over the request's sources, with per-host latencies.
+    lat_s = {loc: {src: problem.network.host_to_source_ms(loc, src) / 1000.0
+                   for src in request.loads}
+             for loc in batch.location_groups}
+    total = np.zeros(n)
+    weight = 0.0
+    for src, load in request.loads.items():
+        rps = load.rps
+        if rps == 0.0:
+            continue
+        rt_src = np.empty(n)
+        for loc, ix in batch.location_groups.items():
+            rt_src[ix] = eq_rt[ix] + lat_s[loc][src]
+        total += contract.fulfillment(rt_src) * rps
+        weight += rps
+    if weight == 0.0:
+        return np.ones(n)
+    return total / weight
+
+
+def _batch_pm_cpu(est, batch: HostBatch, counts: np.ndarray,
+                  sums: np.ndarray,
+                  extra_cpu: Optional[np.ndarray] = None) -> np.ndarray:
+    """Estimator PM-CPU over per-host (count, sum) aggregates.
+
+    Falls back to per-host scalar ``pm_cpu`` calls for estimators without a
+    vectorized path (``extra_cpu`` appends the tentative VM per host).
+    """
+    fn = getattr(est, "pm_cpu_batch", None)
+    out = fn(counts, sums) if fn is not None else None
+    if out is not None:
+        return np.asarray(out, dtype=float)
+    vals = []
+    for i, host in enumerate(batch.hosts):
+        cpus = list(host.committed_used_cpu.values())
+        if extra_cpu is not None:
+            cpus = cpus + [float(extra_cpu[i])]
+        vals.append(est.pm_cpu(cpus))
+    return np.asarray(vals, dtype=float)
+
+
+def evaluate_candidates(problem: SchedulingProblem, request: VMRequest,
+                        hosts, required: Optional[Resources] = None
+                        ) -> BatchEvaluation:
+    """Score placing ``request`` on every host of a batch, vectorized.
+
+    ``hosts`` is a :class:`HostBatch` (reused across a scheduling round) or
+    any sequence of :class:`HostView` (a throwaway batch is built).  The
+    result matches a loop of :func:`placement_profit` calls within 1e-9 on
+    every field.
+    """
+    batch = hosts if isinstance(hosts, HostBatch) else HostBatch.of(hosts)
+    est = problem.estimator
+    vm = request.vm
+    agg = request.aggregate_load
+    if required is None:
+        required = est.required_resources(vm, agg, float("inf"))
+    given_cpu = _burst_vec(required.cpu, batch.used_cpu, batch.cap_cpu)
+    given_mem = _share_vec(required.mem, batch.used_mem, batch.cap_mem)
+    given_bw = _burst_vec(required.bw, batch.used_bw, batch.cap_bw)
+    used_cpu = np.minimum(required.cpu, given_cpu)
+
+    # SLA -> revenue (with migration blackout haircut).
+    sla = _batch_sla(problem, request, batch, required,
+                     given_cpu, given_mem, given_bw)
+    hours = problem.interval_s / 3600.0
+    n = len(batch)
+    migration_s = np.zeros(n)
+    penalty = np.zeros(n)
+    if request.current_pm is not None:
+        staying = np.zeros(n, dtype=bool)
+        cur = batch.index.get(request.current_pm)
+        if cur is not None:
+            staying[cur] = True
+        for loc, ix in batch.location_groups.items():
+            migration_s[ix] = problem.network.migration_seconds(
+                vm.image_size_mb, request.current_location or loc, loc)
+        migration_s[staying] = 0.0
+        penalty = (problem.prices.migration_penalty_rate * migration_s
+                   / 3600.0)
+        sla = sla * np.maximum(0.0, 1.0 - migration_s / problem.interval_s)
+    revenue = request.contract.price_eur_per_hour * sla * hours
+
+    # Marginal energy on each target host.
+    cpu_before = _batch_pm_cpu(est, batch, batch.committed_count,
+                               batch.committed_cpu_sum)
+    cpu_after = _batch_pm_cpu(est, batch, batch.committed_count + 1,
+                              batch.committed_cpu_sum + used_cpu,
+                              extra_cpu=used_cpu)
+    running = batch.would_be_on(problem.auto_power_off)
+    watts_before = np.empty(n)
+    watts_after = np.empty(n)
+    for model, ix in batch.power_groups:
+        watts_before[ix] = model.facility_watts(
+            np.minimum(cpu_before[ix], batch.cap_cpu[ix]))
+        watts_after[ix] = model.facility_watts(
+            np.minimum(cpu_after[ix], batch.cap_cpu[ix]))
+    watts_before = np.where(running, watts_before, 0.0)
+    energy = (np.maximum(0.0, watts_after - watts_before)
+              * problem.interval_s / 3600.0 / 1000.0 * batch.energy_price)
+
+    w = problem.weights
+    profit = (w.revenue * revenue - w.energy * energy
+              - w.migration * penalty)
+    return BatchEvaluation(
+        pm_ids=tuple(h.pm_id for h in batch.hosts), required=required,
+        profit_eur=profit, revenue_eur=revenue, energy_cost_eur=energy,
+        migration_penalty_eur=penalty, sla=sla, given_cpu=given_cpu,
+        given_mem=given_mem, given_bw=given_bw, used_cpu=used_cpu,
+        migration_seconds=migration_s)
+
+
+def score_candidates(problem: SchedulingProblem, request: VMRequest,
+                     hosts, required: Optional[Resources] = None
+                     ) -> np.ndarray:
+    """Profit of placing ``request`` on each candidate host (the batch API).
+
+    Thin wrapper over :func:`evaluate_candidates` returning only the score
+    vector the schedulers argmax over.
+    """
+    return evaluate_candidates(problem, request, hosts,
+                               required=required).profit_eur
 
 
 def evaluate_schedule(problem: SchedulingProblem,

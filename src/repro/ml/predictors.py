@@ -278,6 +278,47 @@ class ModelSet:
         return float(np.clip(self.predictors["vm_sla"].predict(x)[0],
                              0.0, 1.0))
 
+    # -- batch queries (one VM, many tentative grants) -----------------------
+    def _placement_matrix(self, load: LoadVector, given_cpu, given_mem,
+                          given_bw, queue_len: float) -> np.ndarray:
+        """One feature row per candidate grant, same columns as
+        :func:`_placement_features`."""
+        gc = np.asarray(given_cpu, dtype=float)
+        gm = np.asarray(given_mem, dtype=float)
+        gb = np.asarray(given_bw, dtype=float)
+        n = gc.shape[0]
+        return _placement_features(
+            np.full(n, load.rps), np.full(n, load.bytes_per_req),
+            np.full(n, load.cpu_time_per_req), np.full(n, queue_len),
+            gc, gm, gb)
+
+    def predict_rt_batch(self, load: LoadVector, given_cpu, given_mem,
+                         given_bw, queue_len: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`predict_rt` over candidate grants."""
+        X = self._placement_matrix(load, given_cpu, given_mem, given_bw,
+                                   queue_len)
+        return np.maximum(0.0, self.predictors["vm_rt"].predict(X))
+
+    def predict_sla_batch(self, load: LoadVector, given_cpu, given_mem,
+                          given_bw, queue_len: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`predict_sla` over candidate grants."""
+        X = self._placement_matrix(load, given_cpu, given_mem, given_bw,
+                                   queue_len)
+        return np.clip(self.predictors["vm_sla"].predict(X), 0.0, 1.0)
+
+    def predict_pm_cpu_batch(self, counts, sums) -> np.ndarray:
+        """Vectorized :meth:`predict_pm_cpu` over per-host aggregates.
+
+        ``counts``/``sums`` are the number of co-located VMs and their
+        summed CPU per host; empty hosts predict exactly 0 (matching the
+        scalar early-return).
+        """
+        counts = np.asarray(counts, dtype=float)
+        sums = np.asarray(sums, dtype=float)
+        X = np.column_stack([counts, sums])
+        out = np.maximum(0.0, self.predictors["pm_cpu"].predict(X))
+        return np.where(counts == 0, 0.0, out)
+
     # -- reporting -------------------------------------------------------------
     def table1(self) -> List[EvalReport]:
         """Validation reports in the paper's Table I row order."""

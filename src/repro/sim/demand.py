@@ -155,3 +155,15 @@ class DemandModel:
             return 0.0
         return float(vm_cpus.sum() * (1.0 + self.pm_overhead_fraction)
                      + self.pm_overhead_per_vm_cpu * vm_cpus.size)
+
+    def pm_cpu_batch(self, counts, sums) -> np.ndarray:
+        """Vectorized :meth:`pm_cpu` from per-host (#VMs, sum CPU) pairs.
+
+        Applies the same overhead formula per host; hosts with zero VMs
+        report exactly 0 (matching the scalar early-return).
+        """
+        counts = np.asarray(counts, dtype=float)
+        sums = np.asarray(sums, dtype=float)
+        out = (sums * (1.0 + self.pm_overhead_fraction)
+               + self.pm_overhead_per_vm_cpu * counts)
+        return np.where(counts == 0, 0.0, out)

@@ -129,11 +129,17 @@ class PowerModel:
             raise ValueError("seconds must be non-negative")
         return self.facility_watts(cpu_used, on=on) * (seconds / 3600.0)
 
-    def marginal_watts(self, cpu_before, cpu_after) -> float:
-        """Extra facility watts caused by raising usage from before to after."""
-        return float(
-            self.facility_watts(cpu_after) - self.facility_watts(cpu_before)
-        )
+    def marginal_watts(self, cpu_before, cpu_after):
+        """Extra facility watts caused by raising usage from before to after.
+
+        Accepts scalars or aligned arrays; returns a float for scalar
+        inputs and an array otherwise.
+        """
+        out = np.asarray(self.facility_watts(cpu_after), dtype=float) \
+            - np.asarray(self.facility_watts(cpu_before), dtype=float)
+        if out.ndim == 0:
+            return float(out)
+        return out
 
 
 def atom_power_model(cooling_factor: float = COOLING_FACTOR) -> PowerModel:

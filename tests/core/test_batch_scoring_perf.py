@@ -1,0 +1,52 @@
+"""Perf smoke test: the batch scorer must beat the scalar loop clearly.
+
+Scores one 50-VM x 100-host round both ways.  The benchmark suite measures
+the full 500 x 200 story; this is the cheap CI tripwire.  The threshold is
+deliberately generous (the real ratio is an order of magnitude larger) so a
+noisy CI box doesn't flake.
+"""
+
+import time
+
+import pytest
+
+from repro.core.model import HostBatch, evaluate_candidates, placement_profit
+from repro.experiments.scaling import synthetic_fleet_problem
+
+#: Measured ~20-70x locally; anything below this means the vectorization
+#: regressed to per-host Python work.
+MIN_SPEEDUP = 5.0
+
+
+def test_batch_scoring_speedup_over_scalar_loop():
+    problem = synthetic_fleet_problem(n_hosts=100, n_vms=50, seed=3)
+    required = {
+        r.vm_id: problem.estimator.required_resources(
+            r.vm, r.aggregate_load, float("inf"))
+        for r in problem.requests}
+
+    # Warm up (numpy/estimator internals) outside the timed region.
+    batch = HostBatch.of(problem.hosts)
+    evaluate_candidates(problem, problem.requests[0], batch,
+                        required=required[problem.requests[0].vm_id])
+    placement_profit(problem, problem.requests[0], problem.hosts[0],
+                     required=required[problem.requests[0].vm_id])
+
+    t0 = time.perf_counter()
+    for request in problem.requests:
+        evaluate_candidates(problem, request, batch,
+                            required=required[request.vm_id])
+    batch_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for request in problem.requests:
+        for host in problem.hosts:
+            placement_profit(problem, request, host,
+                             required=required[request.vm_id])
+    scalar_s = time.perf_counter() - t0
+
+    speedup = scalar_s / batch_s
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch scoring only {speedup:.1f}x faster than the scalar loop "
+        f"({batch_s * 1000:.1f} ms vs {scalar_s * 1000:.1f} ms for "
+        f"50 VMs x 100 hosts); expected >= {MIN_SPEEDUP}x")

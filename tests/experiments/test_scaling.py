@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.experiments.scaling import (ScalingPoint, format_scaling,
-                                       run_scaling)
+from repro.experiments.scaling import (ScalingPoint, format_large_fleet,
+                                       format_scaling, run_large_fleet,
+                                       run_scaling, synthetic_fleet_problem)
 
 
 @pytest.fixture(scope="module")
@@ -32,3 +33,40 @@ class TestScaling:
         text = format_scaling(result)
         assert "flat ms" in text
         assert str(result.points[0].n_vms) in text
+
+
+class TestSyntheticFleet:
+    def test_shape_and_variety(self):
+        problem = synthetic_fleet_problem(n_hosts=12, n_vms=20, seed=1)
+        assert len(problem.hosts) == 12
+        assert len(problem.requests) == 20
+        # Fleet spans locations, power states and migration cases.
+        assert len({h.location for h in problem.hosts}) > 1
+        assert any(not h.initially_on for h in problem.hosts)
+        assert any(r.current_pm is not None for r in problem.requests)
+        assert any(r.current_pm is None for r in problem.requests)
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_fleet_problem(n_hosts=6, n_vms=8, seed=2)
+        b = synthetic_fleet_problem(n_hosts=6, n_vms=8, seed=2)
+        assert ([r.aggregate_load.rps for r in a.requests]
+                == [r.aggregate_load.rps for r in b.requests])
+        assert ([r.current_pm for r in a.requests]
+                == [r.current_pm for r in b.requests])
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            synthetic_fleet_problem(n_hosts=0, n_vms=5)
+
+
+class TestLargeFleet:
+    def test_small_round_trip(self):
+        """Tiny sizes here; the benchmark suite runs the 500x200 story."""
+        result = run_large_fleet(n_hosts=10, n_vms=15, seed=4)
+        assert result.assignments_match
+        assert result.profit_abs_diff < 1e-9
+        assert result.batch_ms > 0.0
+        assert result.scalar_ms > 0.0
+        text = format_large_fleet(result)
+        assert "speedup" in text
+        assert "match" in text

@@ -100,6 +100,16 @@ class TestEnergy:
         model = atom_power_model()
         assert model.marginal_watts(150.0, 150.0) == pytest.approx(0.0)
 
+    def test_marginal_watts_vectorized_matches_scalar(self):
+        model = atom_power_model()
+        before = np.array([0.0, 100.0, 150.0, 350.0])
+        after = np.array([50.0, 200.0, 150.0, 400.0])
+        out = model.marginal_watts(before, after)
+        assert out.shape == before.shape
+        for i in range(before.size):
+            assert out[i] == pytest.approx(
+                model.marginal_watts(float(before[i]), float(after[i])))
+
 
 class TestValidation:
     def test_empty_core_watts_rejected(self):
