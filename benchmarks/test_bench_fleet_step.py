@@ -1,0 +1,50 @@
+"""Bench fleet stepping — array-backed vs scalar full simulation.
+
+PR 1 made placement scoring ~70x faster, leaving the per-VM stepping loops
+of ``MultiDCSystem.step`` as the simulator's bottleneck.  The batch
+stepping subsystem (:mod:`repro.sim.fleet`) must clear a >= 5x end-to-end
+speedup on a full 500-VM x 200-PM x 96-interval simulation while
+reproducing the scalar reference reports within 1e-9 on every field.
+"""
+
+import pytest
+
+from repro.experiments.scaling import (format_fleet_simulation,
+                                       run_fleet_simulation,
+                                       synthetic_fleet_system)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fleet_simulation(n_hosts=200, n_vms=500, n_intervals=96,
+                                seed=7)
+
+
+def test_bench_fleet_step(benchmark, result):
+    from repro.sim.engine import run_simulation
+
+    system, trace = synthetic_fleet_system(n_hosts=200, n_vms=500,
+                                           n_intervals=96, seed=7)
+    benchmark.pedantic(lambda: run_simulation(system, trace, batch=True),
+                       rounds=3, iterations=1)
+    print()
+    print(format_fleet_simulation(result))
+
+
+class TestShape:
+    def test_batch_at_least_5x_faster(self, result):
+        assert result.speedup >= 5.0, (
+            f"batch stepping only {result.speedup:.1f}x faster "
+            f"({result.batch_s:.2f} s vs {result.scalar_s:.2f} s)")
+
+    def test_batch_reproduces_scalar_reports(self, result):
+        assert result.max_abs_diff < 1e-9
+
+    def test_scenario_is_large(self, result):
+        assert result.n_pms >= 200
+        assert result.n_vms >= 500
+        assert result.n_intervals >= 96
+
+    def test_run_produced_real_physics(self, result):
+        assert 0.0 < result.mean_sla <= 1.0
+        assert result.total_profit_eur != 0.0

@@ -1,0 +1,54 @@
+"""Check that relative markdown links point at real files.
+
+Usage::
+
+    python docs/check_links.py README.md docs/*.md
+
+Scans each given markdown file for ``[text](target)`` links, ignores
+external URLs and pure anchors, and verifies every relative target exists
+on disk (resolved against the linking file's directory). Exits non-zero
+listing the broken links, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def broken_links(path: Path) -> list:
+    out = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            out.append((str(path), target))
+    return out
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]")
+        return 2
+    bad = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            bad.append((name, "<file itself missing>"))
+            continue
+        bad.extend(broken_links(path))
+    if bad:
+        for source, target in bad:
+            print(f"BROKEN: {source} -> {target}")
+        return 1
+    print(f"all links resolve in {len(argv)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

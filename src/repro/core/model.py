@@ -48,7 +48,7 @@ from ..sim.power import PowerModel
 from .estimators import (Estimator, scalar_process_rt_batch,
                          scalar_process_sla_batch)
 from .profit import PriceBook, energy_cost_eur, migration_penalty_eur
-from .sla import SLAContract, weighted_sla
+from .sla import SLAContract, rt_for_fulfillment_arrays, weighted_sla
 
 __all__ = ["ObjectiveWeights", "VMRequest", "HostView", "HostBatch",
            "SchedulingProblem", "PlacementEvaluation", "BatchEvaluation",
@@ -219,7 +219,9 @@ class HostBatch:
     Mutations go through :meth:`commit` / :meth:`release`, which update the
     underlying :class:`HostView` and then :meth:`refresh` *only the changed
     column* — the incremental contract that lets Best-Fit reuse one batch
-    across a whole scheduling round.
+    across a whole scheduling round.  (The simulator-side sibling is
+    :class:`repro.sim.fleet.FleetState`, which snapshots a whole
+    (system, trace) pair the same way for batch interval stepping.)
 
     Aggregates deliberately mirror the scalar path's arithmetic:
     ``used_*`` accumulates in the same order as :attr:`HostView.used` and
@@ -541,11 +543,8 @@ def _batch_sla(problem: SchedulingProblem, request: VMRequest,
         sla_proc = np.asarray(_est_sla_batch(
             est, request.vm, agg, required, given_cpu, given_mem, given_bw,
             contract, request.queue_len), dtype=float)
-        # contract.rt_for_fulfillment, elementwise.
-        eq_rt = np.where(
-            sla_proc >= 1.0, contract.rt0,
-            contract.rt0 + (1.0 - sla_proc) * (contract.alpha - 1.0)
-            * contract.rt0)
+        eq_rt = rt_for_fulfillment_arrays(sla_proc, contract.rt0,
+                                          contract.alpha)
     # weighted_sla over the request's sources, with per-host latencies.
     lat_s = {loc: {src: problem.network.host_to_source_ms(loc, src) / 1000.0
                    for src in request.loads}
@@ -595,7 +594,10 @@ def evaluate_candidates(problem: SchedulingProblem, request: VMRequest,
     ``hosts`` is a :class:`HostBatch` (reused across a scheduling round) or
     any sequence of :class:`HostView` (a throwaway batch is built).  The
     result matches a loop of :func:`placement_profit` calls within 1e-9 on
-    every field.
+    every field.  ``required`` may be passed to avoid re-estimating the
+    VM's demand when scoring the same request against several batches.
+    Estimators without ``*_batch`` methods transparently fall back to
+    per-host scalar calls, so any duck-typed estimator works (just slower).
     """
     batch = hosts if isinstance(hosts, HostBatch) else HostBatch.of(hosts)
     est = problem.estimator
@@ -663,8 +665,11 @@ def score_candidates(problem: SchedulingProblem, request: VMRequest,
                      ) -> np.ndarray:
     """Profit of placing ``request`` on each candidate host (the batch API).
 
-    Thin wrapper over :func:`evaluate_candidates` returning only the score
-    vector the schedulers argmax over.
+    Thin wrapper over :func:`evaluate_candidates` returning only the
+    profit vector (EUR per interval, aligned with the batch's host order)
+    that the schedulers argmax over.  Use :func:`evaluate_candidates`
+    directly when the per-term breakdown (revenue / energy / migration /
+    SLA / grants) is needed.
     """
     return evaluate_candidates(problem, request, hosts,
                                required=required).profit_eur

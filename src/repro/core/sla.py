@@ -16,27 +16,48 @@ from typing import Iterable, Mapping, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["SLAContract", "sla_fulfillment", "weighted_sla", "PAPER_SLA"]
+__all__ = ["SLAContract", "sla_fulfillment", "rt_for_fulfillment_arrays",
+           "weighted_sla", "PAPER_SLA"]
 
 
-def sla_fulfillment(rt, rt0: float, alpha: float):
+def sla_fulfillment(rt, rt0, alpha):
     """The paper's piecewise SLA(RT) function; scalar or vectorized.
 
     ``SLA(RT) = 1`` for ``RT <= RT0``; ``0`` for ``RT > alpha*RT0``;
-    linear in between.
+    linear in between.  ``rt0`` and ``alpha`` may be scalars (one
+    contract) or arrays aligned with ``rt`` (per-VM contracts, as in the
+    batch stepping path); everything broadcasts.
     """
-    if rt0 <= 0:
+    rt0_arr = np.asarray(rt0, dtype=float)
+    alpha_arr = np.asarray(alpha, dtype=float)
+    if np.any(rt0_arr <= 0):
         raise ValueError("rt0 must be positive")
-    if alpha <= 1:
+    if np.any(alpha_arr <= 1):
         raise ValueError("alpha must exceed 1")
     rt_arr = np.asarray(rt, dtype=float)
     if np.any(rt_arr < 0):
         raise ValueError("response time must be non-negative")
-    degraded = 1.0 - (rt_arr - rt0) / ((alpha - 1.0) * rt0)
+    degraded = 1.0 - (rt_arr - rt0_arr) / ((alpha_arr - 1.0) * rt0_arr)
     out = np.clip(degraded, 0.0, 1.0)
-    if np.ndim(rt) == 0:
+    if np.ndim(rt) == 0 and np.ndim(rt0) == 0 and np.ndim(alpha) == 0:
         return float(out)
     return out
+
+
+def rt_for_fulfillment_arrays(level, rt0, alpha) -> np.ndarray:
+    """Vectorized inverse of :meth:`SLAContract.rt_for_fulfillment`.
+
+    The largest RT achieving at least ``level`` fulfillment, elementwise;
+    all arguments broadcast.  Unlike the scalar method it does not
+    range-check ``level`` — the batch scoring path feeds it raw estimator
+    outputs, whose sub-0 values extrapolate to the same (worse) RT the
+    clipped SLA would imply.
+    """
+    level = np.asarray(level, dtype=float)
+    rt0 = np.asarray(rt0, dtype=float)
+    alpha = np.asarray(alpha, dtype=float)
+    return np.where(level >= 1.0, rt0,
+                    rt0 + (1.0 - level) * (alpha - 1.0) * rt0)
 
 
 @dataclass(frozen=True)

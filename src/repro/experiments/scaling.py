@@ -32,7 +32,9 @@ from .scenario import ScenarioConfig, multidc_system, multidc_trace
 
 __all__ = ["ScalingPoint", "ScalingResult", "run_scaling", "format_scaling",
            "synthetic_fleet_problem", "LargeFleetResult", "run_large_fleet",
-           "format_large_fleet"]
+           "format_large_fleet", "synthetic_fleet_system",
+           "FleetSimResult", "run_fleet_simulation",
+           "format_fleet_simulation"]
 
 
 @dataclass(frozen=True)
@@ -203,6 +205,121 @@ def run_large_fleet(n_hosts: int = 200, n_vms: int = 500, seed: int = 7,
                             - scalar_result.total_profit))
 
 
+def synthetic_fleet_system(n_hosts: int = 200, n_vms: int = 500,
+                           n_intervals: int = 96, seed: int = 7):
+    """A large live fleet for end-to-end stepping studies.
+
+    Hosts spread over the paper's four locations (tariffs included), VMs
+    deployed round-robin so most hosts are multi-tenant, and a diurnal
+    per-VM load (timezone-shifted sinusoid plus noise) with one or two
+    client regions per VM — enough variety to exercise bursting,
+    contention, memory saturation and per-source latency weighting.
+    Returns ``(system, trace)``; build it twice (same seed) for
+    differential runs, since placement state is mutable.
+    """
+    if n_hosts < len(PAPER_LOCATIONS) or n_vms < 1 or n_intervals < 1:
+        raise ValueError("need >= 1 host per DC, >= 1 VM and >= 1 interval")
+    from ..sim.datacenter import PAPER_ENERGY_PRICES, build_datacenter
+    from ..sim.multidc import MultiDCSystem
+    from ..workload.traces import SourceSeries, WorkloadTrace
+
+    rng = np.random.default_rng(seed)
+    per_dc = [n_hosts // len(PAPER_LOCATIONS)] * len(PAPER_LOCATIONS)
+    per_dc[0] += n_hosts - sum(per_dc)
+    dcs = [build_datacenter(loc, n) for loc, n in
+           zip(PAPER_LOCATIONS, per_dc)]
+    vms = {f"vm{j:04d}": VirtualMachine(vm_id=f"vm{j:04d}")
+           for j in range(n_vms)}
+    system = MultiDCSystem(
+        datacenters=dcs, vms=vms, network=paper_network_model(),
+        prices=PriceBook(energy_price_eur_kwh=PAPER_ENERGY_PRICES))
+    trace = WorkloadTrace(interval_s=600.0)
+    hours = np.arange(n_intervals) * trace.interval_s / 3600.0
+    for j, vm_id in enumerate(vms):
+        base = float(rng.uniform(2.0, 25.0))
+        phase = (j % len(PAPER_LOCATIONS)) / len(PAPER_LOCATIONS)
+        for k in range(1 + j % 2):
+            src = PAPER_LOCATIONS[(j + k) % len(PAPER_LOCATIONS)]
+            rps = base * (1.0 + 0.6 * np.sin(
+                2.0 * np.pi * (hours / 24.0 + phase)))
+            rps = np.maximum(0.0, rps + rng.normal(0.0, 0.1 * base,
+                                                   n_intervals))
+            trace.add(vm_id, src, SourceSeries(
+                rps=rps,
+                bytes_per_req=np.full(n_intervals,
+                                      float(rng.uniform(2000.0, 8000.0))),
+                cpu_time_per_req=np.full(n_intervals,
+                                         float(rng.uniform(0.01, 0.03)))))
+    pm_ids = [pm.pm_id for dc in dcs for pm in dc.pms]
+    for j, vm_id in enumerate(vms):
+        system.deploy(vm_id, pm_ids[j % len(pm_ids)])
+    return system, trace
+
+
+@dataclass(frozen=True)
+class FleetSimResult:
+    """Batch vs scalar cost of one full large-fleet simulation."""
+
+    n_vms: int
+    n_pms: int
+    n_intervals: int
+    batch_s: float
+    scalar_s: float
+    max_abs_diff: float
+    mean_sla: float
+    total_profit_eur: float
+
+    @property
+    def speedup(self) -> float:
+        if self.batch_s <= 0:
+            return float("inf")
+        return self.scalar_s / self.batch_s
+
+
+def run_fleet_simulation(n_hosts: int = 200, n_vms: int = 500,
+                         n_intervals: int = 96,
+                         seed: int = 7) -> FleetSimResult:
+    """Run the large-fleet scenario end-to-end, batch and scalar.
+
+    Both runs use a static placement (``scheduler=None``) so the measured
+    cost is the stepping path itself — the scheduler's own batch speedup
+    is PR 1's story (:func:`run_large_fleet`).  Returns wall-clock for
+    each path and the equivalence evidence: the largest absolute
+    difference across every field of every interval report
+    (:func:`repro.sim.fleet.report_max_abs_diff`).
+    """
+    from ..sim.engine import run_simulation
+    from ..sim.fleet import report_max_abs_diff
+
+    def run(batch: bool):
+        system, trace = synthetic_fleet_system(
+            n_hosts=n_hosts, n_vms=n_vms, n_intervals=n_intervals,
+            seed=seed)
+        t0 = time.perf_counter()
+        history = run_simulation(system, trace, batch=batch)
+        return time.perf_counter() - t0, history
+
+    batch_s, batch_hist = run(batch=True)
+    scalar_s, scalar_hist = run(batch=False)
+    diff = max(report_max_abs_diff(rb, rs) for rb, rs in
+               zip(batch_hist.reports, scalar_hist.reports))
+    summary = batch_hist.summary()
+    return FleetSimResult(
+        n_vms=n_vms, n_pms=n_hosts, n_intervals=n_intervals,
+        batch_s=batch_s, scalar_s=scalar_s, max_abs_diff=diff,
+        mean_sla=summary.avg_sla, total_profit_eur=summary.profit_eur)
+
+
+def format_fleet_simulation(result: FleetSimResult) -> str:
+    return (
+        f"Full simulation ({result.n_vms} VMs x {result.n_pms} PMs x "
+        f"{result.n_intervals} intervals): batch {result.batch_s:.2f} s, "
+        f"scalar {result.scalar_s:.2f} s, speedup {result.speedup:.1f}x, "
+        f"max |report diff| = {result.max_abs_diff:.2e} "
+        f"(avg SLA {result.mean_sla:.3f}, "
+        f"profit {result.total_profit_eur:.2f} EUR)")
+
+
 def format_large_fleet(result: LargeFleetResult) -> str:
     return (
         f"Large-fleet round ({result.n_vms} VMs x {result.n_pms} PMs): "
@@ -229,3 +346,5 @@ if __name__ == "__main__":
     print(format_scaling(run_scaling()))
     print()
     print(format_large_fleet(run_large_fleet()))
+    print()
+    print(format_fleet_simulation(run_fleet_simulation()))

@@ -10,6 +10,7 @@ Sub-modules:
 * :mod:`~repro.sim.network` — latency matrices (Table II), migration timing.
 * :mod:`~repro.sim.datacenter` — :class:`DataCenter` and Table II tariffs.
 * :mod:`~repro.sim.multidc` — :class:`MultiDCSystem` global state machine.
+* :mod:`~repro.sim.fleet` — array-backed batch stepping (:class:`FleetState`).
 * :mod:`~repro.sim.monitor` — noisy observation layer (training data).
 * :mod:`~repro.sim.engine` — interval loop, :class:`RunHistory`.
 """
@@ -18,11 +19,13 @@ from .datacenter import PAPER_ENERGY_PRICES, DataCenter, build_datacenter
 from .demand import DemandModel, LoadVector
 from .engine import RunHistory, RunSummary, run_simulation
 from .failures import FailureEvent, FailureInjector
+from .fleet import FleetState, fleet_step
 from .machines import PhysicalMachine, Resources, VirtualMachine
 from .monitor import Monitor, PMSample, VMSample
 from .multidc import (IntervalReport, MigrationEvent, MultiDCSystem,
                       PMIntervalStats, VMIntervalStats,
-                      proportional_allocation)
+                      proportional_allocation,
+                      proportional_allocation_batch)
 from .network import (PAPER_BANDWIDTH_GBPS, PAPER_LATENCIES_MS,
                       PAPER_LOCATIONS, LatencyMatrix, NetworkModel,
                       paper_latency_matrix, paper_network_model)
@@ -39,10 +42,12 @@ __all__ = [
     "DemandModel", "LoadVector",
     "RunHistory", "RunSummary", "run_simulation",
     "FailureEvent", "FailureInjector",
+    "FleetState", "fleet_step",
     "PhysicalMachine", "Resources", "VirtualMachine",
     "Monitor", "PMSample", "VMSample",
     "IntervalReport", "MigrationEvent", "MultiDCSystem",
     "PMIntervalStats", "VMIntervalStats", "proportional_allocation",
+    "proportional_allocation_batch",
     "PAPER_BANDWIDTH_GBPS", "PAPER_LATENCIES_MS", "PAPER_LOCATIONS",
     "LatencyMatrix", "NetworkModel", "paper_latency_matrix",
     "paper_network_model",

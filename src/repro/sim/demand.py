@@ -143,6 +143,22 @@ class DemandModel:
               + self.required_net_out(load.rps, load.bytes_per_req))
         return Resources(cpu=cpu, mem=mem, bw=bw)
 
+    def required_batch(self, rps, bytes_per_req, cpu_time_per_req,
+                       base_mem_mb, cpu_cap: float = 400.0):
+        """Vectorized :meth:`required_resources` over aligned load arrays.
+
+        All inputs broadcast; returns the ``(cpu, mem, bw)`` requirement
+        arrays (percent-of-core, MB, KB/s).  Used by the batch stepping
+        path (:mod:`repro.sim.fleet`) to evaluate constraint 5.1 for the
+        whole fleet in a handful of array operations; matches the scalar
+        method element-for-element.
+        """
+        cpu = np.minimum(self.required_cpu(rps, cpu_time_per_req), cpu_cap)
+        mem = self.required_mem(rps, bytes_per_req, base_mem_mb)
+        bw = (self.required_net_in(rps, bytes_per_req)
+              + self.required_net_out(rps, bytes_per_req))
+        return cpu, mem, bw
+
     # -- PM-level aggregation -------------------------------------------------
     def pm_cpu(self, vm_cpus) -> float:
         """Total PM CPU given its VMs' CPU use, with hypervisor overhead.

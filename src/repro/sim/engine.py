@@ -176,7 +176,8 @@ def run_simulation(system: MultiDCSystem, trace: WorkloadTrace,
                    monitor: Optional[Monitor] = None,
                    failure_injector=None,
                    start: int = 0,
-                   stop: Optional[int] = None) -> RunHistory:
+                   stop: Optional[int] = None,
+                   batch: bool = True) -> RunHistory:
     """Run the interval loop over ``trace[start:stop]``.
 
     Parameters
@@ -192,6 +193,10 @@ def run_simulation(system: MultiDCSystem, trace: WorkloadTrace,
         Optional :class:`repro.sim.failures.FailureInjector`; stepped before
         the scheduler each interval, so orphaned VMs can be re-placed in the
         same round.
+    batch:
+        Step intervals through the array-backed fleet path (default; see
+        :mod:`repro.sim.fleet`) or the scalar per-VM reference loop.  Both
+        produce reports that agree within 1e-9 on every field.
     """
     if schedule_every < 1:
         raise ValueError("schedule_every must be >= 1")
@@ -210,7 +215,7 @@ def run_simulation(system: MultiDCSystem, trace: WorkloadTrace,
             proposal = scheduler(system, trace, t)
             if proposal:
                 migrations = system.apply_schedule(proposal)
-        report = system.step(trace, t, migrations=migrations)
+        report = system.step(trace, t, migrations=migrations, batch=batch)
         if monitor is not None:
             monitor.observe(report)
         history.append(report)

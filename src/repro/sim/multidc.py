@@ -33,7 +33,8 @@ from .tariffs import TariffSchedule
 from ..workload.traces import WorkloadTrace
 
 __all__ = ["MigrationEvent", "VMIntervalStats", "PMIntervalStats",
-           "IntervalReport", "MultiDCSystem", "proportional_allocation"]
+           "IntervalReport", "MultiDCSystem", "proportional_allocation",
+           "proportional_allocation_batch"]
 
 
 @dataclass(frozen=True)
@@ -198,6 +199,108 @@ def proportional_allocation(capacity: Resources,
             for i, v in enumerate(vm_ids)}
 
 
+def _seg_sum(values: np.ndarray, seg: np.ndarray, n: int) -> np.ndarray:
+    """Per-host sums of per-VM values (``seg[i]`` is VM ``i``'s host index)."""
+    return np.bincount(seg, weights=values, minlength=n)
+
+
+def _burst_dim_seg(d: np.ndarray, c: np.ndarray, cap: np.ndarray,
+                   seg: np.ndarray, n_hosts: int) -> np.ndarray:
+    """Segmented twin of the scalar allocator's ``burst_dim``.
+
+    Runs the same arithmetic — pro-rata scaling when over-committed,
+    cap-respecting water-fill of the spare when under-committed — for every
+    host at once.  The redistribution loop is shared: each pass updates only
+    hosts that still have spare capacity and uncapped takers, exactly the
+    hosts whose scalar loop would not have broken yet.
+    """
+    total = _seg_sum(d, seg, n_hosts)
+    live = total > 1e-9
+    safe_total = np.where(live, total, 1.0)
+    grants = d * np.minimum(1.0, cap / safe_total)[seg]
+    under = live & (total < cap)
+    if under.any():
+        ratio = (cap / safe_total)[seg]
+        grants = np.where(under[seg], np.minimum(d * ratio, c), grants)
+        # Capacity released by capped VMs goes back to the others.  Each
+        # pass either caps a VM or hands out the whole spare, so every host
+        # settles within (its VM count + 1) passes — mirroring the scalar
+        # loop's ``range(len(grants))`` bound plus break conditions.
+        max_vms = int(np.bincount(seg, minlength=n_hosts).max())
+        active = under
+        for _ in range(max_vms + 1):
+            spare = cap - _seg_sum(grants, seg, n_hosts)
+            takers = ((c - grants) > 1e-12) & (d > 0)
+            taker_demand = _seg_sum(np.where(takers, d, 0.0), seg, n_hosts)
+            active = active & (spare > 1e-9) & (taker_demand > 0)
+            if not active.any():
+                break
+            update = takers & active[seg]
+            share = np.where(update,
+                             d / np.where(taker_demand > 0, taker_demand,
+                                          1.0)[seg], 0.0)
+            grants = np.where(update,
+                              np.minimum(grants + spare[seg] * share, c),
+                              grants)
+    return np.where(live[seg], grants, 0.0)
+
+
+def _mem_dim_seg(d: np.ndarray, cap: np.ndarray, seg: np.ndarray,
+                 n_hosts: int) -> np.ndarray:
+    """Segmented twin of the scalar allocator's ``mem_dim``."""
+    total = _seg_sum(d, seg, n_hosts)
+    over = (total > cap) & (total > 1e-9)
+    ratio = (cap / np.where(total > 1e-9, total, 1.0))[seg]
+    return np.where(over[seg], d * ratio, d)
+
+
+def proportional_allocation_batch(
+        cap_cpu: np.ndarray, cap_mem: np.ndarray, cap_bw: np.ndarray,
+        seg: np.ndarray,
+        d_cpu: np.ndarray, d_mem: np.ndarray, d_bw: np.ndarray,
+        c_cpu: Optional[np.ndarray] = None,
+        c_mem: Optional[np.ndarray] = None,
+        c_bw: Optional[np.ndarray] = None,
+        n_hosts: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`proportional_allocation` over many hosts at once.
+
+    Instead of one ``{vm_id: Resources}`` mapping per host, takes the whole
+    fleet as aligned arrays: ``cap_*`` are per-host capacities (length
+    ``n_hosts``), ``d_*`` are per-VM demands, ``c_*`` optional per-VM caps,
+    and ``seg[i]`` is the host index of VM ``i`` (hosts need not be
+    contiguous; empty hosts simply receive no VMs).  Returns the per-VM
+    ``(grant_cpu, grant_mem, grant_bw)`` arrays.
+
+    The arithmetic mirrors the scalar function operation-for-operation so
+    the two agree within 1e-9 per grant (the differential tests enforce
+    this); only the order of per-host summations differs.
+    """
+    seg = np.asarray(seg, dtype=np.intp)
+    cap_cpu = np.asarray(cap_cpu, dtype=float)
+    cap_mem = np.asarray(cap_mem, dtype=float)
+    cap_bw = np.asarray(cap_bw, dtype=float)
+    n = int(n_hosts) if n_hosts is not None else len(cap_cpu)
+    d_cpu = np.asarray(d_cpu, dtype=float)
+    d_mem = np.asarray(d_mem, dtype=float)
+    d_bw = np.asarray(d_bw, dtype=float)
+    inf = float("inf")
+    c_cpu = (np.full_like(d_cpu, inf) if c_cpu is None
+             else np.asarray(c_cpu, dtype=float))
+    c_mem = (np.full_like(d_mem, inf) if c_mem is None
+             else np.asarray(c_mem, dtype=float))
+    c_bw = (np.full_like(d_bw, inf) if c_bw is None
+            else np.asarray(c_bw, dtype=float))
+    # Same pre-pass as the scalar path: cap demands per VM, clip negatives.
+    d_cpu = np.maximum(np.minimum(d_cpu, c_cpu), 0.0)
+    d_mem = np.maximum(np.minimum(d_mem, c_mem), 0.0)
+    d_bw = np.maximum(np.minimum(d_bw, c_bw), 0.0)
+    g_cpu = _burst_dim_seg(d_cpu, c_cpu, cap_cpu, seg, n)
+    g_bw = _burst_dim_seg(d_bw, c_bw, cap_bw, seg, n)
+    g_mem = _mem_dim_seg(d_mem, cap_mem, seg, n)
+    return g_cpu, g_mem, g_bw
+
+
 @dataclass
 class MultiDCSystem:
     """Global multi-DC state: topology + placement + physics + tariffs."""
@@ -219,6 +322,10 @@ class MultiDCSystem:
     #: Ground-truth demands of the last played interval (vm_id -> Resources);
     #: schedulers use these to seed host views with out-of-scope VM demands.
     last_demands: Dict[str, Resources] = field(default_factory=dict)
+    #: Cached :class:`repro.sim.fleet.FleetState` for the batch stepping
+    #: path, keyed by the trace it was built from (see fleet.py).
+    _fleet_cache: Optional[object] = field(default=None, repr=False,
+                                           compare=False)
 
     def __post_init__(self) -> None:
         locs = [dc.location for dc in self.datacenters]
@@ -367,9 +474,28 @@ class MultiDCSystem:
 
     # -- one interval of physics ---------------------------------------------------
     def step(self, trace: WorkloadTrace, t: int,
-             migrations: Optional[List[MigrationEvent]] = None
-             ) -> IntervalReport:
-        """Play interval ``t`` of the trace against the current placement."""
+             migrations: Optional[List[MigrationEvent]] = None,
+             batch: bool = True) -> IntervalReport:
+        """Play interval ``t`` of the trace against the current placement.
+
+        With ``batch=True`` (the default) the interval is computed by the
+        array-backed stepping path (:mod:`repro.sim.fleet`): demands, the
+        proportional sharing, response times, SLA, power and the money
+        flows are evaluated as aligned numpy arrays over the whole fleet,
+        reusing a cached :class:`~repro.sim.fleet.FleetState` snapshot of
+        the trace.  ``batch=False`` runs the original per-VM reference
+        loop.  The two agree within 1e-9 on every
+        :class:`IntervalReport` field (differential tests enforce it).
+        """
+        if batch:
+            from .fleet import fleet_step
+            return fleet_step(self, trace, t, migrations=migrations)
+        return self._step_scalar(trace, t, migrations=migrations)
+
+    def _step_scalar(self, trace: WorkloadTrace, t: int,
+                     migrations: Optional[List[MigrationEvent]] = None
+                     ) -> IntervalReport:
+        """Reference implementation of :meth:`step` (per-VM Python loops)."""
         interval_s = trace.interval_s
         hours = interval_s / 3600.0
         migrations = migrations or []

@@ -173,3 +173,14 @@ class ResponseTimeModel:
             return 0.0
         served_fraction = 1.0 / stress
         return float(load.rps * (1.0 - served_fraction) * interval_s)
+
+    def queue_length_arrays(self, rps, req_cpu, giv_cpu,
+                            interval_s: float) -> np.ndarray:
+        """Vectorized :meth:`queue_length` over aligned VM arrays."""
+        rps = np.asarray(rps, dtype=float)
+        if interval_s <= 0:
+            return np.zeros_like(rps)
+        stress = _ratio(req_cpu, giv_cpu)
+        served_fraction = 1.0 / np.maximum(stress, 1e-9)
+        return np.where((rps <= 0) | (stress <= 1.0), 0.0,
+                        rps * (1.0 - served_fraction) * interval_s)

@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.experiments.scaling import (ScalingPoint, format_large_fleet,
-                                       format_scaling, run_large_fleet,
-                                       run_scaling, synthetic_fleet_problem)
+from repro.experiments.scaling import (ScalingPoint, format_fleet_simulation,
+                                       format_large_fleet, format_scaling,
+                                       run_fleet_simulation, run_large_fleet,
+                                       run_scaling, synthetic_fleet_problem,
+                                       synthetic_fleet_system)
 
 
 @pytest.fixture(scope="module")
@@ -70,3 +72,45 @@ class TestLargeFleet:
         text = format_large_fleet(result)
         assert "speedup" in text
         assert "match" in text
+
+
+class TestSyntheticFleetSystem:
+    def test_shape_and_variety(self):
+        system, trace = synthetic_fleet_system(n_hosts=8, n_vms=20,
+                                               n_intervals=6, seed=2)
+        assert len(system.pms) == 8
+        assert len(system.vms) == 20
+        assert trace.n_intervals == 6
+        assert len(system.placement()) == 20
+        assert len({dc.location for dc in system.datacenters}) == 4
+        # Mixed single- and dual-region client mixes.
+        per_vm = {}
+        for vm, _src in trace.series:
+            per_vm[vm] = per_vm.get(vm, 0) + 1
+        assert set(per_vm.values()) == {1, 2}
+
+    def test_deterministic_per_seed(self):
+        (_, a) = synthetic_fleet_system(n_hosts=8, n_vms=6, n_intervals=4,
+                                        seed=3)
+        (_, b) = synthetic_fleet_system(n_hosts=8, n_vms=6, n_intervals=4,
+                                        seed=3)
+        for key in a.series:
+            assert (a.series[key].rps == b.series[key].rps).all()
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            synthetic_fleet_system(n_hosts=2, n_vms=5, n_intervals=4)
+
+
+class TestFleetSimulation:
+    def test_small_round_trip(self):
+        """Tiny sizes here; the benchmark suite runs 500x200x96."""
+        result = run_fleet_simulation(n_hosts=8, n_vms=20, n_intervals=4,
+                                      seed=4)
+        assert result.max_abs_diff < 1e-9
+        assert result.batch_s > 0.0
+        assert result.scalar_s > 0.0
+        assert 0.0 < result.mean_sla <= 1.0
+        text = format_fleet_simulation(result)
+        assert "speedup" in text
+        assert "report diff" in text

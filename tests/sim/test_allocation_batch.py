@@ -1,0 +1,182 @@
+"""Edge-case coverage for proportional allocation, scalar and vectorized.
+
+The segmented :func:`proportional_allocation_batch` must mirror the scalar
+:func:`proportional_allocation` on every corner of the sharing model:
+hosts with no capacity, fleets that all burst into spare capacity,
+memory overcommit, per-VM caps with redistribution, and degenerate
+demands.  A randomized differential sweep pins the two together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.machines import Resources
+from repro.sim.multidc import (proportional_allocation,
+                               proportional_allocation_batch)
+
+
+def res(cpu=0.0, mem=0.0, bw=0.0):
+    return Resources(cpu=cpu, mem=mem, bw=bw)
+
+
+def batch_single_host(capacity, demands, caps=None):
+    """Run the vectorized allocator for one host, dict-in / dict-out."""
+    vm_ids = list(demands)
+    seg = np.zeros(len(vm_ids), dtype=np.intp)
+    kw = {}
+    if caps is not None:
+        inf = float("inf")
+        kw = dict(
+            c_cpu=np.array([caps[v].cpu if v in caps else inf
+                            for v in vm_ids]),
+            c_mem=np.array([caps[v].mem if v in caps else inf
+                            for v in vm_ids]),
+            c_bw=np.array([caps[v].bw if v in caps else inf
+                           for v in vm_ids]))
+    g_cpu, g_mem, g_bw = proportional_allocation_batch(
+        np.array([capacity.cpu]), np.array([capacity.mem]),
+        np.array([capacity.bw]), seg,
+        np.array([demands[v].cpu for v in vm_ids]),
+        np.array([demands[v].mem for v in vm_ids]),
+        np.array([demands[v].bw for v in vm_ids]), **kw)
+    return {v: res(float(g_cpu[i]), float(g_mem[i]), float(g_bw[i]))
+            for i, v in enumerate(vm_ids)}
+
+
+def assert_grants_match(a, b, tol=1e-9):
+    assert set(a) == set(b)
+    for vm_id in a:
+        for dim in ("cpu", "mem", "bw"):
+            assert abs(getattr(a[vm_id], dim)
+                       - getattr(b[vm_id], dim)) < tol, (vm_id, dim)
+
+
+BOTH_PATHS = [
+    pytest.param(proportional_allocation, id="scalar"),
+    pytest.param(batch_single_host, id="batch"),
+]
+
+
+@pytest.mark.parametrize("allocate", BOTH_PATHS)
+class TestEdgeCases:
+    def test_zero_capacity_pm(self, allocate):
+        """A host with nothing to give grants exactly nothing."""
+        grants = allocate(res(0.0, 0.0, 0.0),
+                          {"a": res(100, 512, 50), "b": res(50, 256, 10)})
+        for g in grants.values():
+            assert g.cpu == 0.0
+            assert g.mem == 0.0
+            assert g.bw == 0.0
+
+    def test_all_vms_burst(self, allocate):
+        """Under-committed host: everyone bursts pro-rata into the spare."""
+        grants = allocate(res(400, 4096, 1000),
+                          {"a": res(50, 100, 100), "b": res(150, 300, 300)})
+        # CPU/BW burst by demand share; mem is granted at demand.
+        assert grants["a"].cpu == pytest.approx(100.0)
+        assert grants["b"].cpu == pytest.approx(300.0)
+        assert grants["a"].bw == pytest.approx(250.0)
+        assert grants["b"].bw == pytest.approx(750.0)
+        assert grants["a"].mem == pytest.approx(100.0)
+        assert grants["b"].mem == pytest.approx(300.0)
+
+    def test_all_vms_burst_hits_caps(self, allocate):
+        """Caps bound the burst; the released spare goes to the others."""
+        caps = {"a": res(80, 4096, 1000), "b": res(400, 4096, 1000)}
+        grants = allocate(res(400, 4096, 1000),
+                          {"a": res(50, 0, 0), "b": res(150, 0, 0)},
+                          caps)
+        assert grants["a"].cpu == pytest.approx(80.0)
+        assert grants["b"].cpu == pytest.approx(320.0)
+
+    def test_memory_dim_overflow(self, allocate):
+        """Memory overcommit scales everyone down proportionally."""
+        grants = allocate(res(400, 1000, 1000),
+                          {"a": res(0, 1500, 0), "b": res(0, 500, 0)})
+        assert grants["a"].mem == pytest.approx(750.0)
+        assert grants["b"].mem == pytest.approx(250.0)
+        total = sum(g.mem for g in grants.values())
+        assert total == pytest.approx(1000.0)
+
+    def test_memory_exactly_at_capacity(self, allocate):
+        grants = allocate(res(400, 1000, 1000),
+                          {"a": res(0, 600, 0), "b": res(0, 400, 0)})
+        assert grants["a"].mem == pytest.approx(600.0)
+        assert grants["b"].mem == pytest.approx(400.0)
+
+    def test_zero_demands(self, allocate):
+        grants = allocate(res(400, 4096, 1000),
+                          {"a": res(0, 0, 0), "b": res(0, 0, 0)})
+        for g in grants.values():
+            assert (g.cpu, g.mem, g.bw) == (0.0, 0.0, 0.0)
+
+    def test_single_vm_takes_whole_burst_dims(self, allocate):
+        grants = allocate(res(400, 4096, 1000), {"a": res(10, 64, 5)})
+        assert grants["a"].cpu == pytest.approx(400.0)
+        assert grants["a"].bw == pytest.approx(1000.0)
+        assert grants["a"].mem == pytest.approx(64.0)
+
+    def test_cap_below_fair_share_overcommitted(self, allocate):
+        """Caps also bite when the host is over-committed."""
+        caps = {"a": res(50, 1024, 1000), "b": res(400, 1024, 1000)}
+        grants = allocate(res(400, 4096, 1000),
+                          {"a": res(300, 0, 0), "b": res(300, 0, 0)},
+                          caps)
+        # a's demand is capped to 50 before sharing.
+        assert grants["a"].cpu <= 50.0 + 1e-9
+        total = sum(g.cpu for g in grants.values())
+        assert total <= 400.0 + 1e-6
+
+
+class TestBatchMultiHost:
+    def test_segmented_matches_per_host_scalar(self):
+        """Many hosts at once == one scalar call per host."""
+        rng = np.random.default_rng(42)
+        n_hosts, n_vms = 7, 40
+        cap_cpu = rng.uniform(0.0, 500.0, n_hosts)
+        cap_mem = rng.uniform(0.0, 5000.0, n_hosts)
+        cap_bw = rng.uniform(0.0, 2000.0, n_hosts)
+        seg = np.sort(rng.integers(0, n_hosts, n_vms))
+        d_cpu = rng.uniform(0.0, 300.0, n_vms)
+        d_mem = rng.uniform(0.0, 2000.0, n_vms)
+        d_bw = rng.uniform(0.0, 900.0, n_vms)
+        c_cpu = rng.uniform(50.0, 400.0, n_vms)
+        c_mem = rng.uniform(200.0, 4000.0, n_vms)
+        c_bw = rng.uniform(100.0, 1500.0, n_vms)
+        g_cpu, g_mem, g_bw = proportional_allocation_batch(
+            cap_cpu, cap_mem, cap_bw, seg, d_cpu, d_mem, d_bw,
+            c_cpu=c_cpu, c_mem=c_mem, c_bw=c_bw, n_hosts=n_hosts)
+        for h in range(n_hosts):
+            ix = np.flatnonzero(seg == h)
+            demands = {f"v{i}": res(d_cpu[i], d_mem[i], d_bw[i])
+                       for i in ix}
+            caps = {f"v{i}": res(c_cpu[i], c_mem[i], c_bw[i]) for i in ix}
+            expected = proportional_allocation(
+                res(cap_cpu[h], cap_mem[h], cap_bw[h]), demands, caps)
+            for i in ix:
+                e = expected[f"v{i}"]
+                assert abs(g_cpu[i] - e.cpu) < 1e-9
+                assert abs(g_mem[i] - e.mem) < 1e-9
+                assert abs(g_bw[i] - e.bw) < 1e-9
+
+    def test_grants_never_exceed_capacity(self):
+        rng = np.random.default_rng(7)
+        for trial in range(20):
+            n_hosts = int(rng.integers(1, 6))
+            n_vms = int(rng.integers(0, 12))
+            cap = rng.uniform(0.0, 400.0, n_hosts)
+            seg = np.sort(rng.integers(0, n_hosts, n_vms))
+            d = rng.uniform(0.0, 300.0, n_vms)
+            g_cpu, g_mem, g_bw = proportional_allocation_batch(
+                cap, cap, cap, seg, d, d, d, n_hosts=n_hosts)
+            for g in (g_cpu, g_mem, g_bw):
+                totals = np.bincount(seg, weights=g, minlength=n_hosts)
+                assert np.all(totals <= cap + 1e-6)
+                assert np.all(g >= 0.0)
+
+    def test_empty_fleet(self):
+        g_cpu, g_mem, g_bw = proportional_allocation_batch(
+            np.array([400.0]), np.array([4096.0]), np.array([1000.0]),
+            np.array([], dtype=np.intp), np.array([]), np.array([]),
+            np.array([]))
+        assert g_cpu.size == g_mem.size == g_bw.size == 0
