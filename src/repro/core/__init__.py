@@ -10,14 +10,14 @@
 * :mod:`~repro.core.policies` — ready-made scheduler presets.
 """
 
-from .bestfit import (BestFitResult, build_problem, descending_best_fit,
-                      make_bestfit_scheduler)
+from .bestfit import (BestFitResult, SchedulingRound, build_problem,
+                      descending_best_fit, make_bestfit_scheduler)
 from .estimators import (Estimator, MLEstimator, ObservedEstimator,
                          OracleEstimator)
 from .exact import ExactResult, exact_schedule
 from .hierarchical import HierarchicalScheduler, RoundDiagnostics
 from .model import (BatchEvaluation, HostBatch, HostView, ObjectiveWeights,
-                    PlacementEvaluation, SchedulingProblem,
+                    PlacementEvaluation, RoundScorer, SchedulingProblem,
                     ScheduleViolation, VMRequest, check_schedule,
                     evaluate_candidates, evaluate_schedule,
                     placement_profit, score_candidates)
@@ -30,13 +30,14 @@ from .profit import (PriceBook, ProfitBreakdown, energy_cost_eur,
 from .sla import PAPER_SLA, SLAContract, sla_fulfillment, weighted_sla
 
 __all__ = [
-    "BestFitResult", "build_problem", "descending_best_fit",
-    "make_bestfit_scheduler",
+    "BestFitResult", "SchedulingRound", "build_problem",
+    "descending_best_fit", "make_bestfit_scheduler",
     "Estimator", "MLEstimator", "ObservedEstimator", "OracleEstimator",
     "ExactResult", "exact_schedule",
     "HierarchicalScheduler", "RoundDiagnostics",
     "BatchEvaluation", "HostBatch", "HostView", "ObjectiveWeights",
-    "PlacementEvaluation", "SchedulingProblem", "ScheduleViolation",
+    "PlacementEvaluation", "RoundScorer", "SchedulingProblem",
+    "ScheduleViolation",
     "VMRequest", "check_schedule", "evaluate_candidates",
     "evaluate_schedule", "placement_profit", "score_candidates",
     "OnlineLearningScheduler",

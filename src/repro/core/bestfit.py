@@ -27,16 +27,18 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from ..sim.demand import LoadVector
 from ..sim.engine import Scheduler
+from ..sim.fleet import FleetState
 from ..sim.multidc import MultiDCSystem
 from ..sim.machines import Resources
 from ..workload.traces import WorkloadTrace
 from .estimators import Estimator, MLEstimator, ObservedEstimator
-from .model import (HostBatch, HostView, ObjectiveWeights,
-                    PlacementEvaluation, SchedulingProblem, VMRequest,
-                    evaluate_candidates, placement_profit)
+from .model import (BatchEvaluation, HostBatch, HostView, ObjectiveWeights,
+                    PlacementEvaluation, RoundScorer, SchedulingProblem,
+                    VMRequest, evaluate_candidates, placement_profit)
 
-__all__ = ["descending_best_fit", "build_problem",
+__all__ = ["descending_best_fit", "build_problem", "SchedulingRound",
            "make_bestfit_scheduler", "BestFitResult"]
 
 
@@ -100,31 +102,39 @@ def descending_best_fit(problem: SchedulingProblem,
     return _best_fit_scalar(problem, order, required, hosts, min_gain_eur)
 
 
-def _best_fit_batch(problem: SchedulingProblem,
-                    order: Sequence[VMRequest],
-                    required: Mapping[str, Resources],
-                    hosts: List[HostView],
-                    min_gain_eur: float) -> BestFitResult:
-    """Vectorized packing loop: one score vector + argmax per VM.
+def _pack_batch(order: Sequence[VMRequest],
+                required: Mapping[str, Resources],
+                host_batch: HostBatch,
+                min_gain_eur: float,
+                evaluate: Callable[[VMRequest, Resources], "BatchEvaluation"],
+                commit: Callable[[int, str, Resources, float], None]
+                ) -> BestFitResult:
+    """The batch packing loop: one score vector + argmax per VM.
 
     Reproduces the scalar loop's selection rule exactly: the running
     strict-``>`` maximum is the *first* host attaining the best score (ties
     keep the earlier host, as ``np.argmax`` does), and with a current host
     present the best challenger wins only when it beats the stay-put
-    baseline by ``min_gain_eur``.
+    baseline by ``min_gain_eur``.  ``evaluate`` and ``commit`` plug in the
+    scorer: :func:`evaluate_candidates` over the batch (the default path)
+    or a :class:`~repro.core.model.RoundScorer` (the round-snapshot path).
     """
-    host_batch = HostBatch.of(hosts)
     assignment: Dict[str, str] = {}
     evaluations: Dict[str, PlacementEvaluation] = {}
     for request in order:
         req = required[request.vm_id]
-        evs = evaluate_candidates(problem, request, host_batch,
-                                  required=req)
+        evs = evaluate(request, req)
         scores = evs.profit_eur
         cur = (host_batch.index.get(request.current_pm)
                if request.current_pm is not None else None)
         if cur is None:
             choice = int(np.argmax(scores))
+            # Scalar parity: a host only becomes "best" on a strict
+            # improvement over -inf, so an all--inf score vector (no
+            # feasible host) must raise, not silently pick host 0.
+            if scores[choice] == -np.inf:
+                raise RuntimeError(
+                    f"no feasible host for VM {request.vm_id!r}")
         else:
             others = scores.copy()
             others[cur] = -np.inf
@@ -137,12 +147,28 @@ def _best_fit_batch(problem: SchedulingProblem,
                 choice = challenger
             else:
                 choice = cur
-        host_batch.commit(choice, request.vm_id, evs.required,
-                          float(evs.used_cpu[choice]))
+        commit(choice, request.vm_id, evs.required,
+               float(evs.used_cpu[choice]))
         assignment[request.vm_id] = host_batch.hosts[choice].pm_id
         evaluations[request.vm_id] = evs.evaluation(choice)
     return BestFitResult(assignment=assignment, evaluations=evaluations,
                          order=[r.vm_id for r in order])
+
+
+def _best_fit_batch(problem: SchedulingProblem,
+                    order: Sequence[VMRequest],
+                    required: Mapping[str, Resources],
+                    hosts: List[HostView],
+                    min_gain_eur: float) -> BestFitResult:
+    """Vectorized packing via :func:`evaluate_candidates` over a batch."""
+    host_batch = HostBatch.of(hosts)
+
+    def evaluate(request, req):
+        return evaluate_candidates(problem, request, host_batch,
+                                   required=req)
+
+    return _pack_batch(order, required, host_batch, min_gain_eur,
+                       evaluate, host_batch.commit)
 
 
 def _best_fit_scalar(problem: SchedulingProblem,
@@ -200,12 +226,20 @@ def build_problem(system: MultiDCSystem, trace: WorkloadTrace, t: int,
     scope are released from the host views; out-of-scope VMs stay committed
     and constrain free capacity — this is the narrow interface the
     hierarchical scheduler builds on.
+
+    VMs without any trace series (and no ``loads_override`` entry) are
+    skipped, exactly like both stepping paths skip them: an untraced VM has
+    no load to plan for, so it stays put and keeps constraining the host
+    views as an out-of-scope resident.
     """
     placement = system.placement()
     # Default scope is *all* VMs, not just placed ones: orphans from host
     # failures must be re-placed on the next round.
     vm_ids = (list(scope_vms) if scope_vms is not None
               else sorted(system.vms))
+    vm_ids = [vm_id for vm_id in vm_ids
+              if trace.has_vm(vm_id)
+              or (loads_override is not None and vm_id in loads_override)]
     queue_lens = queue_lens or {}
     requests: List[VMRequest] = []
     for vm_id in vm_ids:
@@ -243,17 +277,246 @@ def build_problem(system: MultiDCSystem, trace: WorkloadTrace, t: int,
         auto_power_off=system.auto_power_off)
 
 
+class SchedulingRound:
+    """Array-backed snapshot of one scheduling round (system, trace, t).
+
+    The fast twin of per-round :func:`build_problem`.  Where the reference
+    re-materializes every :class:`VMRequest` and :class:`HostView` from
+    live Python objects *per problem* — the hierarchical scheduler builds
+    one problem per DC plus a global one, each walking the whole system —
+    a ``SchedulingRound`` snapshots the round once, straight from the
+    arrays the stepping path already has:
+
+    * requests are built from the cached
+      :class:`~repro.sim.fleet.FleetState` (per-source loads and
+      aggregates come from the stacked series rows, O(own sources) per
+      VM) and shared by every problem of the round;
+    * host views are sliced from a per-round base (one walk over the live
+      PMs), releasing only the VMs in each problem's scope;
+    * per-VM demand estimates come from one vectorized
+      ``required_resources_batch`` call when the estimator supports it;
+    * packing runs the shared loop over a
+      :class:`~repro.core.model.RoundScorer`, which hoists latency,
+      migration and power lookups to problem scope.
+
+    The object-walking :func:`build_problem` + :func:`descending_best_fit`
+    pair stays as the executable reference: for any scope,
+    :meth:`problem` materializes the same :class:`SchedulingProblem` (same
+    requests, same host views) and :meth:`best_fit` returns identical
+    assignments with evaluations equal within 1e-9 (bit-equal in
+    practice; ``tests/core/test_round_snapshot.py`` pins both).
+    Estimators without the batch interface transparently fall back to the
+    reference scorer.
+    """
+
+    def __init__(self, system: MultiDCSystem, trace: WorkloadTrace, t: int,
+                 estimator: Estimator,
+                 weights: Optional[ObjectiveWeights] = None,
+                 queue_lens: Optional[Mapping[str, float]] = None,
+                 loads_override: Optional[Mapping[str, Mapping[str, object]]]
+                 = None) -> None:
+        self.system = system
+        self.trace = trace
+        self.t = t
+        self.estimator = estimator
+        self.weights = weights or ObjectiveWeights()
+        self.queue_lens = dict(queue_lens) if queue_lens else {}
+        self.loads_override = loads_override
+        self.fleet = FleetState.for_system(system, trace)
+        self.placement = system.placement()
+        # Per-round host base: one walk over the live PMs, committed
+        # demands resolved exactly like HostView.of (last known demand,
+        # falling back to the recorded grant).
+        demands = system.last_demands
+        self._host_base: List[tuple] = []
+        for dc in system.datacenters:
+            for pm in dc.pms:
+                if pm.failed:
+                    continue
+                committed = []
+                for vm_id, grant in pm.granted.items():
+                    demand = demands.get(vm_id, grant)
+                    committed.append((vm_id, demand,
+                                      min(demand.cpu, grant.cpu)))
+                self._host_base.append(
+                    (pm.pm_id, dc.location, dc.energy_price_eur_kwh,
+                     pm.capacity, pm.power_model, pm.on, committed))
+        self._requests: Dict[str, VMRequest] = {}
+        self._aggs: Dict[str, LoadVector] = {}
+        self._required: Dict[str, Resources] = {}
+        self._required_batched = False
+
+    # -- request construction (once per round, shared across problems) -------
+    def _request(self, vm_id: str) -> VMRequest:
+        request = self._requests.get(vm_id)
+        if request is None:
+            system = self.system
+            if (self.loads_override is not None
+                    and vm_id in self.loads_override):
+                loads = dict(self.loads_override[vm_id])
+                agg = LoadVector.combine(loads.values())
+            else:
+                loads = self.fleet.loads_at(vm_id, self.t)
+                agg = self.fleet.aggregate_load_at(vm_id, self.t)
+            pm_id = self.placement.get(vm_id)
+            request = VMRequest(
+                vm=system.vms[vm_id], contract=system.contracts[vm_id],
+                loads=loads, current_pm=pm_id,
+                current_location=(system.dc_of_pm(pm_id).location
+                                  if pm_id else None),
+                queue_len=float(self.queue_lens.get(vm_id, 0.0)))
+            self._requests[vm_id] = request
+            self._aggs[vm_id] = agg
+        return request
+
+    def _required_for(self, requests: Sequence[VMRequest]
+                      ) -> Dict[str, Resources]:
+        """Demand estimates for the given requests, batched when possible.
+
+        The vectorized path estimates every traced VM of the round in one
+        ``required_resources_batch`` call (amortized over all problems);
+        VMs with overridden loads and estimators without the batch method
+        fall back to the scalar call on the same aggregate load.
+        """
+        if not self._required_batched:
+            self._required_batched = True
+            fn = getattr(self.estimator, "required_resources_batch", None)
+            if fn is not None:
+                fleet = self.fleet
+                overridden = (set(self.loads_override)
+                              if self.loads_override is not None else ())
+                vm_ids = [v for v in fleet.vm_ids if v not in overridden]
+                if vm_ids:
+                    rows = [fleet.vm_index[v] for v in vm_ids]
+                    rps, bpr, cpr = fleet.aggregate_columns(self.t)
+                    vms = [self.system.vms[v] for v in vm_ids]
+                    out = fn(vms, rps[rows], bpr[rows], cpr[rows],
+                             float("inf"))
+                    if out is not None:
+                        cpu, mem, bw = out
+                        for j, v in enumerate(vm_ids):
+                            self._required[v] = Resources(
+                                cpu=float(cpu[j]), mem=float(mem[j]),
+                                bw=float(bw[j]))
+        required: Dict[str, Resources] = {}
+        for request in requests:
+            vm_id = request.vm_id
+            req = self._required.get(vm_id)
+            if req is None:
+                # Requests this round did not build (pack() accepts any
+                # problem) have no cached aggregate; derive it like the
+                # reference does.
+                agg = self._aggs.get(vm_id)
+                if agg is None:
+                    agg = request.aggregate_load
+                req = self.estimator.required_resources(
+                    request.vm, agg, float("inf"))
+                self._required[vm_id] = req
+            required[vm_id] = req
+        return required
+
+    # -- problem sub-views --------------------------------------------------
+    def problem(self, scope_vms: Optional[Sequence[str]] = None,
+                scope_pms: Optional[Sequence[str]] = None
+                ) -> SchedulingProblem:
+        """The same :class:`SchedulingProblem` :func:`build_problem` builds.
+
+        Semantics match the reference exactly — default scope is all VMs,
+        untraced VMs without a loads override are skipped, failed PMs are
+        excluded, in-scope VMs are released from the host views — but
+        requests and host bases are reused across the round's problems.
+        """
+        vm_ids = (list(scope_vms) if scope_vms is not None
+                  else sorted(self.system.vms))
+        vm_index = self.fleet.vm_index
+        overridden = (self.loads_override
+                      if self.loads_override is not None else ())
+        vm_ids = [v for v in vm_ids if v in vm_index or v in overridden]
+        requests = [self._request(v) for v in vm_ids]
+        scope = set(vm_ids)
+        wanted = set(scope_pms) if scope_pms is not None else None
+        hosts: List[HostView] = []
+        for (pm_id, location, price, capacity, power_model, on,
+             committed) in self._host_base:
+            if wanted is not None and pm_id not in wanted:
+                continue
+            hosts.append(HostView(
+                pm_id=pm_id, location=location, capacity=capacity,
+                power_model=power_model, energy_price_eur_kwh=price,
+                initially_on=on,
+                committed={v: d for v, d, _u in committed
+                           if v not in scope},
+                committed_used_cpu={v: u for v, d, u in committed
+                                    if v not in scope}))
+        return SchedulingProblem(
+            requests=requests, hosts=hosts, network=self.system.network,
+            prices=self.system.prices, estimator=self.estimator,
+            interval_s=self.trace.interval_s, weights=self.weights,
+            auto_power_off=self.system.auto_power_off)
+
+    # -- packing --------------------------------------------------------------
+    def pack(self, problem: SchedulingProblem,
+             min_gain_eur: float = 0.0) -> BestFitResult:
+        """Descending Best-Fit over a round problem via the fast scorer.
+
+        Same contract as :func:`descending_best_fit` (which remains the
+        reference, and the fallback for estimators without the batch
+        interface): the problem is never mutated, the VM order and the
+        selection rule are identical.
+        """
+        if not problem.hosts:
+            raise ValueError("no candidate hosts")
+        # No defensive host copies needed: the RoundScorer's commits are
+        # array-native (batch columns only), so the problem's host views
+        # are never mutated — and the fallback path copies internally.
+        # Probe the scorer before estimating demands, so the fallback
+        # does not pay for estimates the reference recomputes anyway.
+        host_batch = HostBatch.of(problem.hosts)
+        try:
+            scorer = RoundScorer(problem, host_batch)
+        except ValueError:
+            # Duck-typed estimator without the batch interface: the
+            # reference path loops scalars transparently.
+            return descending_best_fit(problem, min_gain_eur=min_gain_eur)
+        required = self._required_for(problem.requests)
+        ref = max(problem.hosts, key=lambda h: h.capacity.cpu).capacity
+        order = sorted(problem.requests,
+                       key=lambda r: required[r.vm_id].dominant_share(ref),
+                       reverse=True)
+        aggs = self._aggs
+
+        def evaluate(request, req):
+            return scorer.evaluate(request, req,
+                                   agg=aggs.get(request.vm_id))
+
+        return _pack_batch(order, required, host_batch, min_gain_eur,
+                           evaluate, scorer.commit)
+
+    def best_fit(self, scope_vms: Optional[Sequence[str]] = None,
+                 scope_pms: Optional[Sequence[str]] = None,
+                 min_gain_eur: float = 0.0) -> BestFitResult:
+        """:meth:`problem` + :meth:`pack` in one call."""
+        return self.pack(self.problem(scope_vms, scope_pms),
+                         min_gain_eur=min_gain_eur)
+
+
 def make_bestfit_scheduler(estimator: Estimator,
                            weights: Optional[ObjectiveWeights] = None,
                            min_gain_eur: float = 0.0,
                            scope_pms: Optional[Sequence[str]] = None,
-                           forecaster=None) -> Scheduler:
+                           forecaster=None,
+                           use_round_snapshot: bool = True) -> Scheduler:
     """Adapt Best-Fit over a fixed estimator to the engine's interface.
 
     With a :class:`repro.workload.forecast.LoadForecaster`, the scheduler
     plans round ``t`` on *forecast* load built only from completed
     intervals (< t), instead of the harness default of handing it the
     current interval's measured load.
+
+    ``use_round_snapshot`` (the default) builds each round through the
+    array-backed :class:`SchedulingRound`; ``False`` keeps the
+    object-walking :func:`build_problem` reference path.  Both produce
+    identical assignments (differential tests pin this).
     """
 
     def schedule(system: MultiDCSystem, trace: WorkloadTrace,
@@ -269,6 +532,15 @@ def make_bestfit_scheduler(estimator: Estimator,
                 forecaster.observe_interval(trace, forecaster.n_observed)
             loads_override = forecast_loads(forecaster, trace,
                                             vm_ids=sorted(system.vms))
+        if use_round_snapshot:
+            round_ = SchedulingRound(system, trace, t, estimator,
+                                     weights=weights,
+                                     loads_override=loads_override)
+            problem = round_.problem(scope_pms=scope_pms)
+            if not problem.requests:
+                return {}
+            return round_.pack(problem,
+                               min_gain_eur=min_gain_eur).assignment
         problem = build_problem(system, trace, t, estimator,
                                 scope_pms=scope_pms, weights=weights,
                                 loads_override=loads_override)

@@ -110,6 +110,20 @@ class Estimator:
         raise NotImplementedError
 
     # -- batch interface (vectorized over candidate hosts) -------------------
+    def required_resources_batch(self, vms: Sequence[VirtualMachine],
+                                 rps, bytes_per_req, cpu_time_per_req,
+                                 cpu_cap: float) -> Optional[Tuple]:
+        """Per-VM demand estimates from aligned aggregate-load arrays.
+
+        The round-snapshot scheduling path hands the estimator every VM of
+        a round at once (one entry per VM, aligned with ``vms``).  Returns
+        the ``(cpu, mem, bw)`` requirement arrays, or None when the
+        estimator has no vectorized formulation — callers then fall back
+        to per-VM :meth:`required_resources` calls.  Implementations must
+        match the scalar method element-for-element.
+        """
+        return None
+
     def pm_cpu_batch(self, counts, sums) -> Optional[np.ndarray]:
         """Host CPU from per-host (#VMs, sum of VM CPU) aggregates.
 
@@ -169,6 +183,16 @@ class OracleEstimator:
         return contract.fulfillment(rt)
 
     # -- batch interface ------------------------------------------------------
+    def required_resources_batch(self, vms: Sequence[VirtualMachine],
+                                 rps, bytes_per_req, cpu_time_per_req,
+                                 cpu_cap: float) -> Tuple:
+        base_mem = np.array([vm.base_mem_mb for vm in vms], dtype=float)
+        return self.demand_model.required_batch(
+            np.asarray(rps, dtype=float),
+            np.asarray(bytes_per_req, dtype=float),
+            np.asarray(cpu_time_per_req, dtype=float),
+            base_mem, cpu_cap=cpu_cap)
+
     def pm_cpu_batch(self, counts, sums) -> np.ndarray:
         return self.demand_model.pm_cpu_batch(counts, sums)
 
@@ -267,6 +291,25 @@ class ObservedEstimator:
         return max(0.0, frac)
 
     # -- batch interface ------------------------------------------------------
+    def required_resources_batch(self, vms: Sequence[VirtualMachine],
+                                 rps, bytes_per_req, cpu_time_per_req,
+                                 cpu_cap: float) -> Tuple:
+        # Observed bookings are load-independent: gather the last
+        # observation per VM, then apply the same overbook-and-clip the
+        # scalar method applies (floats, so results are bit-identical).
+        n = len(vms)
+        cpu = np.empty(n)
+        mem = np.empty(n)
+        bw = np.empty(n)
+        for j, vm in enumerate(vms):
+            entry = self._last.get(vm.vm_id)
+            base = entry[1] if entry is not None else self.default_required
+            cpu[j] = min(base.cpu * self.overbook, vm.max_resources.cpu,
+                         cpu_cap)
+            mem[j] = min(base.mem * self.overbook, vm.max_resources.mem)
+            bw[j] = min(base.bw * self.overbook, vm.max_resources.bw)
+        return cpu, mem, bw
+
     def pm_cpu_batch(self, counts, sums) -> np.ndarray:
         return np.asarray(sums, dtype=float)
 

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from ..sim.engine import Scheduler
 from ..sim.multidc import MultiDCSystem
 from ..workload.traces import WorkloadTrace
-from .bestfit import build_problem, descending_best_fit
+from .bestfit import SchedulingRound, build_problem, descending_best_fit
 from .estimators import Estimator, ObservedEstimator
 from .model import ObjectiveWeights
 
@@ -61,6 +61,13 @@ class HierarchicalScheduler:
         When True, intra-DC rounds skip VMs whose current placement already
         fits and scores above the threshold (the paper's "do not include
         VMs and PMs that are already performing well").
+    use_round_snapshot:
+        When True (the default) each round snapshots the system once as a
+        :class:`~repro.core.bestfit.SchedulingRound` and every intra-DC
+        and global problem is a cheap sub-view of it; ``False`` rebuilds
+        each problem from live objects via
+        :func:`~repro.core.bestfit.build_problem` (the executable
+        reference — both produce identical assignments).
     """
 
     estimator: Estimator
@@ -70,6 +77,7 @@ class HierarchicalScheduler:
     min_free_cpu: float = 50.0
     min_gain_eur: float = 0.0
     skip_well_consolidated: bool = False
+    use_round_snapshot: bool = True
     last_round: RoundDiagnostics = field(default_factory=RoundDiagnostics)
 
     def __post_init__(self) -> None:
@@ -84,25 +92,39 @@ class HierarchicalScheduler:
         diag = RoundDiagnostics(t=t)
         assignment: Dict[str, str] = {}
         movable: List[str] = []
+        # One snapshot serves every problem of this round (phase 1 + 2).
+        round_ = (SchedulingRound(system, trace, t, self.estimator,
+                                  weights=self.weights)
+                  if self.use_round_snapshot else None)
+
+        def solve(scope_vms, scope_pms):
+            if round_ is not None:
+                return round_.best_fit(scope_vms=scope_vms,
+                                       scope_pms=scope_pms,
+                                       min_gain_eur=self.min_gain_eur)
+            problem = build_problem(system, trace, t, self.estimator,
+                                    scope_vms=scope_vms,
+                                    scope_pms=scope_pms,
+                                    weights=self.weights)
+            return descending_best_fit(problem,
+                                       min_gain_eur=self.min_gain_eur)
 
         # -- Phase 1: one Best-Fit problem per DC ---------------------------
         for dc in system.datacenters:
             local_vms = sorted(dc.vm_ids)
             if not local_vms:
                 continue
-            problem = build_problem(
-                system, trace, t, self.estimator,
-                scope_vms=local_vms,
-                scope_pms=[pm.pm_id for pm in dc.pms],
-                weights=self.weights)
-            result = descending_best_fit(problem,
-                                         min_gain_eur=self.min_gain_eur)
+            result = solve(local_vms, [pm.pm_id for pm in dc.pms])
             diag.intra_problems += 1
             diag.intra_vms += len(local_vms)
             for vm_id, pm_id in result.assignment.items():
                 assignment[vm_id] = pm_id
             for vm_id in local_vms:
-                if result.evaluations[vm_id].sla < self.sla_move_threshold:
+                # Untraced VMs are filtered out of the problem and have no
+                # evaluation; they stay put and are never offered around.
+                evaluation = result.evaluations.get(vm_id)
+                if (evaluation is not None
+                        and evaluation.sla < self.sla_move_threshold):
                     movable.append(vm_id)
 
         # Orphaned VMs (e.g. after a host failure) belong to no DC, so no
@@ -125,16 +147,16 @@ class HierarchicalScheduler:
                                            max_offers=self.max_offers_per_dc):
                     offers.append(pm.pm_id)
             candidate_pms = sorted(set(offers) | current_hosts)
-            problem = build_problem(
-                system, trace, t, self.estimator,
-                scope_vms=movable, scope_pms=candidate_pms,
-                weights=self.weights)
-            result = descending_best_fit(problem,
-                                         min_gain_eur=self.min_gain_eur)
-            for vm_id, pm_id in result.assignment.items():
-                if assignment.get(vm_id) != pm_id:
-                    diag.global_moves[vm_id] = pm_id
-                assignment[vm_id] = pm_id
+            # No DC offered anything and no movable VM holds a host (e.g.
+            # only freshly-orphaned VMs after a failure into a full
+            # fleet): there is no global problem to solve this round —
+            # orphans wait for capacity instead of crashing the round.
+            if candidate_pms:
+                result = solve(movable, candidate_pms)
+                for vm_id, pm_id in result.assignment.items():
+                    if assignment.get(vm_id) != pm_id:
+                        diag.global_moves[vm_id] = pm_id
+                    assignment[vm_id] = pm_id
             diag.offered_hosts = candidate_pms
         diag.movable_vms = movable
         self.last_round = diag

@@ -52,8 +52,9 @@ from .sla import SLAContract, rt_for_fulfillment_arrays, weighted_sla
 
 __all__ = ["ObjectiveWeights", "VMRequest", "HostView", "HostBatch",
            "SchedulingProblem", "PlacementEvaluation", "BatchEvaluation",
-           "placement_profit", "evaluate_candidates", "score_candidates",
-           "evaluate_schedule", "check_schedule", "ScheduleViolation"]
+           "RoundScorer", "placement_profit", "evaluate_candidates",
+           "score_candidates", "evaluate_schedule", "check_schedule",
+           "ScheduleViolation"]
 
 
 @dataclass(frozen=True)
@@ -658,6 +659,318 @@ def evaluate_candidates(problem: SchedulingProblem, request: VMRequest,
         migration_penalty_eur=penalty, sla=sla, given_cpu=given_cpu,
         given_mem=given_mem, given_bw=given_bw, used_cpu=used_cpu,
         migration_seconds=migration_s)
+
+
+class RoundScorer:
+    """Precomputed scoring context for one packing problem over one batch.
+
+    :func:`evaluate_candidates` re-derives per-call everything a host batch
+    does not carry — the latency of every (host, source) pair, migration
+    timing per location, the estimator's batch methods, the host power
+    state — which costs more than the actual arithmetic once a scheduling
+    round scores hundreds of VMs.  A ``RoundScorer`` hoists all of that to
+    problem scope and keeps it between VMs:
+
+    * latency and migration columns are materialized once per (source) and
+      per (origin location) and cached;
+    * estimator dispatch is resolved once (estimators without the batch
+      interface raise ``ValueError`` — callers fall back to
+      :func:`evaluate_candidates`, which loops scalars);
+    * the "watts before" vector — the facility power of every host under
+      the current tentative packing — is cached and refreshed only on
+      :meth:`commit`.
+
+    :meth:`evaluate` mirrors :func:`evaluate_candidates`' arithmetic; the
+    only deviations are mathematically-neutral regroupings (a stacked
+    per-source SLA reduction, prefused unit conversions) whose floating-
+    point drift is bounded by a few ulp — far inside the 1e-9 equivalence
+    contract, with identical assignments on every differential scenario
+    (``tests/core/test_round_snapshot.py`` pins both).  All mutations
+    must go through :meth:`commit` so the cached host state stays in
+    lockstep; the underlying :class:`HostView` objects are *not* updated
+    during packing (the batch columns are authoritative).
+    """
+
+    def __init__(self, problem: SchedulingProblem, batch: HostBatch) -> None:
+        self.problem = problem
+        self.batch = batch
+        est = problem.estimator
+        self._rt_fn = getattr(est, "process_rt_batch", None)
+        self._sla_fn = getattr(est, "process_sla_batch", None)
+        self._pm_fn = getattr(est, "pm_cpu_batch", None)
+        if self._sla_fn is None or self._pm_fn is None:
+            raise ValueError("estimator lacks the batch interface")
+        # Probe once: pm_cpu_batch may decline (None) at call time.
+        probe = self._pm_fn(batch.committed_count, batch.committed_cpu_sum)
+        if probe is None:
+            raise ValueError("estimator lacks a vectorized pm_cpu")
+        n = len(batch)
+        self.n = n
+        self._pm_ids = tuple(h.pm_id for h in batch.hosts)
+        self._hours = problem.interval_s / 3600.0
+        # Host -> location-group index, for expanding per-location columns.
+        self._locations: List[str] = list(batch.location_groups)
+        loc_of = np.empty(n, dtype=np.intp)
+        for li, loc in enumerate(self._locations):
+            loc_of[batch.location_groups[loc]] = li
+        self._loc_of = loc_of
+        self._lat_cache: Dict[str, np.ndarray] = {}
+        self._lat_mat_cache: Dict[Tuple[str, ...], np.ndarray] = {}
+        self._mig_cache: Dict[Tuple[Optional[str], float],
+                              Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        # Per-host committed bookkeeping, array-native: the packing loop
+        # never reads the HostViews back, so commits update only these
+        # (same running folds HostBatch.refresh would recompute).
+        self._used_cpu_lists: List[List[float]] = [
+            list(h.committed_used_cpu.values()) for h in batch.hosts]
+        self._energy_k = (problem.interval_s / 3600.0 / 1000.0
+                          * batch.energy_price)
+        # CPU and bandwidth burst with the same formula: score both in one
+        # stacked pass over precomputed (2, n) capacity rows.  The used
+        # rows are mirrored from the batch and refreshed per commit.
+        self._cap_cpu_bw = np.stack([batch.cap_cpu, batch.cap_bw])
+        self._used_cpu_bw = np.stack([batch.used_cpu, batch.used_bw])
+        self._zeros = np.zeros(n)
+        self._unit_weights = (problem.weights.revenue == 1.0
+                              and problem.weights.energy == 1.0
+                              and problem.weights.migration == 1.0)
+        self._refresh_host_state()
+
+    # -- cached per-problem columns -------------------------------------------
+    def _lat_col(self, src: str) -> np.ndarray:
+        """Transport latency (s) from every host to ``src``, cached."""
+        col = self._lat_cache.get(src)
+        if col is None:
+            net = self.problem.network
+            per_loc = np.asarray(
+                [net.host_to_source_ms(loc, src) / 1000.0
+                 for loc in self._locations], dtype=float)
+            col = per_loc[self._loc_of]
+            self._lat_cache[src] = col
+        return col
+
+    def _mig_cols(self, from_loc: Optional[str], image_mb: float
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Migration columns from ``from_loc`` for one image size, cached.
+
+        Returns ``(migration_s, penalty, haircut)`` — the migration time
+        to every host (equal to
+        :meth:`~repro.sim.network.NetworkModel.migration_seconds`
+        element-for-element; ``from_loc=None`` means "each host's own
+        location", the scalar path's ``current_location or loc`` case),
+        the penalty it costs and the SLA blackout factor it implies.
+        Fleets typically share one image size and few origin locations, so
+        these all hit the cache.  Callers must not mutate the arrays —
+        the stay-put column is patched on copies in :meth:`evaluate`.
+        """
+        key = (from_loc, image_mb)
+        cached = self._mig_cache.get(key)
+        if cached is None:
+            net = self.problem.network
+            n_loc = len(self._locations)
+            denom = np.empty(n_loc)
+            lat_s = np.empty(n_loc)
+            for li, loc in enumerate(self._locations):
+                same = from_loc is None or from_loc == loc
+                gbps = net.intra_dc_gbps if same else net.bandwidth_gbps
+                ms = (net.intra_dc_ms if same
+                      else net.latency.ms(from_loc, loc))
+                denom[li] = gbps * 1000.0
+                lat_s[li] = ms / 1000.0
+            migration_s = (image_mb * 8.0 / denom
+                           + lat_s)[self._loc_of]
+            penalty = (self.problem.prices.migration_penalty_rate
+                       * migration_s / 3600.0)
+            haircut = np.maximum(0.0, 1.0 - migration_s
+                                 / self.problem.interval_s)
+            cached = (migration_s, penalty, haircut)
+            self._mig_cache[key] = cached
+        return cached
+
+    def _lat_mat(self, srcs: Tuple[str, ...]) -> np.ndarray:
+        """Stacked latency rows for one source set (row per source)."""
+        mat = self._lat_mat_cache.get(srcs)
+        if mat is None:
+            mat = np.stack([self._lat_col(s) for s in srcs])
+            self._lat_mat_cache[srcs] = mat
+        return mat
+
+    def _refresh_host_state(self) -> None:
+        """Recompute the packing-dependent host vectors (after commits).
+
+        Exactly what :func:`evaluate_candidates` derives per call: the
+        estimator's PM CPU for the current commitments, the facility watts
+        at that CPU, masked by which hosts would be running.
+        """
+        batch = self.batch
+        cpu_before = np.asarray(
+            self._pm_fn(batch.committed_count, batch.committed_cpu_sum),
+            dtype=float)
+        watts_before = np.empty(self.n)
+        for model, ix in batch.power_groups:
+            watts_before[ix] = model.facility_watts(
+                np.minimum(cpu_before[ix], batch.cap_cpu[ix]))
+        running = batch.would_be_on(self.problem.auto_power_off)
+        self._watts_before_run = np.where(running, watts_before, 0.0)
+
+    def commit(self, i: int, vm_id: str, demand: Resources,
+               used_cpu: float) -> None:
+        """Commit a packed VM and refresh the cached host state.
+
+        Array-native: the packing loop never reads the host views back,
+        so only the batch columns are updated — with the same running
+        folds :meth:`HostBatch.refresh` computes (bit-identical values).
+        Only column ``i`` changed, so only it is recomputed — valid
+        because ``pm_cpu_batch`` is elementwise per host (it maps each
+        host's own (count, sum) aggregate; all built-in estimators are),
+        as is the piecewise power curve.  A committed host always counts
+        as running, so the watts-before mask needs no re-evaluation.
+        """
+        batch = self.batch
+        # The same clip + sequential accumulation HostView.commit +
+        # refresh would apply.
+        batch.used_cpu[i] += max(0.0, demand.cpu)
+        batch.used_mem[i] += max(0.0, demand.mem)
+        batch.used_bw[i] += max(0.0, demand.bw)
+        cpus = self._used_cpu_lists[i]
+        cpus.append(used_cpu)
+        batch.committed_cpu_sum[i] = float(np.sum(np.asarray(cpus,
+                                                             dtype=float)))
+        batch.committed_count[i] += 1
+        self._used_cpu_bw[0, i] = batch.used_cpu[i]
+        self._used_cpu_bw[1, i] = batch.used_bw[i]
+        col = slice(i, i + 1)
+        cpu_before = np.asarray(
+            self._pm_fn(batch.committed_count[col],
+                        batch.committed_cpu_sum[col]), dtype=float)
+        watts = batch.hosts[i].power_model.facility_watts(
+            np.minimum(cpu_before, batch.cap_cpu[col]))
+        self._watts_before_run[i] = watts[0]
+
+    # -- scoring ----------------------------------------------------------------
+    def evaluate(self, request: VMRequest, required: Resources,
+                 agg: Optional[LoadVector] = None) -> BatchEvaluation:
+        """Score ``request`` on every host; :func:`evaluate_candidates` twin.
+
+        ``agg`` may pass the request's precomputed aggregate load (the
+        round snapshot keeps it); omitted, it is derived like the
+        reference does.
+        """
+        problem, batch = self.problem, self.batch
+        vm = request.vm
+        if agg is None:
+            agg = request.aggregate_load
+        n = self.n
+        if required.cpu > 0.0 and required.bw > 0.0:
+            # Both bursts in one stacked pass (identical formula per row).
+            demand = np.array([[required.cpu], [required.bw]])
+            total = demand + self._used_cpu_bw
+            blocked = total <= 0.0
+            safe_total = np.where(blocked, 1.0, total)
+            burst = np.where(blocked, 0.0,
+                             np.minimum(self._cap_cpu_bw,
+                                        demand * self._cap_cpu_bw
+                                        / safe_total))
+            given_cpu = burst[0]
+            given_bw = burst[1]
+        else:
+            given_cpu = _burst_vec(required.cpu, batch.used_cpu,
+                                   batch.cap_cpu)
+            given_bw = _burst_vec(required.bw, batch.used_bw, batch.cap_bw)
+        given_mem = _share_vec(required.mem, batch.used_mem, batch.cap_mem)
+        used_cpu = np.minimum(required.cpu, given_cpu)
+
+        # SLA: per-source fulfillment at (process + transport) RT, rate-
+        # weighted — the same accumulation _batch_sla runs, with the
+        # latency columns precomputed and the contract validated once.
+        contract = request.contract
+        rt_proc = (self._rt_fn(vm, agg, required, given_cpu, given_mem,
+                               given_bw, queue_len=request.queue_len)
+                   if self._rt_fn is not None else None)
+        if rt_proc is not None:
+            eq_rt = np.asarray(rt_proc, dtype=float)
+        else:
+            sla_proc = np.asarray(
+                self._sla_fn(vm, agg, required, given_cpu, given_mem,
+                             given_bw, contract,
+                             queue_len=request.queue_len), dtype=float)
+            eq_rt = rt_for_fulfillment_arrays(sla_proc, contract.rt0,
+                                              contract.alpha)
+        rt0 = contract.rt0
+        denom = (contract.alpha - 1.0) * rt0
+        loads = request.loads
+        rps_vec = np.array([load.rps for load in loads.values()])
+        if rps_vec.size and rps_vec.min() > 0.0:
+            # All sources live: one stacked fulfillment pass over the
+            # (sources, hosts) RT matrix, reduced along sources.
+            rt_srcs = eq_rt + self._lat_mat(tuple(loads))
+            f = np.minimum(np.maximum(1.0 - (rt_srcs - rt0) / denom, 0.0),
+                           1.0)
+            sla = (f * rps_vec[:, None]).sum(axis=0) / rps_vec.sum()
+        else:
+            # Zero-rate sources present (or no sources): the reference's
+            # source-by-source accumulation, skipping dead sources.
+            total = None
+            weight = 0.0
+            for src, load in loads.items():
+                rps = load.rps
+                if rps == 0.0:
+                    continue
+                rt_src = eq_rt + self._lat_col(src)
+                f = np.minimum(np.maximum(1.0 - (rt_src - rt0) / denom,
+                                          0.0), 1.0)
+                total = f * rps if total is None else total + f * rps
+                weight += rps
+            sla = total / weight if weight != 0.0 else np.ones(n)
+
+        # Migration blackout haircut and penalty, from cached columns
+        # (copied only to zero out the stay-put host).
+        migration_s = self._zeros
+        penalty = self._zeros
+        if request.current_pm is not None:
+            migration_s, penalty, haircut = self._mig_cols(
+                request.current_location, vm.image_size_mb)
+            cur = batch.index.get(request.current_pm)
+            if cur is not None:
+                migration_s = migration_s.copy()
+                migration_s[cur] = 0.0
+                penalty = penalty.copy()
+                penalty[cur] = 0.0
+                haircut = haircut.copy()
+                haircut[cur] = 1.0
+            sla = sla * haircut
+        revenue = contract.price_eur_per_hour * self._hours * sla
+
+        # Marginal energy: watts-before is cached; only the tentative
+        # after-state depends on this VM.
+        cpu_after = np.asarray(
+            self._pm_fn(batch.committed_count + 1,
+                        batch.committed_cpu_sum + used_cpu), dtype=float)
+        if len(batch.power_groups) == 1:
+            model = batch.power_groups[0][0]
+            watts_after = np.asarray(model.facility_watts(
+                np.minimum(cpu_after, batch.cap_cpu)), dtype=float)
+        else:
+            watts_after = np.empty(n)
+            for model, ix in batch.power_groups:
+                watts_after[ix] = model.facility_watts(
+                    np.minimum(cpu_after[ix], batch.cap_cpu[ix]))
+        energy = (np.maximum(0.0, watts_after - self._watts_before_run)
+                  * self._energy_k)
+
+        if self._unit_weights:
+            # 1.0 * x == x exactly; skip the three no-op scalings.
+            profit = revenue - energy - penalty
+        else:
+            w = problem.weights
+            profit = (w.revenue * revenue - w.energy * energy
+                      - w.migration * penalty)
+        return BatchEvaluation(
+            pm_ids=self._pm_ids, required=required,
+            profit_eur=profit, revenue_eur=revenue, energy_cost_eur=energy,
+            migration_penalty_eur=penalty, sla=sla, given_cpu=given_cpu,
+            given_mem=given_mem, given_bw=given_bw, used_cpu=used_cpu,
+            migration_seconds=migration_s)
 
 
 def score_candidates(problem: SchedulingProblem, request: VMRequest,

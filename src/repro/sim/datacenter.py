@@ -117,9 +117,20 @@ class DataCenter:
         Per the paper's optimizations: skip almost-full hosts that cannot
         accommodate additional VMs, and collapse identical empty hosts to a
         single representative.
+
+        Empty machines that are merely powered off (``auto_power_off``
+        parks them between rounds) count as available — the scheduler
+        powers a host on when it places a VM there — but failed machines
+        are never offered.  Without this, a fully work-conserving fleet
+        (bursting grants leave no nominal free CPU on any occupied host)
+        would offer nothing and orphaned VMs could never be re-placed.
         """
+        if max_offers <= 0:
+            return []
         candidates = [pm for pm in self.pms
-                      if pm.on and pm.free.cpu >= min_free_cpu]
+                      if not pm.failed
+                      and (pm.on or pm.n_vms == 0)
+                      and pm.free.cpu >= min_free_cpu]
         # Collapse identical empty machines: offer only one of each capacity.
         seen_empty = set()
         offers: List[PhysicalMachine] = []

@@ -249,6 +249,40 @@ class FleetState:
                     pass
         self.lat_s = lat
 
+    # -- round-snapshot accessors (used by the scheduling path) --------------
+    def aggregate_load_at(self, vm_id: str, t: int) -> LoadVector:
+        """The VM's all-sources aggregate load at interval ``t``, O(1).
+
+        Reads the precomputed per-interval aggregate columns, whose
+        accumulation order matches :meth:`LoadVector.combine` bit-for-bit —
+        so schedulers can skip re-merging per-source loads per round.
+        """
+        j = self.vm_index[vm_id]
+        return LoadVector(rps=float(self.agg_rps[j, t]),
+                          bytes_per_req=float(self.agg_bpr[j, t]),
+                          cpu_time_per_req=float(self.agg_cpr[j, t]))
+
+    def loads_at(self, vm_id: str, t: int) -> Dict[str, LoadVector]:
+        """Per-source loads of one VM at interval ``t``.
+
+        Same contents and source order as
+        :meth:`~repro.workload.traces.WorkloadTrace.load_at`, served from
+        the stacked series rows (O(own sources), no trace walk).
+        """
+        j = self.vm_index[vm_id]
+        return {src: LoadVector(rps=float(self.rps_rows[row, t]),
+                                bytes_per_req=float(self.bpr_rows[row, t]),
+                                cpu_time_per_req=float(self.cpr_rows[row, t]))
+                for row, src in self.vm_rows[j]}
+
+    def aggregate_columns(self, t: int):
+        """``(rps, bytes_per_req, cpu_time_per_req)`` columns at ``t``.
+
+        One entry per VM of :attr:`vm_ids`; the inputs batch demand
+        estimation feeds on (views into the snapshot — do not mutate).
+        """
+        return self.agg_rps[:, t], self.agg_bpr[:, t], self.agg_cpr[:, t]
+
     @staticmethod
     def for_system(system: MultiDCSystem,
                    trace: WorkloadTrace) -> "FleetState":

@@ -104,6 +104,11 @@ class PowerModel:
         Accepts a scalar or array of CPU usage in percent; values are clipped
         to ``[0, max_cpu]``.
         """
+        if isinstance(cpu_used, np.ndarray) and cpu_used.ndim >= 1:
+            # Hot path: np.clip spelled as min/max (same values, no
+            # dispatch overhead), no scalar checks.
+            cpu = np.minimum(np.maximum(cpu_used, 0.0), self.max_cpu)
+            return np.interp(cpu, self._knots_x, self._knots_y)
         cpu = np.clip(np.asarray(cpu_used, dtype=float), 0.0, self.max_cpu)
         out = np.interp(cpu, self._knots_x, self._knots_y)
         if np.isscalar(cpu_used) or np.ndim(cpu_used) == 0:
@@ -116,6 +121,10 @@ class PowerModel:
         ``on`` may be a bool or boolean array broadcastable against
         ``cpu_used``.
         """
+        if on is True:
+            # Hot path (schedulers score running hosts): the off-mask is a
+            # no-op, so skip the broadcasting round-trip.
+            return self.it_watts(cpu_used) * self.cooling_factor
         watts = np.asarray(self.it_watts(cpu_used), dtype=float) * self.cooling_factor
         on_arr = np.asarray(on, dtype=bool)
         out = np.where(on_arr, watts, 0.0)

@@ -124,9 +124,8 @@ def forecast_loads(forecaster: LoadForecaster, trace: WorkloadTrace,
     out: Dict[str, Dict[str, LoadVector]] = {}
     for vm_id in vm_ids:
         per_source: Dict[str, LoadVector] = {}
-        for (vm, src), series in trace.series.items():
-            if vm != vm_id:
-                continue
+        # O(own series) via the trace's per-VM index, not O(total series).
+        for src, series in trace.series_of(vm_id):
             pred = forecaster.predict(vm_id, src)
             if pred is None:
                 pred = LoadVector(rps=0.0,

@@ -67,6 +67,10 @@ class WorkloadTrace:
 
     interval_s: float = 600.0
     series: Dict[Tuple[str, str], SourceSeries] = field(default_factory=dict)
+    # Per-VM index over `series` (lazily rebuilt; see _index_by_vm).
+    _by_vm: Dict[str, List[Tuple[str, SourceSeries]]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _indexed_n: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -74,6 +78,43 @@ class WorkloadTrace:
         lengths = {len(s) for s in self.series.values()}
         if len(lengths) > 1:
             raise ValueError(f"inconsistent series lengths: {sorted(lengths)}")
+
+    def _index_by_vm(self) -> Dict[str, List[Tuple[str, SourceSeries]]]:
+        """The vm_id -> [(source, series), ...] index, insertion-ordered.
+
+        ``series`` is a public mapping that :meth:`slice`, :meth:`scaled`
+        and :meth:`load` populate directly, so the index is lazy: it is
+        rebuilt whenever the number of series has changed since it was
+        last computed.  This keeps per-VM lookups O(own series) instead of
+        O(total series) — the hot-path cost that dominated large
+        scheduling rounds.
+
+        Count-based invalidation cannot detect a delete-plus-insert that
+        leaves ``len(series)`` unchanged; like the
+        :class:`~repro.sim.fleet.FleetState` cache (see ``_cache_key``
+        there), in-place replacement of series mid-run is unsupported —
+        traces are treated as append-only (:meth:`add` refuses
+        overwrites).
+        """
+        if self._indexed_n != len(self.series):
+            by_vm: Dict[str, List[Tuple[str, SourceSeries]]] = {}
+            for (vm, src), s in self.series.items():
+                by_vm.setdefault(vm, []).append((src, s))
+            self._by_vm = by_vm
+            self._indexed_n = len(self.series)
+        return self._by_vm
+
+    def series_of(self, vm_id: str) -> List[Tuple[str, SourceSeries]]:
+        """All (source, series) pairs of one VM, in trace insertion order.
+
+        Returns an empty list for VMs without any series (callers decide
+        whether that is an error; :meth:`load_at` raises).
+        """
+        return list(self._index_by_vm().get(vm_id, ()))
+
+    def has_vm(self, vm_id: str) -> bool:
+        """Whether any series exists for ``vm_id`` (O(1) amortized)."""
+        return vm_id in self._index_by_vm()
 
     @property
     def n_intervals(self) -> int:
@@ -98,14 +139,11 @@ class WorkloadTrace:
         self.series[(vm_id, source)] = series
 
     def load_at(self, vm_id: str, t: int) -> Dict[str, LoadVector]:
-        """Per-source load on a VM at interval ``t``."""
-        out: Dict[str, LoadVector] = {}
-        for (vm, src), s in self.series.items():
-            if vm == vm_id:
-                out[src] = s.at(t)
-        if not out:
+        """Per-source load on a VM at interval ``t`` (O(own series))."""
+        rows = self._index_by_vm().get(vm_id)
+        if not rows:
             raise KeyError(f"no series for VM {vm_id!r}")
-        return out
+        return {src: s.at(t) for src, s in rows}
 
     def aggregate_at(self, vm_id: str, t: int) -> LoadVector:
         """Combined load on a VM at interval ``t`` (all sources merged)."""

@@ -1,0 +1,264 @@
+"""Differential tests: round-snapshot scheduling vs the object-walking path.
+
+The contract (same style as the PR-1 batch scoring and PR-2 batch stepping
+contracts): for any scope, ``SchedulingRound.problem`` materializes the
+same :class:`~repro.core.model.SchedulingProblem` as
+:func:`~repro.core.bestfit.build_problem`, and ``SchedulingRound.best_fit``
+returns identical assignments to :func:`~repro.core.bestfit.descending_best_fit`
+with per-VM evaluations equal within 1e-9 on every field — across
+estimators (oracle RT path, observed direct-SLA path, ML), scopes
+(intra-DC, global, default), failures, forecaster load overrides and
+untraced VMs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bestfit import (SchedulingRound, build_problem,
+                                descending_best_fit, make_bestfit_scheduler)
+from repro.core.estimators import ObservedEstimator, OracleEstimator
+from repro.core.hierarchical import HierarchicalScheduler
+from repro.core.model import ObjectiveWeights
+from repro.experiments.scaling import synthetic_hierarchical_fleet
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+from repro.sim.engine import run_simulation
+from repro.sim.fleet import report_max_abs_diff
+from repro.sim.monitor import Monitor
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ScenarioConfig(pms_per_dc=3, n_vms=10, n_intervals=12,
+                          scale=3.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trace(config):
+    return multidc_trace(config)
+
+
+def stepped_system(config, trace):
+    system = multidc_system(config)
+    system.step(trace, 0)
+    return system
+
+
+EVAL_FIELDS = ("profit_eur", "revenue_eur", "energy_cost_eur",
+               "migration_penalty_eur", "sla", "used_cpu",
+               "migration_seconds")
+
+
+def assert_results_equal(fast, reference, tol=1e-9):
+    assert fast.assignment == reference.assignment
+    assert fast.order == reference.order
+    assert set(fast.evaluations) == set(reference.evaluations)
+    for vm_id, ev in fast.evaluations.items():
+        ref = reference.evaluations[vm_id]
+        for field in EVAL_FIELDS:
+            assert abs(getattr(ev, field) - getattr(ref, field)) < tol, (
+                vm_id, field)
+        for dim in ("cpu", "mem", "bw"):
+            assert abs(getattr(ev.required, dim)
+                       - getattr(ref.required, dim)) < tol
+            assert abs(getattr(ev.given, dim)
+                       - getattr(ref.given, dim)) < tol
+
+
+def assert_problems_equal(fast, reference):
+    assert [r.vm_id for r in fast.requests] == [r.vm_id for r in
+                                                reference.requests]
+    for rf, rr in zip(fast.requests, reference.requests):
+        assert rf.current_pm == rr.current_pm
+        assert rf.current_location == rr.current_location
+        assert rf.queue_len == rr.queue_len
+        assert list(rf.loads) == list(rr.loads)
+        for src, load in rf.loads.items():
+            other = rr.loads[src]
+            assert load.rps == other.rps
+            assert load.bytes_per_req == other.bytes_per_req
+            assert load.cpu_time_per_req == other.cpu_time_per_req
+    assert [h.pm_id for h in fast.hosts] == [h.pm_id for h in
+                                             reference.hosts]
+    for hf, hr in zip(fast.hosts, reference.hosts):
+        assert hf.location == hr.location
+        assert hf.energy_price_eur_kwh == hr.energy_price_eur_kwh
+        assert hf.initially_on == hr.initially_on
+        assert hf.committed.keys() == hr.committed.keys()
+        for vm_id, demand in hf.committed.items():
+            assert demand == hr.committed[vm_id]
+        assert hf.committed_used_cpu == hr.committed_used_cpu
+
+
+class TestProblemParity:
+    def test_default_scope(self, config, trace):
+        system = stepped_system(config, trace)
+        est = OracleEstimator()
+        fast = SchedulingRound(system, trace, 1, est).problem()
+        ref = build_problem(system, trace, 1, est)
+        assert_problems_equal(fast, ref)
+
+    def test_scoped_subproblems(self, config, trace):
+        system = stepped_system(config, trace)
+        est = OracleEstimator()
+        round_ = SchedulingRound(system, trace, 2, est)
+        for dc in system.datacenters:
+            scope_vms = sorted(dc.vm_ids)
+            scope_pms = [pm.pm_id for pm in dc.pms]
+            assert_problems_equal(
+                round_.problem(scope_vms, scope_pms),
+                build_problem(system, trace, 2, est,
+                              scope_vms=scope_vms, scope_pms=scope_pms))
+
+    def test_failed_pm_excluded(self, config, trace):
+        system = stepped_system(config, trace)
+        pm = system.pms[0]
+        pm.fail()
+        est = OracleEstimator()
+        fast = SchedulingRound(system, trace, 1, est).problem()
+        ref = build_problem(system, trace, 1, est)
+        assert pm.pm_id not in [h.pm_id for h in fast.hosts]
+        assert_problems_equal(fast, ref)
+
+
+class TestPackParity:
+    @pytest.mark.parametrize("min_gain", [0.0, 0.001])
+    def test_oracle(self, config, trace, min_gain):
+        system = stepped_system(config, trace)
+        est = OracleEstimator()
+        round_ = SchedulingRound(system, trace, 1, est)
+        fast = round_.best_fit(min_gain_eur=min_gain)
+        ref = descending_best_fit(build_problem(system, trace, 1, est),
+                                  min_gain_eur=min_gain)
+        assert_results_equal(fast, ref)
+
+    def test_observed_direct_sla_path(self, config, trace):
+        system = stepped_system(config, trace)
+        monitor = Monitor(rng=np.random.default_rng(3))
+        monitor.observe(system.step(trace, 1))
+        est = ObservedEstimator(monitor=monitor, overbook=2.0)
+        est.refresh()
+        fast = SchedulingRound(system, trace, 2, est).best_fit()
+        ref = descending_best_fit(build_problem(system, trace, 2, est))
+        assert_results_equal(fast, ref)
+
+    def test_non_unit_weights(self, config, trace):
+        system = stepped_system(config, trace)
+        est = OracleEstimator()
+        weights = ObjectiveWeights(revenue=1.0, energy=2.5, migration=0.5)
+        fast = SchedulingRound(system, trace, 1, est,
+                               weights=weights).best_fit()
+        ref = descending_best_fit(
+            build_problem(system, trace, 1, est, weights=weights))
+        assert_results_equal(fast, ref)
+
+    def test_duck_typed_estimator_falls_back(self, config, trace):
+        """Estimators without the batch interface use the reference path."""
+
+        class MinimalEstimator:
+            def __init__(self):
+                self._oracle = OracleEstimator()
+
+            def required_resources(self, vm, load, cpu_cap):
+                return self._oracle.required_resources(vm, load, cpu_cap)
+
+            def pm_cpu(self, vm_cpus):
+                return self._oracle.pm_cpu(vm_cpus)
+
+            def process_rt(self, vm, load, required, given,
+                           queue_len=0.0):
+                return self._oracle.process_rt(vm, load, required, given,
+                                               queue_len)
+
+            def process_sla(self, vm, load, required, given, contract,
+                            queue_len=0.0):
+                return self._oracle.process_sla(vm, load, required, given,
+                                                contract, queue_len)
+
+        system = stepped_system(config, trace)
+        est = MinimalEstimator()
+        fast = SchedulingRound(system, trace, 1, est).best_fit()
+        ref = descending_best_fit(build_problem(system, trace, 1, est))
+        assert_results_equal(fast, ref)
+
+    def test_pack_accepts_externally_built_problem(self, config, trace):
+        """pack() on a problem whose requests the round did not build."""
+        system = stepped_system(config, trace)
+        est = OracleEstimator()
+        round_ = SchedulingRound(system, trace, 1, est)
+        external = build_problem(system, trace, 1, est)
+        fast = round_.pack(external)
+        ref = descending_best_fit(build_problem(system, trace, 1, est))
+        assert_results_equal(fast, ref)
+
+    def test_ml_estimator(self, config, trace):
+        from repro.experiments.training import train_paper_models
+        models, _ = train_paper_models(
+            lambda: multidc_system(config), trace, scales=(1.0,), seed=7)
+        from repro.core.estimators import MLEstimator
+        est = MLEstimator(models=models)
+        system = stepped_system(config, trace)
+        fast = SchedulingRound(system, trace, 1, est).best_fit()
+        ref = descending_best_fit(build_problem(system, trace, 1, est))
+        assert_results_equal(fast, ref)
+
+
+class TestSchedulerParity:
+    def test_hierarchical_rounds_identical(self, config, trace):
+        fast_sys = stepped_system(config, trace)
+        ref_sys = stepped_system(config, trace)
+        fast = HierarchicalScheduler(estimator=OracleEstimator(),
+                                     sla_move_threshold=0.95)
+        ref = HierarchicalScheduler(estimator=OracleEstimator(),
+                                    sla_move_threshold=0.95,
+                                    use_round_snapshot=False)
+        for t in range(1, 6):
+            a = fast(fast_sys, trace, t)
+            b = ref(ref_sys, trace, t)
+            assert a == b
+            assert (fast.last_round.movable_vms
+                    == ref.last_round.movable_vms)
+            assert (fast.last_round.offered_hosts
+                    == ref.last_round.offered_hosts)
+            fast_sys.apply_schedule(a)
+            ref_sys.apply_schedule(b)
+            fast_sys.step(trace, t)
+            ref_sys.step(trace, t)
+
+    def test_flat_scheduler_end_to_end(self, config, trace):
+        fast_hist = run_simulation(
+            multidc_system(config), trace,
+            scheduler=make_bestfit_scheduler(OracleEstimator()))
+        ref_hist = run_simulation(
+            multidc_system(config), trace,
+            scheduler=make_bestfit_scheduler(OracleEstimator(),
+                                             use_round_snapshot=False))
+        assert len(fast_hist) == len(ref_hist)
+        worst = max(report_max_abs_diff(a, b) for a, b in
+                    zip(fast_hist.reports, ref_hist.reports))
+        assert worst < 1e-9
+
+    def test_forecaster_override_parity(self, config, trace):
+        from repro.workload.forecast import LoadForecaster
+        fast_hist = run_simulation(
+            multidc_system(config), trace,
+            scheduler=make_bestfit_scheduler(
+                OracleEstimator(), forecaster=LoadForecaster(period=4)))
+        ref_hist = run_simulation(
+            multidc_system(config), trace,
+            scheduler=make_bestfit_scheduler(
+                OracleEstimator(), forecaster=LoadForecaster(period=4),
+                use_round_snapshot=False))
+        worst = max(report_max_abs_diff(a, b) for a, b in
+                    zip(fast_hist.reports, ref_hist.reports))
+        assert worst < 1e-9
+
+    def test_hierarchical_fleet_scenario_small(self):
+        """The benchmark scenario's differential claim, scaled down."""
+        from repro.experiments.scaling import run_hierarchical_fleet
+        result = run_hierarchical_fleet(
+            n_dcs=3, pms_per_dc=3, n_vms=24, n_intervals=4,
+            sources_per_vm=2, fail_prob=0.3)
+        assert result.placements_match
+        assert result.max_abs_diff < 1e-9
+        assert 0.0 < result.mean_sla <= 1.0

@@ -118,7 +118,21 @@ class TestOfferedHosts:
         offers = dc.offered_hosts(max_offers=1)
         assert len(offers) == 1
 
-    def test_off_hosts_not_offered(self, dc):
+    def test_off_but_empty_hosts_still_offered(self, dc):
+        # auto_power_off parks empty machines; they stay *available*
+        # (the scheduler powers them back on when placing), so the DC
+        # keeps offering one representative — otherwise a fully
+        # work-conserving fleet could never re-place orphaned VMs.
         for pm in dc.pms:
             pm.set_power(False)
+        offers = dc.offered_hosts()
+        assert len(offers) == 1
+        assert offers[0].n_vms == 0
+
+    def test_failed_hosts_never_offered(self, dc):
+        for pm in dc.pms:
+            pm.fail()
         assert dc.offered_hosts() == []
+
+    def test_max_offers_zero_offers_nothing(self, dc):
+        assert dc.offered_hosts(max_offers=0) == []

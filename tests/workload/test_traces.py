@@ -130,3 +130,52 @@ class TestWorkloadTrace:
     def test_invalid_interval(self):
         with pytest.raises(ValueError):
             WorkloadTrace(interval_s=0.0)
+
+
+class TestPerVMIndex:
+    """The per-VM series index behind load_at / series_of (PR 3)."""
+
+    def trace(self):
+        t = WorkloadTrace()
+        t.add("vm0", "BCN", series(rps=1.0))
+        t.add("vm1", "BCN", series(rps=2.0))
+        t.add("vm0", "BST", series(rps=3.0))
+        return t
+
+    def test_series_of_orders_like_insertion(self):
+        t = self.trace()
+        assert [src for src, _ in t.series_of("vm0")] == ["BCN", "BST"]
+        assert [src for src, _ in t.series_of("vm1")] == ["BCN"]
+        assert t.series_of("nope") == []
+
+    def test_has_vm(self):
+        t = self.trace()
+        assert t.has_vm("vm0")
+        assert not t.has_vm("nope")
+
+    def test_index_refreshes_after_add(self):
+        t = self.trace()
+        assert set(t.load_at("vm0", 0)) == {"BCN", "BST"}
+        t.add("vm0", "BRS", series(rps=4.0))
+        assert set(t.load_at("vm0", 0)) == {"BCN", "BST", "BRS"}
+        t.add("vm2", "BCN", series(rps=5.0))
+        assert t.has_vm("vm2")
+
+    def test_index_survives_slice_scale_and_io(self, tmp_path):
+        t = self.trace()
+        t.load_at("vm0", 0)  # build the index, then derive new traces
+        sliced = t.slice(1, 3)
+        assert set(sliced.load_at("vm0", 0)) == {"BCN", "BST"}
+        scaled = t.scaled(2.0)
+        assert scaled.load_at("vm0", 0)["BCN"].rps == 2.0
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert set(loaded.load_at("vm0", 1)) == {"BCN", "BST"}
+
+    def test_load_at_values_match_direct_scan(self):
+        t = self.trace()
+        for vm in ("vm0", "vm1"):
+            direct = {src: s.at(2) for (v, src), s in t.series.items()
+                      if v == vm}
+            assert t.load_at(vm, 2) == direct
