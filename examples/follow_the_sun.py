@@ -2,43 +2,32 @@
 
 The paper suggests (§II, §VI) that a "follow the sun/wind" policy drops out
 of the same profit objective once energy prices vary with renewable
-availability.  This example wires the :mod:`repro.sim.tariffs` solar model
-into the canonical 4-DC scenario: when the sun shines over a DC, locally
-generated solar power makes its electricity nearly free, and the scheduler
-— unchanged — starts walking consolidated VMs westward around the planet.
+availability.  Since PR 4 the experiment is the registered
+``follow_the_sun`` spec (:mod:`repro.experiments.catalog`): solar tariffs
+over the canonical 4-DC scenario make a DC's electricity nearly free while
+its sun shines, and the scheduler — unchanged — starts walking consolidated
+VMs westward around the planet.  The script looks the spec up, runs it, and
+draws where the VMs sat.
 
 Run:  python examples/follow_the_sun.py
+      python -m repro.cli scenarios run follow_the_sun   # same experiment
 """
 
-import numpy as np
-
-from repro.core.model import ObjectiveWeights
-from repro.core.policies import oracle_scheduler
-from repro.sim.engine import run_simulation
-from repro.sim.tariffs import solar_tariff
-from repro.experiments.scenario import (ScenarioConfig, multidc_system,
-                                        multidc_trace)
+from repro.experiments import REGISTRY, run_scenario
 
 LOCATIONS = ("BRS", "BNG", "BCN", "BST")
 
 
 def main() -> None:
-    config = ScenarioConfig(n_intervals=144, scale=2.0, affinity_boost=1.0,
-                            seed=11)
-    trace = multidc_trace(config)
-
-    # Exaggerated brown-energy price so the solar discount dominates the
-    # (latency-flat) revenue term; the paper predicts exactly this regime
-    # "as energy costs rise and markets become more heterogeneous".
-    tariffs = solar_tariff({loc: 3.0 for loc in LOCATIONS},
-                           n_intervals=config.n_intervals,
-                           solar_discount=0.9)
-
-    system = multidc_system(config)
-    system.tariff_schedule = tariffs
-    scheduler = oracle_scheduler(
-        weights=ObjectiveWeights(revenue=1.0, energy=1.0, migration=1.0))
-    history = run_simulation(system, trace, scheduler=scheduler)
+    spec = REGISTRY.spec("follow_the_sun")
+    result = run_scenario(spec)
+    variant = result.variant("follow_the_sun")
+    history = variant.history
+    n_intervals = len(history.reports)
+    # The same schedule the engine built from the spec's TariffSpec —
+    # rebuilt here only to shade each DC's solar window in the plot.
+    tariffs = spec.tariffs.build(spec.fleet.build()[0], n_intervals,
+                                 variant.trace.interval_s)
 
     print("where do the VMs sit over the day?  ('#' = >= 1 VM hosted)")
     print("sim hour:  " + "".join(f"{h:<6d}" for h in range(0, 24, 4)))
@@ -49,21 +38,18 @@ def main() -> None:
                        if v.location == loc)
             row.append("#" if here else " ")
         # show the cheap (sunny) window as '.'
-        sunny = [tariffs.price(loc, t) < 1.0 for t in
-                 range(config.n_intervals)]
+        sunny = [tariffs.price(loc, t) < 1.0 for t in range(n_intervals)]
         strip = "".join(c if c == "#" else ("." if s else " ")
                         for c, s in zip(row, sunny))
         print(f"  {loc} |{strip[::2]}|")
     print("  ('.' marks that DC's solar window)")
 
-    s = history.summary()
+    s = result.variant("follow_the_sun").summary
     print(f"\n{s.n_migrations} migrations, avg SLA {s.avg_sla:.3f}, "
           f"energy cost {s.energy_cost_eur:.3f} EUR")
 
-    # Compare with a static run under the same tariffs.
-    static_system = multidc_system(config)
-    static_system.tariff_schedule = tariffs
-    static = run_simulation(static_system, trace).summary()
+    # The spec's static variant ran under the same tariffs.
+    static = result.variant("static").summary
     print(f"static energy cost {static.energy_cost_eur:.3f} EUR "
           f"-> follow-the-sun saves "
           f"{100 * (1 - s.energy_cost_eur / static.energy_cost_eur):.0f} % "

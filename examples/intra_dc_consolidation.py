@@ -10,17 +10,17 @@ hosts and five web-service VMs under heavy diurnal load:
 * ML-enhanced Best-Fit predicts the real requirement from gateway load
   features and (de-)consolidates exactly when needed.
 
+Since PR 4 the experiment itself *is* the registered ``figure4``
+scenario; the script looks it up at a demo-friendly 16-hour horizon,
+runs it, and draws the sparklines from the result's run histories.
+
 Run:  python examples/intra_dc_consolidation.py
+      python -m repro.cli scenarios run figure4 --intervals 96   # same runs
 """
 
 import numpy as np
 
-from repro.core.policies import (bf_ml_scheduler, bf_overbook_scheduler,
-                                 bf_scheduler)
-from repro.sim.engine import run_simulation
-from repro.sim.monitor import Monitor
-from repro.experiments.scenario import intra_dc_system, intra_dc_trace
-from repro.experiments.training import train_paper_models
+from repro.experiments import REGISTRY, run_scenario
 
 
 def spark(values, width=60):
@@ -35,26 +35,9 @@ def spark(values, width=60):
 
 
 def main() -> None:
-    trace = intra_dc_trace(location="BCN", n_intervals=96, scale=16.0,
-                           seed=7)
-
-    def fresh():
-        return intra_dc_system(location="BCN", n_pms=4, n_vms=5)
-
     print("training models ...")
-    models, _ = train_paper_models(fresh, trace, scales=(0.4, 0.8, 1.2),
-                                   seed=7)
-
-    histories = {}
-    for name, factory in (
-            ("BF", lambda m: bf_scheduler(m)),
-            ("BF-OB", lambda m: bf_overbook_scheduler(m, overbook=2.0))):
-        monitor = Monitor(rng=np.random.default_rng(11))
-        histories[name] = run_simulation(fresh(), trace,
-                                         scheduler=factory(monitor),
-                                         monitor=monitor)
-    histories["BF-ML"] = run_simulation(fresh(), trace,
-                                        scheduler=bf_ml_scheduler(models))
+    result = run_scenario(REGISTRY.spec("figure4", n_intervals=96))
+    histories = {name: v.history for name, v in result.variants.items()}
 
     print(f"\n{'variant':<7} {'avg SLA':>8} {'avg W':>8} {'EUR/h':>8} "
           f"{'PMs on':>7}")

@@ -1,44 +1,38 @@
-"""Quickstart: the paper's pipeline end to end in ~40 lines of API.
+"""Quickstart: the paper's pipeline end to end — now one registry lookup.
 
-1. Build the canonical 4-DC / 5-VM scenario (Table II latencies and
-   tariffs, EC2-like pricing, RT0 = 0.1 s / alpha = 10 SLAs).
-2. Harvest monitored data and train the seven Table I predictors.
-3. Run a day with the static baseline and with ML-enhanced Best-Fit.
-4. Compare energy, SLA and profit (the Table III comparison).
+Since PR 4 the whole experiment is a declarative spec registered as
+``quickstart`` (:mod:`repro.experiments.catalog`): the canonical 4-DC /
+5-VM scenario (Table II latencies and tariffs, EC2-like pricing,
+RT0 = 0.1 s / alpha = 10 SLAs), an exploration harvest training the seven
+Table I predictors, and a static-vs-ML-Best-Fit day (the Table III
+comparison).  The script only looks the spec up, runs it, and prints.
 
 Run:  python examples/quickstart.py
+      python -m repro.cli scenarios run quickstart   # same experiment
 """
 
-from repro.core.policies import bf_ml_scheduler, static_scheduler
-from repro.sim.engine import run_simulation
-from repro.experiments.scenario import (ScenarioConfig, multidc_system,
-                                        multidc_trace)
-from repro.experiments.training import train_paper_models
+from repro.experiments import REGISTRY, run_scenario
 
 
 def main() -> None:
     # A shorter-than-paper day so the demo finishes in seconds.
-    config = ScenarioConfig(n_intervals=72, scale=3.0, seed=42)
-    trace = multidc_trace(config)
+    spec = REGISTRY.spec("quickstart")
 
     print("training the Table I predictors on an exploration harvest ...")
-    models, monitor = train_paper_models(
-        lambda: multidc_system(config), trace, seed=7)
-    print(f"  {len(monitor.vm_samples)} monitored samples")
-    for report in models.table1():
+    result = run_scenario(spec)
+    print(f"  {len(result.monitor.vm_samples)} monitored samples")
+    for report in result.models.table1():
         print("  " + report.row())
 
-    print("\nrunning static vs ML-driven dynamic scheduling ...")
-    static = run_simulation(multidc_system(config), trace,
-                            scheduler=static_scheduler()).summary()
-    dynamic = run_simulation(multidc_system(config), trace,
-                             scheduler=bf_ml_scheduler(models)).summary()
-
+    print("\nstatic vs ML-driven dynamic scheduling ...")
     print(f"\n{'scenario':<10} {'EUR/h':>8} {'avg W':>8} {'avg SLA':>8} "
           f"{'migrations':>11}")
-    for name, s in (("static", static), ("dynamic", dynamic)):
+    for name in ("static", "dynamic"):
+        s = result.variant(name).summary
         print(f"{name:<10} {s.avg_eur_per_hour:>8.3f} {s.avg_watts:>8.1f} "
               f"{s.avg_sla:>8.3f} {s.n_migrations:>11d}")
+    static = result.variant("static").summary
+    dynamic = result.variant("dynamic").summary
     saving = 1.0 - dynamic.avg_watts / static.avg_watts
     print(f"\nenergy saving: {100 * saving:.1f} % "
           f"(paper Table III: ~42 % with SLA slightly up)")

@@ -10,60 +10,38 @@ built on the paper's framework:
   §VI.4) re-places orphans with ML-driven Best-Fit while retraining its
   models on the freshest monitoring window.
 
+Since PR 4 both runs live in the registered ``surviving_failures`` spec
+(:mod:`repro.experiments.catalog`); the script looks it up, runs it, and
+prints the failure log and the managed-vs-unmanaged comparison.
+
 Run:  python examples/surviving_failures.py
+      python -m repro.cli scenarios run surviving_failures   # same runs
 """
 
-import numpy as np
-
-from repro.core.online import OnlineLearningScheduler
-from repro.sim.engine import run_simulation
-from repro.sim.failures import FailureInjector
-from repro.sim.monitor import Monitor
-from repro.experiments.scenario import (ScenarioConfig, multidc_system,
-                                        multidc_trace)
-from repro.experiments.training import train_paper_models
+from repro.experiments import REGISTRY, run_scenario
 
 
 def main() -> None:
-    config = ScenarioConfig(n_intervals=96, scale=3.0, seed=21)
-    trace = multidc_trace(config)
-
     print("bootstrap training ...")
-    bootstrap, _ = train_paper_models(lambda: multidc_system(config),
-                                      trace, seed=7)
+    result = run_scenario(REGISTRY.spec("surviving_failures"))
+    managed = result.variant("managed")
+    unmanaged = result.variant("unmanaged")
 
-    def run(with_scheduler: bool):
-        system = multidc_system(config)
-        injector = FailureInjector(rng=np.random.default_rng(5),
-                                   fail_prob_per_interval=0.04,
-                                   repair_intervals=6, max_down=2)
-        monitor = Monitor(rng=np.random.default_rng(6))
-        scheduler = None
-        if with_scheduler:
-            scheduler = OnlineLearningScheduler(
-                monitor=monitor, bootstrap=bootstrap, retrain_every=12,
-                window=1500, min_samples=120)
-        history = run_simulation(system, trace, scheduler=scheduler,
-                                 monitor=monitor,
-                                 failure_injector=injector)
-        return history, injector, scheduler
-
-    managed, inj_a, scheduler = run(with_scheduler=True)
-    unmanaged, inj_b, _ = run(with_scheduler=False)
-
-    print(f"\ninjected failures: {len(inj_a.events)} "
-          f"(same deterministic trace in both runs)")
-    for event in inj_a.events[:6]:
+    injector = managed.failure_injector
+    print(f"\ninjected failures: {len(injector.events)} "
+          f"(same deterministic schedule in both runs)")
+    for event in injector.events[:6]:
         print(f"  t={event.t:>3}  {event.pm_id} down, orphaned "
               f"{list(event.orphaned_vms)}, repair at t={event.repair_at}")
 
-    sm, su = managed.summary(), unmanaged.summary()
+    sm, su = managed.summary, unmanaged.summary
     print(f"\n{'run':<22} {'avg SLA':>8} {'EUR/h':>8} {'migrations':>11}")
     print(f"{'online-ML managed':<22} {sm.avg_sla:>8.3f} "
           f"{sm.avg_eur_per_hour:>8.3f} {sm.n_migrations:>11d}")
     print(f"{'unmanaged (no resched)':<22} {su.avg_sla:>8.3f} "
           f"{su.avg_eur_per_hour:>8.3f} {su.n_migrations:>11d}")
-    if scheduler is not None:
+    scheduler = managed.scheduler
+    if scheduler is not None and hasattr(scheduler, "retrain_history"):
         print(f"\nmodel retrains during the run: "
               f"{len(scheduler.retrain_history)} "
               f"(rounds {scheduler.retrain_history})")

@@ -1,14 +1,23 @@
-"""Command-line interface: regenerate any paper artifact.
+"""Command-line interface: paper artifacts and registry scenarios.
 
-Usage::
+Legacy artifact commands (output unchanged since PR 3)::
 
     python -m repro.cli list
     python -m repro.cli table1
     python -m repro.cli table3 --intervals 72 --scale 3.0
     python -m repro.cli all
 
-Each artifact command runs the corresponding experiment module and prints
-the same report the benchmarks assert against.
+Generic scenario commands over the PR 4 engine
+(:mod:`repro.experiments.engine`)::
+
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run figure6 --intervals 72
+    python -m repro.cli scenarios run follow_the_sun_8dc --json out.json
+    python -m repro.cli scenarios run table3 --csv intervals.csv
+
+``scenarios run`` prints the generic KPI report and can persist the
+structured :class:`~repro.experiments.engine.ScenarioResult` as a JSON
+artifact (per-variant KPIs + interval series) or a per-interval CSV.
 """
 
 from __future__ import annotations
@@ -18,12 +27,13 @@ import sys
 import time
 from typing import Callable, Dict, Optional
 
-from .experiments import (format_delocation, format_figure4, format_figure5,
-                          format_figure6, format_figure7, format_figure8,
+from .experiments import (REGISTRY, format_delocation, format_figure4,
+                          format_figure5, format_figure6, format_figure7,
+                          format_figure8, format_scenario_result,
                           format_table1, format_table2, format_table3,
                           run_delocation, run_figure4, run_figure5,
-                          run_figure6, run_figure7, run_figure8, run_table1,
-                          run_table2, run_table3)
+                          run_figure6, run_figure7, run_figure8,
+                          run_scenario, run_table1, run_table2, run_table3)
 from .experiments.scenario import ScenarioConfig
 
 __all__ = ["main", "ARTIFACTS"]
@@ -98,7 +108,11 @@ ARTIFACTS: Dict[str, tuple] = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate the paper's tables and figures.")
+        description="Regenerate the paper's tables and figures.",
+        epilog="Beyond the paper artifacts, every registered scenario "
+               "spec is runnable via `repro scenarios list` / "
+               "`repro scenarios run <name>` (see `repro scenarios "
+               "--help`).")
     parser.add_argument("artifact",
                         choices=sorted(ARTIFACTS) + ["all", "list"],
                         help="which artifact to regenerate")
@@ -111,7 +125,95 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def _seed_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        # numpy's SeedSequence rejects negative seeds deep inside trace
+        # generation; fail at the parser instead.
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def build_scenario_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description="List and run registered scenario specs "
+                    "(repro.experiments.engine).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list registered scenarios")
+    run = sub.add_parser("run", help="run one registered scenario")
+    run.add_argument("name", help="registered scenario name")
+    run.add_argument("--intervals", type=_positive_int, default=None,
+                     help="override the scenario's horizon (rounds)")
+    run.add_argument("--scale", type=_positive_float, default=None,
+                     help="override the workload scale factor")
+    run.add_argument("--seed", type=_seed_int, default=None,
+                     help="override the experiment seed")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the structured result as JSON")
+    run.add_argument("--csv", metavar="PATH", default=None,
+                     help="write the per-interval series as CSV")
+    run.add_argument("--no-series", action="store_true",
+                     help="omit interval series from the JSON artifact")
+    return parser
+
+
+def _scenarios_main(argv) -> int:
+    args = build_scenario_parser().parse_args(argv)
+    if args.command == "list":
+        for name in REGISTRY.names():
+            print(f"{name:<22} {REGISTRY.describe(name)}")
+        return 0
+    if args.name not in REGISTRY:
+        print(f"unknown scenario {args.name!r}; run "
+              f"`scenarios list` to see the registry", file=sys.stderr)
+        return 2
+    try:
+        spec = REGISTRY.spec(args.name, n_intervals=args.intervals,
+                             seed=args.seed, scale=args.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.csv and not spec.variants:
+        # Fail before the (possibly long) run: analysis-only scenarios
+        # produce no per-interval series to write.
+        print(f"error: --csv: scenario {args.name!r} is analysis-only "
+              f"and has no per-interval series; use --json",
+              file=sys.stderr)
+        return 2
+    result = run_scenario(spec)
+    print(format_scenario_result(result))
+    if args.json:
+        result.save_json(args.json, include_series=not args.no_series)
+        print(f"[wrote {args.json}]")
+    if args.csv:
+        try:
+            result.save_csv(args.csv)
+        except ValueError as exc:
+            print(f"error: --csv: {exc}", file=sys.stderr)
+            return 2
+        print(f"[wrote {args.csv}]")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scenarios":
+        return _scenarios_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):

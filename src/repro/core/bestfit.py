@@ -385,7 +385,8 @@ class SchedulingRound:
                 fleet = self.fleet
                 overridden = (set(self.loads_override)
                               if self.loads_override is not None else ())
-                vm_ids = [v for v in fleet.vm_ids if v not in overridden]
+                vm_ids = [v for v in fleet.traced_ids
+                          if v not in overridden]
                 if vm_ids:
                     rows = [fleet.vm_index[v] for v in vm_ids]
                     rps, bpr, cpr = fleet.aggregate_columns(self.t)
@@ -428,10 +429,10 @@ class SchedulingRound:
         """
         vm_ids = (list(scope_vms) if scope_vms is not None
                   else sorted(self.system.vms))
-        vm_index = self.fleet.vm_index
+        traced = self.fleet.traced_set
         overridden = (self.loads_override
                       if self.loads_override is not None else ())
-        vm_ids = [v for v in vm_ids if v in vm_index or v in overridden]
+        vm_ids = [v for v in vm_ids if v in traced or v in overridden]
         requests = [self._request(v) for v in vm_ids]
         scope = set(vm_ids)
         wanted = set(scope_pms) if scope_pms is not None else None

@@ -385,6 +385,17 @@ class MLEstimator:
         return contract.fulfillment(rt)
 
     # -- batch interface ------------------------------------------------------
+    def required_resources_batch(self, vms: Sequence[VirtualMachine],
+                                 rps, bytes_per_req, cpu_time_per_req,
+                                 cpu_cap: float) -> Tuple:
+        # One model-set prediction for the whole round instead of one
+        # 1-row prediction per VM; the predictors are row-independent, so
+        # results match the scalar method element-for-element.
+        mem_floor = np.array([vm.base_mem_mb for vm in vms], dtype=float)
+        return self.models.predict_requirements_batch(
+            rps, bytes_per_req, cpu_time_per_req, cpu_cap=cpu_cap,
+            mem_floor=mem_floor)
+
     def pm_cpu_batch(self, counts, sums) -> np.ndarray:
         return self.models.predict_pm_cpu_batch(counts, sums)
 

@@ -24,7 +24,7 @@ from ..sim.engine import Scheduler
 from ..sim.monitor import Monitor
 from .bestfit import make_bestfit_scheduler
 from .estimators import MLEstimator, ObservedEstimator, OracleEstimator
-from .hierarchical import HierarchicalScheduler
+from .hierarchical import DEFAULT_MIN_GAIN_EUR, HierarchicalScheduler
 from .model import ObjectiveWeights
 
 __all__ = ["static_scheduler", "follow_the_load_scheduler", "bf_scheduler",
@@ -100,9 +100,14 @@ def hierarchical_ml_scheduler(models: ModelSet, sla_mode: str = "direct",
                               weights: Optional[ObjectiveWeights] = None,
                               sla_move_threshold: float = 0.95,
                               max_offers_per_dc: int = 2,
-                              min_gain_eur: float = 0.0
+                              min_gain_eur: float = DEFAULT_MIN_GAIN_EUR
                               ) -> HierarchicalScheduler:
-    """The paper's two-layer scheduler with learned models."""
+    """The paper's two-layer scheduler with learned models.
+
+    ``min_gain_eur`` defaults to the churn-damping hysteresis
+    (:data:`repro.core.hierarchical.DEFAULT_MIN_GAIN_EUR`); pass ``0.0``
+    to opt out.
+    """
     return HierarchicalScheduler(
         estimator=MLEstimator(models, sla_mode=sla_mode),
         weights=weights or ObjectiveWeights(),

@@ -1,4 +1,4 @@
-"""Experiment reproductions, one module per paper artifact.
+"""Experiment reproductions, driven by the declarative scenario engine.
 
 ==========  =====================================================
 Module      Paper artifact
@@ -14,39 +14,68 @@ figure7     Figure 7 — static vs dynamic time series
 figure8     Figure 8 — SLA vs energy vs load characteristic
 ==========  =====================================================
 
-Every module exposes ``run_*`` returning a structured result and
-``format_*`` rendering it like the paper's table/figure; running the module
-as a script prints the report.
+Since PR 4, every experiment is a declarative
+:class:`~repro.experiments.engine.ScenarioSpec` registered in
+:data:`~repro.experiments.engine.REGISTRY` and executed by the single
+array-native runner :func:`~repro.experiments.engine.run_scenario`
+(``scenarios list`` / ``scenarios run <name>`` in :mod:`repro.cli`).
+The per-module ``run_*``/``format_*`` entry points remain as thin
+wrappers with byte-identical output (golden-parity tests pin them), and
+:mod:`repro.experiments.catalog` adds the large-scale scenarios that
+have no per-module ancestor (``flash_crowd_failures``,
+``follow_the_sun_8dc``, ``ml_large_fleet``) plus the specs behind the
+``examples/`` scripts (``quickstart``, ``follow_the_sun``,
+``surviving_failures``).
+
+Importing this package populates the registry.
 """
 
-from .delocation import DelocationResult, format_delocation, run_delocation
-from .figure4 import Figure4Result, format_figure4, run_figure4
-from .figure5 import Figure5Result, format_figure5, run_figure5
-from .figure6 import Figure6Result, format_figure6, run_figure6
-from .figure7 import Figure7Result, format_figure7, run_figure7
-from .figure8 import Figure8Point, Figure8Result, format_figure8, run_figure8
+from .engine import (ANALYSES, REGISTRY, FailureSpec, FleetSpec,
+                     ScenarioRegistry, ScenarioResult, ScenarioSpec,
+                     SchedulerSpec, TariffSpec, TrainingSpec, VariantSpec,
+                     WorkloadSpec, format_scenario_result, run_scenario)
+from .delocation import (DelocationResult, delocation_spec,
+                         format_delocation, run_delocation)
+from .figure4 import Figure4Result, figure4_spec, format_figure4, run_figure4
+from .figure5 import Figure5Result, figure5_spec, format_figure5, run_figure5
+from .figure6 import Figure6Result, figure6_spec, format_figure6, run_figure6
+from .figure7 import Figure7Result, figure7_spec, format_figure7, run_figure7
+from .figure8 import (Figure8Point, Figure8Result, figure8_spec,
+                      format_figure8, run_figure8)
+from .harvest_ablation import (HarvestAblationResult, HarvestPoint,
+                               format_harvest_ablation,
+                               harvest_ablation_spec, run_harvest_ablation)
 from .scenario import (DAY_INTERVALS, ScenarioConfig, intra_dc_system,
                        intra_dc_trace, make_vms, multidc_system,
                        multidc_trace, single_dc_system)
 from .scaling import (ScalingPoint, ScalingResult, format_scaling,
                       run_scaling)
-from .table1 import Table1Result, format_table1, run_table1
-from .table2 import Table2Result, format_table2, run_table2
-from .table3 import Table3Result, format_table3, run_table3
+from .table1 import Table1Result, format_table1, run_table1, table1_spec
+from .table2 import Table2Result, format_table2, run_table2, table2_spec
+from .table3 import Table3Result, format_table3, run_table3, table3_spec
 from .training import harvest, random_placement_scheduler, train_paper_models
+from . import catalog  # noqa: F401  (registers the large-scale scenarios)
 
 __all__ = [
-    "DelocationResult", "format_delocation", "run_delocation",
-    "Figure4Result", "format_figure4", "run_figure4",
-    "Figure5Result", "format_figure5", "run_figure5",
-    "Figure6Result", "format_figure6", "run_figure6",
-    "Figure7Result", "format_figure7", "run_figure7",
-    "Figure8Point", "Figure8Result", "format_figure8", "run_figure8",
+    "ANALYSES", "REGISTRY", "FailureSpec", "FleetSpec", "ScenarioRegistry",
+    "ScenarioResult", "ScenarioSpec", "SchedulerSpec", "TariffSpec",
+    "TrainingSpec", "VariantSpec", "WorkloadSpec",
+    "format_scenario_result", "run_scenario",
+    "DelocationResult", "delocation_spec", "format_delocation",
+    "run_delocation",
+    "Figure4Result", "figure4_spec", "format_figure4", "run_figure4",
+    "Figure5Result", "figure5_spec", "format_figure5", "run_figure5",
+    "Figure6Result", "figure6_spec", "format_figure6", "run_figure6",
+    "Figure7Result", "figure7_spec", "format_figure7", "run_figure7",
+    "Figure8Point", "Figure8Result", "figure8_spec", "format_figure8",
+    "run_figure8",
+    "HarvestAblationResult", "HarvestPoint", "format_harvest_ablation",
+    "harvest_ablation_spec", "run_harvest_ablation",
     "DAY_INTERVALS", "ScenarioConfig", "intra_dc_system", "intra_dc_trace",
     "make_vms", "multidc_system", "multidc_trace", "single_dc_system",
     "ScalingPoint", "ScalingResult", "format_scaling", "run_scaling",
-    "Table1Result", "format_table1", "run_table1",
-    "Table2Result", "format_table2", "run_table2",
-    "Table3Result", "format_table3", "run_table3",
+    "Table1Result", "format_table1", "run_table1", "table1_spec",
+    "Table2Result", "format_table2", "run_table2", "table2_spec",
+    "Table3Result", "format_table3", "run_table3", "table3_spec",
     "harvest", "random_placement_scheduler", "train_paper_models",
 ]

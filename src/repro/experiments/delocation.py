@@ -18,14 +18,15 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.policies import bf_ml_scheduler, static_scheduler
 from ..ml.predictors import ModelSet
-from ..sim.engine import RunHistory, RunSummary, run_simulation
-from ..workload.libcn import LiBCNGenerator
-from .scenario import DAY_INTERVALS, ScenarioConfig, single_dc_system
-from .training import train_paper_models
+from ..sim.engine import RunHistory, RunSummary
+from .engine import (REGISTRY, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     TrainingSpec, VariantSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import DAY_INTERVALS, ScenarioConfig
 
-__all__ = ["DelocationResult", "run_delocation", "format_delocation"]
+__all__ = ["DelocationResult", "delocation_spec", "run_delocation",
+           "format_delocation"]
 
 
 @dataclass
@@ -53,14 +54,45 @@ class DelocationResult:
         return delta_per_hour * 24.0 / self.n_vms
 
 
-def _home_trace(config: ScenarioConfig, home: str,
-                scale: float) -> "WorkloadTrace":
-    """All load originates at the home region (the overload scenario)."""
-    rng = np.random.default_rng(config.seed)
-    gen = LiBCNGenerator(rng=rng, interval_s=config.interval_s)
-    profiles = {vm_id: config.profile_of(vm_id)
-                for vm_id in config.vm_ids()}
-    return gen.trace(profiles, [home], config.n_intervals, scale=scale)
+def delocation_spec(home: str = "BCN",
+                    remotes: Sequence[str] = ("BST", "BNG"),
+                    n_vms: int = 5, scale: float = 9.0,
+                    n_intervals: int = DAY_INTERVALS, seed: int = 7,
+                    name: str = "delocation") -> ScenarioSpec:
+    """The de-location comparison as an engine spec.
+
+    All load originates at the home region (the overload scenario); the
+    fixed variant's fleet is the lone home DC, the de-locating variant
+    (and the training harvest) gets the remote DCs too.
+    """
+    config = ScenarioConfig(locations=(home,), n_vms=n_vms,
+                            n_intervals=n_intervals, seed=seed)
+    delocating = FleetSpec("single_dc", params=dict(
+        home=home, n_vms=n_vms, remote_locations=tuple(remotes)))
+    return ScenarioSpec(
+        name=name,
+        description="§V.C — benefit of de-locating an overloaded DC",
+        fleet=delocating,
+        workload=WorkloadSpec("home", config=config,
+                              params=dict(home=home, scale=scale)),
+        training=TrainingSpec(scales=(0.3, 0.6, 1.0), seed=seed),
+        variants=(
+            VariantSpec("fixed", SchedulerSpec("static"),
+                        fleet=FleetSpec("single_dc",
+                                        params=dict(home=home,
+                                                    n_vms=n_vms))),
+            VariantSpec("delocating", SchedulerSpec("bf_ml")),
+        ),
+        seed=seed)
+
+
+@REGISTRY.register("delocation",
+                   description="§V.C — de-location benefit")
+def _delocation_registered(n_intervals=None, seed=None,
+                           scale=None) -> ScenarioSpec:
+    return delocation_spec(n_intervals=fallback(n_intervals, DAY_INTERVALS),
+                           scale=fallback(scale, 9.0),
+                           seed=fallback(seed, 7))
 
 
 def run_delocation(home: str = "BCN",
@@ -69,28 +101,14 @@ def run_delocation(home: str = "BCN",
                    n_intervals: int = DAY_INTERVALS, seed: int = 7,
                    models: Optional[ModelSet] = None) -> DelocationResult:
     """Fixed single-DC baseline vs de-location-enabled run."""
-    config = ScenarioConfig(locations=(home,), n_vms=n_vms,
-                            n_intervals=n_intervals, seed=seed)
-    trace = _home_trace(config, home, scale)
-
-    def fixed_system():
-        return single_dc_system(home=home, n_vms=n_vms)
-
-    def delocating_system():
-        return single_dc_system(home=home, n_vms=n_vms,
-                                remote_locations=remotes)
-
-    if models is None:
-        models, _ = train_paper_models(delocating_system, trace,
-                                       scales=(0.3, 0.6, 1.0), seed=seed)
-    h_fixed = run_simulation(fixed_system(), trace,
-                             scheduler=static_scheduler())
-    h_deloc = run_simulation(delocating_system(), trace,
-                             scheduler=bf_ml_scheduler(models))
-    return DelocationResult(fixed_summary=h_fixed.summary(),
-                            delocating_summary=h_deloc.summary(),
-                            fixed_history=h_fixed,
-                            delocating_history=h_deloc,
+    result = run_scenario(
+        delocation_spec(home, remotes, n_vms, scale, n_intervals, seed),
+        models=models)
+    fixed, deloc = result.variant("fixed"), result.variant("delocating")
+    return DelocationResult(fixed_summary=fixed.summary,
+                            delocating_summary=deloc.summary,
+                            fixed_history=fixed.history,
+                            delocating_history=deloc.history,
                             n_vms=n_vms)
 
 

@@ -23,15 +23,14 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..core.policies import (bf_ml_scheduler, bf_overbook_scheduler,
-                             bf_scheduler)
 from ..ml.predictors import ModelSet
-from ..sim.engine import RunHistory, RunSummary, run_simulation
-from ..sim.monitor import Monitor
-from .scenario import DAY_INTERVALS, intra_dc_system, intra_dc_trace
-from .training import train_paper_models
+from ..sim.engine import RunHistory, RunSummary
+from .engine import (REGISTRY, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     TrainingSpec, VariantSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import DAY_INTERVALS
 
-__all__ = ["Figure4Result", "run_figure4", "format_figure4"]
+__all__ = ["Figure4Result", "figure4_spec", "run_figure4", "format_figure4"]
 
 
 @dataclass
@@ -50,34 +49,52 @@ class Figure4Result:
         return self.summaries[variant].avg_watts
 
 
+def figure4_spec(location: str = "BCN", n_pms: int = 4, n_vms: int = 5,
+                 scale: float = 16.0, n_intervals: int = DAY_INTERVALS,
+                 seed: int = 7, name: str = "figure4") -> ScenarioSpec:
+    """The intra-DC BF / BF-OB / BF-ML comparison as an engine spec.
+
+    Plain BF and BF-OB each get their own live monitor (seeded exactly as
+    before): their estimator *is* the trailing observation window.
+    """
+    return ScenarioSpec(
+        name=name,
+        description="Figure 4 — intra-DC BF / BF-OB / BF-ML",
+        fleet=FleetSpec("intra_dc", params=dict(
+            location=location, n_pms=n_pms, n_vms=n_vms)),
+        workload=WorkloadSpec("intra_dc", params=dict(
+            location=location, n_vms=n_vms, n_intervals=n_intervals,
+            scale=scale, seed=seed)),
+        training=TrainingSpec(scales=(0.4, 0.8, 1.2), seed=seed),
+        variants=(
+            VariantSpec("BF", SchedulerSpec(
+                "bf", params=dict(monitor_seed=seed + 11))),
+            VariantSpec("BF-OB", SchedulerSpec(
+                "bf_ob", params=dict(monitor_seed=seed + 11,
+                                     overbook=2.0))),
+            VariantSpec("BF-ML", SchedulerSpec("bf_ml")),
+        ),
+        seed=seed)
+
+
+@REGISTRY.register("figure4",
+                   description="Figure 4 — intra-DC BF / BF-OB / BF-ML")
+def _figure4_registered(n_intervals=None, seed=None,
+                        scale=None) -> ScenarioSpec:
+    return figure4_spec(n_intervals=fallback(n_intervals, DAY_INTERVALS),
+                        scale=fallback(scale, 16.0),
+                        seed=fallback(seed, 7))
+
+
 def run_figure4(location: str = "BCN", n_pms: int = 4, n_vms: int = 5,
                 scale: float = 16.0, n_intervals: int = DAY_INTERVALS,
                 seed: int = 7,
                 models: Optional[ModelSet] = None) -> Figure4Result:
     """Run the three intra-DC variants on one trace."""
-    trace = intra_dc_trace(location=location, n_vms=n_vms,
-                           n_intervals=n_intervals, scale=scale, seed=seed)
-
-    def fresh():
-        return intra_dc_system(location=location, n_pms=n_pms, n_vms=n_vms)
-
-    if models is None:
-        models, _ = train_paper_models(fresh, trace,
-                                       scales=(0.4, 0.8, 1.2), seed=seed)
-
-    histories: Dict[str, RunHistory] = {}
-    # Plain BF and BF-OB each need their own live monitor: their estimator
-    # *is* the trailing observation window.
-    for name, make_sched in (
-            ("BF", lambda mon: bf_scheduler(mon)),
-            ("BF-OB", lambda mon: bf_overbook_scheduler(mon, overbook=2.0)),
-    ):
-        monitor = Monitor(rng=np.random.default_rng(seed + 11))
-        histories[name] = run_simulation(fresh(), trace,
-                                         scheduler=make_sched(monitor),
-                                         monitor=monitor)
-    histories["BF-ML"] = run_simulation(fresh(), trace,
-                                        scheduler=bf_ml_scheduler(models))
+    result = run_scenario(
+        figure4_spec(location, n_pms, n_vms, scale, n_intervals, seed),
+        models=models)
+    histories = {name: v.history for name, v in result.variants.items()}
     return Figure4Result(
         histories=histories,
         summaries={k: h.summary() for k, h in histories.items()},

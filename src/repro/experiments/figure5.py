@@ -17,13 +17,14 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..core.policies import follow_the_load_scheduler
-from ..sim.engine import RunHistory, run_simulation
-from ..sim.network import PAPER_LOCATIONS, paper_network_model
-from ..workload.libcn import SERVICE_PROFILES, LiBCNGenerator
-from .scenario import ScenarioConfig, multidc_system
+from ..sim.engine import RunHistory
+from ..sim.network import PAPER_LOCATIONS
+from .engine import (REGISTRY, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     VariantSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import ScenarioConfig
 
-__all__ = ["Figure5Result", "run_figure5", "format_figure5"]
+__all__ = ["Figure5Result", "figure5_spec", "run_figure5", "format_figure5"]
 
 
 @dataclass
@@ -48,18 +49,39 @@ class Figure5Result:
         return len(set(self.locations))
 
 
+def figure5_spec(n_intervals: int = 96, scale: float = 2.0,
+                 dominance: float = 6.0, seed: int = 7,
+                 name: str = "figure5") -> ScenarioSpec:
+    """Follow-the-load as an engine spec: one VM, rotating dominance."""
+    config = ScenarioConfig(n_vms=1, n_intervals=n_intervals, seed=seed)
+    return ScenarioSpec(
+        name=name,
+        description="Figure 5 — follow-the-load placement trace",
+        fleet=FleetSpec("multidc", config=config),
+        workload=WorkloadSpec("rotating", params=dict(
+            vm_id="vm0", profile="image-gallery",
+            locations=tuple(PAPER_LOCATIONS), n_intervals=n_intervals,
+            scale=scale, dominance=dominance, seed=seed)),
+        variants=(VariantSpec("follow",
+                              SchedulerSpec("follow_the_load")),),
+        seed=seed)
+
+
+@REGISTRY.register("figure5",
+                   description="Figure 5 — follow-the-load placement trace")
+def _figure5_registered(n_intervals=None, seed=None,
+                        scale=None) -> ScenarioSpec:
+    return figure5_spec(n_intervals=fallback(n_intervals, 96),
+                        scale=fallback(scale, 2.0),
+                        seed=fallback(seed, 7))
+
+
 def run_figure5(n_intervals: int = 96, scale: float = 2.0,
                 dominance: float = 6.0, seed: int = 7) -> Figure5Result:
     """One VM, rotating dominant region, latency-only objective."""
-    config = ScenarioConfig(n_vms=1, n_intervals=n_intervals, seed=seed)
-    system = multidc_system(config)
-    rng = np.random.default_rng(seed)
-    gen = LiBCNGenerator(rng=rng)
-    trace = gen.rotating_trace("vm0", SERVICE_PROFILES["image-gallery"],
-                               list(PAPER_LOCATIONS), n_intervals,
-                               scale=scale, dominance=dominance)
-    history = run_simulation(system, trace,
-                             scheduler=follow_the_load_scheduler())
+    result = run_scenario(figure5_spec(n_intervals, scale, dominance, seed))
+    variant = result.variant("follow")
+    history, trace = variant.history, variant.trace
     locations = [loc or "?" for loc in history.vm_location_series("vm0")]
     dominant = [trace.dominant_source("vm0", t) for t in range(n_intervals)]
     return Figure5Result(vm_id="vm0", locations=locations,

@@ -20,14 +20,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.policies import bf_ml_scheduler
 from ..ml.predictors import ModelSet
-from ..sim.engine import RunHistory, RunSummary, run_simulation
+from ..sim.engine import RunHistory, RunSummary
 from ..workload.patterns import PAPER_FLASH_CROWD, FlashCrowd
-from .scenario import ScenarioConfig, multidc_system, multidc_trace
-from .training import train_paper_models
+from .engine import (REGISTRY, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     TrainingSpec, VariantSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import ScenarioConfig
 
-__all__ = ["Figure6Result", "run_figure6", "format_figure6"]
+__all__ = ["Figure6Result", "figure6_spec", "run_figure6", "format_figure6"]
 
 
 @dataclass
@@ -66,21 +67,50 @@ class Figure6Result:
         return float(np.corrcoef(self.rps_series, self.pms_on_series)[0, 1])
 
 
+def figure6_spec(config: Optional[ScenarioConfig] = None, seed: int = 7,
+                 name: str = "figure6") -> ScenarioSpec:
+    """The full inter-DC flash-crowd run as an engine spec.
+
+    Training deliberately happens on the same scenario *without* the
+    flash crowd: the models must generalize to the unseen surge, as in
+    the paper.
+    """
+    if config is None:
+        config = ScenarioConfig(flash_crowds=(PAPER_FLASH_CROWD,))
+    base = replace(config, flash_crowds=())
+    return ScenarioSpec(
+        name=name,
+        description="Figure 6 — full inter-DC run with flash crowd",
+        fleet=FleetSpec("multidc", config=config),
+        workload=WorkloadSpec("multidc", config=config),
+        training=TrainingSpec(seed=seed,
+                              fleet=FleetSpec("multidc", config=base),
+                              workload=WorkloadSpec("multidc",
+                                                    config=base)),
+        variants=(VariantSpec("dynamic", SchedulerSpec("bf_ml")),),
+        seed=seed)
+
+
+@REGISTRY.register("figure6",
+                   description="Figure 6 — full inter-DC with flash crowd")
+def _figure6_registered(n_intervals=None, seed=None,
+                        scale=None) -> ScenarioSpec:
+    config = ScenarioConfig(n_intervals=fallback(n_intervals, 144),
+                            scale=fallback(scale, 3.0),
+                            seed=fallback(seed, 42),
+                            flash_crowds=(PAPER_FLASH_CROWD,))
+    return figure6_spec(config, seed=fallback(seed, 7))
+
+
 def run_figure6(config: Optional[ScenarioConfig] = None,
                 models: Optional[ModelSet] = None,
                 seed: int = 7) -> Figure6Result:
     """The full dynamic run, flash crowd included."""
     if config is None:
         config = ScenarioConfig(flash_crowds=(PAPER_FLASH_CROWD,))
-    trace = multidc_trace(config)
-    if models is None:
-        # Train on the same scenario *without* the flash crowd: the models
-        # must generalize to the unseen surge, as in the paper.
-        base = replace(config, flash_crowds=())
-        models, _ = train_paper_models(lambda: multidc_system(base),
-                                       multidc_trace(base), seed=seed)
-    history = run_simulation(multidc_system(config), trace,
-                             scheduler=bf_ml_scheduler(models))
+    result = run_scenario(figure6_spec(config, seed), models=models)
+    variant = result.variant("dynamic")
+    history, trace = variant.history, variant.trace
     flash = config.flash_crowds[0] if config.flash_crowds else None
     return Figure6Result(
         history=history, summary=history.summary(),

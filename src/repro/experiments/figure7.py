@@ -15,10 +15,28 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..ml.predictors import ModelSet
+from .engine import REGISTRY, ScenarioSpec, fallback
 from .scenario import ScenarioConfig
-from .table3 import Table3Result, run_table3
+from .table3 import Table3Result, run_table3, table3_spec
 
-__all__ = ["Figure7Result", "run_figure7", "format_figure7"]
+__all__ = ["Figure7Result", "figure7_spec", "run_figure7",
+           "format_figure7"]
+
+
+def figure7_spec(config: ScenarioConfig = ScenarioConfig(),
+                 seed: int = 7) -> ScenarioSpec:
+    """Figure 7 is Table III's experiment viewed as time series."""
+    return table3_spec(config, seed=seed, name="figure7")
+
+
+@REGISTRY.register("figure7",
+                   description="Figure 7 — static vs dynamic time series")
+def _figure7_registered(n_intervals=None, seed=None,
+                        scale=None) -> ScenarioSpec:
+    config = ScenarioConfig(n_intervals=fallback(n_intervals, 144),
+                            scale=fallback(scale, 3.0),
+                            seed=fallback(seed, 42))
+    return figure7_spec(config, seed=fallback(seed, 7))
 
 
 @dataclass

@@ -21,13 +21,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.model import ObjectiveWeights
-from ..core.policies import bf_ml_scheduler
 from ..ml.predictors import ModelSet
-from ..sim.engine import run_simulation
-from .scenario import ScenarioConfig, multidc_system, multidc_trace
-from .training import train_paper_models
+from .engine import (REGISTRY, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     TrainingSpec, VariantSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import ScenarioConfig
 
-__all__ = ["Figure8Point", "Figure8Result", "run_figure8", "format_figure8"]
+__all__ = ["Figure8Point", "Figure8Result", "figure8_spec", "run_figure8",
+           "format_figure8"]
 
 
 @dataclass(frozen=True)
@@ -71,6 +72,46 @@ class Figure8Result:
         return good / total if total else 1.0
 
 
+def figure8_spec(config: ScenarioConfig = ScenarioConfig(),
+                 scales: Sequence[float] = (1.5, 3.0, 4.5),
+                 energy_weights: Sequence[float] = (0.0, 3.0, 10.0, 30.0),
+                 seed: int = 7,
+                 n_intervals: Optional[int] = 72,
+                 name: str = "figure8") -> ScenarioSpec:
+    """The load x energy-weight sweep as one spec: a variant per point."""
+    if n_intervals is not None:
+        config = replace(config, n_intervals=n_intervals)
+    variants = tuple(
+        VariantSpec(
+            f"scale{scale:g}-w{w_energy:g}",
+            SchedulerSpec("bf_ml",
+                          weights=ObjectiveWeights(revenue=1.0,
+                                                   energy=w_energy,
+                                                   migration=1.0)),
+            trace_scale=scale / config.scale)
+        for scale in scales for w_energy in energy_weights)
+    return ScenarioSpec(
+        name=name,
+        description="Figure 8 — SLA vs energy vs load frontier",
+        fleet=FleetSpec("multidc", config=config),
+        workload=WorkloadSpec("multidc", config=config),
+        training=TrainingSpec(seed=seed),
+        variants=variants,
+        seed=seed,
+        params=dict(scales=tuple(scales),
+                    energy_weights=tuple(energy_weights)))
+
+
+@REGISTRY.register("figure8",
+                   description="Figure 8 — SLA vs energy vs load")
+def _figure8_registered(n_intervals=None, seed=None,
+                        scale=None) -> ScenarioSpec:
+    config = ScenarioConfig(scale=fallback(scale, 3.0),
+                            seed=fallback(seed, 42))
+    return figure8_spec(config, seed=fallback(seed, 7),
+                        n_intervals=fallback(n_intervals, 72))
+
+
 def run_figure8(config: ScenarioConfig = ScenarioConfig(),
                 scales: Sequence[float] = (1.5, 3.0, 4.5),
                 energy_weights: Sequence[float] = (0.0, 3.0, 10.0, 30.0),
@@ -78,22 +119,15 @@ def run_figure8(config: ScenarioConfig = ScenarioConfig(),
                 seed: int = 7,
                 n_intervals: Optional[int] = 72) -> Figure8Result:
     """Sweep load x energy-weight; one dynamic run per grid point."""
-    if n_intervals is not None:
-        config = replace(config, n_intervals=n_intervals)
-    trace = multidc_trace(config)
-    if models is None:
-        models, _ = train_paper_models(lambda: multidc_system(config),
-                                       trace, seed=seed)
+    result = run_scenario(
+        figure8_spec(config, scales, energy_weights, seed, n_intervals),
+        models=models)
     points: List[Figure8Point] = []
     for scale in scales:
-        scaled = trace.scaled(scale / config.scale)
         for w_energy in energy_weights:
-            weights = ObjectiveWeights(revenue=1.0, energy=w_energy,
-                                       migration=1.0)
-            history = run_simulation(
-                multidc_system(config), scaled,
-                scheduler=bf_ml_scheduler(models, weights=weights))
-            s = history.summary()
+            variant = result.variant(f"scale{scale:g}-w{w_energy:g}")
+            s = variant.summary
+            scaled = variant.trace
             avg_rps = float(np.mean([scaled.total_rps(t)
                                      for t in range(scaled.n_intervals)]))
             points.append(Figure8Point(

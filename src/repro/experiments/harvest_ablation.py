@@ -15,14 +15,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..core.policies import bf_ml_scheduler
-from ..ml.predictors import train_model_set
-from ..sim.engine import run_simulation
-from .scenario import ScenarioConfig, multidc_system, multidc_trace
-from .training import harvest
+from .engine import (REGISTRY, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     TrainingSpec, VariantSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import ScenarioConfig
 
-__all__ = ["HarvestPoint", "HarvestAblationResult", "run_harvest_ablation",
-           "format_harvest_ablation"]
+__all__ = ["HarvestPoint", "HarvestAblationResult", "harvest_ablation_spec",
+           "run_harvest_ablation", "format_harvest_ablation"]
 
 
 @dataclass(frozen=True)
@@ -50,27 +49,59 @@ class HarvestAblationResult:
                 >= self.points[0].sla_model_corr - 0.02)
 
 
+def harvest_ablation_spec(config: ScenarioConfig = ScenarioConfig(),
+                          harvest_intervals: Sequence[int] = (12, 36, 144),
+                          scales: Sequence[float] = (0.7, 1.4, 2.2),
+                          seed: int = 7,
+                          name: str = "harvest_ablation") -> ScenarioSpec:
+    """The harvest-size sweep as a spec: one variant per training size,
+    each with its own per-variant :class:`TrainingSpec`, all evaluated on
+    the same day."""
+    variants = []
+    for n in harvest_intervals:
+        harvest_config = replace(config, n_intervals=n)
+        variants.append(VariantSpec(
+            f"harvest{n}", SchedulerSpec("bf_ml"),
+            training=TrainingSpec(
+                scales=tuple(scales), seed=seed,
+                fleet=FleetSpec("multidc", config=harvest_config),
+                workload=WorkloadSpec("multidc", config=harvest_config))))
+    return ScenarioSpec(
+        name=name,
+        description="Harvest-size ablation — training data vs quality",
+        fleet=FleetSpec("multidc", config=config),
+        workload=WorkloadSpec("multidc", config=config),
+        variants=tuple(variants),
+        seed=seed,
+        params=dict(harvest_intervals=tuple(harvest_intervals)))
+
+
+@REGISTRY.register("harvest_ablation",
+                   description="Ablation — harvest size vs model and "
+                               "scheduling quality")
+def _harvest_ablation_registered(n_intervals=None, seed=None,
+                                 scale=None) -> ScenarioSpec:
+    config = ScenarioConfig(n_intervals=fallback(n_intervals, 144),
+                            scale=fallback(scale, 3.0),
+                            seed=fallback(seed, 42))
+    return harvest_ablation_spec(config, seed=fallback(seed, 7))
+
+
 def run_harvest_ablation(config: ScenarioConfig = ScenarioConfig(),
                          harvest_intervals: Sequence[int] = (12, 36, 144),
                          scales: Sequence[float] = (0.7, 1.4, 2.2),
                          seed: int = 7) -> HarvestAblationResult:
     """Sweep harvest length; evaluate each model set on the same day."""
-    eval_trace = multidc_trace(config)
+    result = run_scenario(
+        harvest_ablation_spec(config, harvest_intervals, scales, seed))
     points: List[HarvestPoint] = []
     for n in harvest_intervals:
-        harvest_config = replace(config, n_intervals=n)
-        monitor = harvest(lambda: multidc_system(harvest_config),
-                          multidc_trace(harvest_config),
-                          scales=scales, seed=seed)
-        models = train_model_set(monitor,
-                                 rng=np.random.default_rng(seed + 2))
-        sla_report = models["vm_sla"].report
-        history = run_simulation(multidc_system(config), eval_trace,
-                                 scheduler=bf_ml_scheduler(models))
-        summary = history.summary()
+        variant = result.variant(f"harvest{n}")
+        sla_report = variant.models["vm_sla"].report
+        summary = variant.summary
         points.append(HarvestPoint(
             harvest_intervals=n,
-            n_samples=len(monitor.vm_samples),
+            n_samples=len(variant.monitor.vm_samples),
             sla_model_corr=sla_report.correlation,
             sla_model_mae=sla_report.mae,
             run_avg_sla=summary.avg_sla,

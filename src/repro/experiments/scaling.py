@@ -76,9 +76,9 @@ def _time_call(fn, repeats: int = 3) -> float:
     return best * 1000.0
 
 
-def run_scaling(sizes: Sequence[Tuple[int, int]] = ((5, 1), (10, 2),
-                                                    (20, 4), (40, 8)),
-                seed: int = 23) -> ScalingResult:
+def _measure_scaling(sizes: Sequence[Tuple[int, int]] = ((5, 1), (10, 2),
+                                                         (20, 4), (40, 8)),
+                     seed: int = 23) -> ScalingResult:
     """Measure per-round cost at each (n_vms, pms_per_dc) size."""
     points: List[ScalingPoint] = []
     for n_vms, pms_per_dc in sizes:
@@ -175,8 +175,9 @@ class LargeFleetResult:
         return self.scalar_ms / self.batch_ms
 
 
-def run_large_fleet(n_hosts: int = 200, n_vms: int = 500, seed: int = 7,
-                    repeats: int = 1) -> LargeFleetResult:
+def _measure_large_fleet(n_hosts: int = 200, n_vms: int = 500,
+                         seed: int = 7,
+                         repeats: int = 1) -> LargeFleetResult:
     """Schedule one ≥200-host x ≥500-VM round both ways and compare.
 
     Returns wall-clock per path plus the equivalence evidence (assignment
@@ -208,7 +209,8 @@ def run_large_fleet(n_hosts: int = 200, n_vms: int = 500, seed: int = 7,
 
 
 def synthetic_fleet_system(n_hosts: int = 200, n_vms: int = 500,
-                           n_intervals: int = 96, seed: int = 7):
+                           n_intervals: int = 96, seed: int = 7,
+                           trace=None):
     """A large live fleet for end-to-end stepping studies.
 
     Hosts spread over the paper's four locations (tariffs included), VMs
@@ -217,7 +219,9 @@ def synthetic_fleet_system(n_hosts: int = 200, n_vms: int = 500,
     client regions per VM — enough variety to exercise bursting,
     contention, memory saturation and per-source latency weighting.
     Returns ``(system, trace)``; build it twice (same seed) for
-    differential runs, since placement state is mutable.
+    differential runs, since placement state is mutable.  Passing a
+    previously returned ``trace`` skips regenerating it (the trace is
+    deterministic given the parameters; the system build is unaffected).
     """
     if n_hosts < len(PAPER_LOCATIONS) or n_vms < 1 or n_intervals < 1:
         raise ValueError("need >= 1 host per DC, >= 1 VM and >= 1 interval")
@@ -235,23 +239,24 @@ def synthetic_fleet_system(n_hosts: int = 200, n_vms: int = 500,
     system = MultiDCSystem(
         datacenters=dcs, vms=vms, network=paper_network_model(),
         prices=PriceBook(energy_price_eur_kwh=PAPER_ENERGY_PRICES))
-    trace = WorkloadTrace(interval_s=600.0)
-    hours = np.arange(n_intervals) * trace.interval_s / 3600.0
-    for j, vm_id in enumerate(vms):
-        base = float(rng.uniform(2.0, 25.0))
-        phase = (j % len(PAPER_LOCATIONS)) / len(PAPER_LOCATIONS)
-        for k in range(1 + j % 2):
-            src = PAPER_LOCATIONS[(j + k) % len(PAPER_LOCATIONS)]
-            rps = base * (1.0 + 0.6 * np.sin(
-                2.0 * np.pi * (hours / 24.0 + phase)))
-            rps = np.maximum(0.0, rps + rng.normal(0.0, 0.1 * base,
-                                                   n_intervals))
-            trace.add(vm_id, src, SourceSeries(
-                rps=rps,
-                bytes_per_req=np.full(n_intervals,
-                                      float(rng.uniform(2000.0, 8000.0))),
-                cpu_time_per_req=np.full(n_intervals,
-                                         float(rng.uniform(0.01, 0.03)))))
+    if trace is None:
+        trace = WorkloadTrace(interval_s=600.0)
+        hours = np.arange(n_intervals) * trace.interval_s / 3600.0
+        for j, vm_id in enumerate(vms):
+            base = float(rng.uniform(2.0, 25.0))
+            phase = (j % len(PAPER_LOCATIONS)) / len(PAPER_LOCATIONS)
+            for k in range(1 + j % 2):
+                src = PAPER_LOCATIONS[(j + k) % len(PAPER_LOCATIONS)]
+                rps = base * (1.0 + 0.6 * np.sin(
+                    2.0 * np.pi * (hours / 24.0 + phase)))
+                rps = np.maximum(0.0, rps + rng.normal(0.0, 0.1 * base,
+                                                       n_intervals))
+                trace.add(vm_id, src, SourceSeries(
+                    rps=rps,
+                    bytes_per_req=np.full(
+                        n_intervals, float(rng.uniform(2000.0, 8000.0))),
+                    cpu_time_per_req=np.full(
+                        n_intervals, float(rng.uniform(0.01, 0.03)))))
     pm_ids = [pm.pm_id for dc in dcs for pm in dc.pms]
     for j, vm_id in enumerate(vms):
         system.deploy(vm_id, pm_ids[j % len(pm_ids)])
@@ -278,9 +283,9 @@ class FleetSimResult:
         return self.scalar_s / self.batch_s
 
 
-def run_fleet_simulation(n_hosts: int = 200, n_vms: int = 500,
-                         n_intervals: int = 96,
-                         seed: int = 7) -> FleetSimResult:
+def _measure_fleet_simulation(n_hosts: int = 200, n_vms: int = 500,
+                              n_intervals: int = 96,
+                              seed: int = 7) -> FleetSimResult:
     """Run the large-fleet scenario end-to-end, batch and scalar.
 
     Both runs use a static placement (``scheduler=None``) so the measured
@@ -314,7 +319,8 @@ def run_fleet_simulation(n_hosts: int = 200, n_vms: int = 500,
 
 def synthetic_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
                                  n_vms: int = 3000, n_intervals: int = 6,
-                                 sources_per_vm: int = 8, seed: int = 11):
+                                 sources_per_vm: int = 8, seed: int = 11,
+                                 trace=None):
     """A many-DC live fleet for hierarchical scheduling studies.
 
     ``n_dcs`` synthetic locations with deterministic pairwise backbone
@@ -327,7 +333,9 @@ def synthetic_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
     the scheduler then works in the interesting regime where placement
     moves the SLA instead of everything being hopeless.  Returns
     ``(system, trace)``; build twice with the same seed for differential
-    runs (placement state is mutable).
+    runs (placement state is mutable).  Passing a previously returned
+    ``trace`` skips regenerating it (deterministic given the parameters;
+    the system build is unaffected).
     """
     if n_dcs < 1 or pms_per_dc < 1 or n_vms < 1 or n_intervals < 1:
         raise ValueError("need >= 1 DC, PM per DC, VM and interval")
@@ -358,23 +366,25 @@ def synthetic_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
     system = MultiDCSystem(
         datacenters=dcs, vms=vms, network=network,
         prices=PriceBook(energy_price_eur_kwh=tariffs))
-    trace = WorkloadTrace(interval_s=600.0)
-    hours = np.arange(n_intervals) * trace.interval_s / 3600.0
-    for j, vm_id in enumerate(vms):
-        base = float(rng.uniform(2.0, 22.0)) * rate_scale
-        phase = (j % n_dcs) / n_dcs
-        for k in range(sources_per_vm):
-            src = locations[(j + k) % n_dcs]
-            rps = base * (1.0 + 0.6 * np.sin(
-                2.0 * np.pi * (hours / 24.0 + phase + k / (2.0 * n_dcs))))
-            rps = np.maximum(0.0, rps + rng.normal(0.0, 0.1 * base,
-                                                   n_intervals))
-            trace.add(vm_id, src, SourceSeries(
-                rps=rps,
-                bytes_per_req=np.full(n_intervals,
-                                      float(rng.uniform(2000.0, 8000.0))),
-                cpu_time_per_req=np.full(n_intervals,
-                                         float(rng.uniform(0.01, 0.03)))))
+    if trace is None:
+        trace = WorkloadTrace(interval_s=600.0)
+        hours = np.arange(n_intervals) * trace.interval_s / 3600.0
+        for j, vm_id in enumerate(vms):
+            base = float(rng.uniform(2.0, 22.0)) * rate_scale
+            phase = (j % n_dcs) / n_dcs
+            for k in range(sources_per_vm):
+                src = locations[(j + k) % n_dcs]
+                rps = base * (1.0 + 0.6 * np.sin(
+                    2.0 * np.pi * (hours / 24.0 + phase
+                                   + k / (2.0 * n_dcs))))
+                rps = np.maximum(0.0, rps + rng.normal(0.0, 0.1 * base,
+                                                       n_intervals))
+                trace.add(vm_id, src, SourceSeries(
+                    rps=rps,
+                    bytes_per_req=np.full(
+                        n_intervals, float(rng.uniform(2000.0, 8000.0))),
+                    cpu_time_per_req=np.full(
+                        n_intervals, float(rng.uniform(0.01, 0.03)))))
     pm_ids = [pm.pm_id for dc in dcs for pm in dc.pms]
     for j, vm_id in enumerate(vms):
         system.deploy(vm_id, pm_ids[j % len(pm_ids)])
@@ -450,12 +460,12 @@ class _UnindexedTrace:
         return out
 
 
-def run_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
-                           n_vms: int = 3000, n_intervals: int = 6,
-                           sources_per_vm: int = 8, seed: int = 11,
-                           fail_prob: float = 0.02,
-                           sla_move_threshold: float = 0.9
-                           ) -> HierarchicalFleetResult:
+def _measure_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
+                                n_vms: int = 3000, n_intervals: int = 6,
+                                sources_per_vm: int = 8, seed: int = 11,
+                                fail_prob: float = 0.02,
+                                sla_move_threshold: float = 0.9
+                                ) -> HierarchicalFleetResult:
     """Run the many-DC scenario end-to-end three ways and compare.
 
     Each run is the full engine loop — failure injection, a hierarchical
@@ -523,6 +533,110 @@ def run_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
         max_abs_diff=diff, mean_sla=summary.avg_sla,
         total_profit_eur=summary.profit_eur,
         n_migrations=summary.n_migrations)
+
+
+# -- engine integration: the measurements as analysis-only specs --------------
+#
+# The scaling experiments time batch vs scalar (or snapshot vs reference)
+# implementations of the *same* computation, so they do not decompose
+# into engine variants; they plug into the engine as analysis hooks
+# instead, which makes them registry-visible (``scenarios run
+# large_fleet``) with the measurement code untouched.
+
+def _make_measurement(name, description, measure, fmt, defaults):
+    from .engine import (ANALYSES, REGISTRY, ScenarioSpec, ScenarioResult,
+                         run_scenario)
+
+    def spec(**params) -> "ScenarioSpec":
+        merged = dict(defaults)
+        merged.update({k: v for k, v in params.items() if v is not None})
+        return ScenarioSpec(name=name, description=description,
+                            analysis=name, params=merged)
+
+    def analysis(result: "ScenarioResult") -> dict:
+        measured = measure(**dict(result.spec.params))
+        return {"result": measured, "report": fmt(measured)}
+
+    def run(**params):
+        return run_scenario(spec(**params)).extras["result"]
+
+    ANALYSES[name] = analysis
+
+    def factory(n_intervals=None, seed=None, scale=None):
+        overrides = {"n_intervals": n_intervals, "seed": seed,
+                     "scale": scale}
+        flags = {"n_intervals": "--intervals", "seed": "--seed",
+                 "scale": "--scale"}
+        unsupported = [flags[k] for k, v in overrides.items()
+                       if v is not None and k not in defaults]
+        if unsupported:
+            raise ValueError(
+                f"scenario {name!r} is a timing measurement with no "
+                f"{'/'.join(unsupported)} knob")
+        return spec(**{k: v for k, v in overrides.items()
+                       if v is not None})
+
+    REGISTRY.register(name, description=description)(factory)
+    return spec, run
+
+
+scaling_spec, _run_scaling = _make_measurement(
+    "scaling", "Scheduler scalability — flat vs hierarchical per-round "
+    "cost", _measure_scaling, lambda r: format_scaling(r),
+    dict(sizes=((5, 1), (10, 2), (20, 4), (40, 8)), seed=23))
+
+large_fleet_spec, _run_large_fleet = _make_measurement(
+    "large_fleet", "Batch vs scalar scoring of one 500-VM x 200-PM round",
+    _measure_large_fleet, lambda r: format_large_fleet(r),
+    dict(n_hosts=200, n_vms=500, seed=7, repeats=1))
+
+fleet_sim_spec, _run_fleet_simulation = _make_measurement(
+    "fleet_sim", "Batch vs scalar stepping of the 500-VM fleet "
+    "simulation", _measure_fleet_simulation,
+    lambda r: format_fleet_simulation(r),
+    dict(n_hosts=200, n_vms=500, n_intervals=96, seed=7))
+
+hierarchical_fleet_spec, _run_hierarchical_fleet = _make_measurement(
+    "hierarchical_fleet", "Round-snapshot vs per-round build on the 8-DC "
+    "x 3000-VM fleet", _measure_hierarchical_fleet,
+    lambda r: format_hierarchical_fleet(r),
+    dict(n_dcs=8, pms_per_dc=56, n_vms=3000, n_intervals=6,
+         sources_per_vm=8, seed=11))
+
+
+def run_scaling(sizes: Sequence[Tuple[int, int]] = ((5, 1), (10, 2),
+                                                    (20, 4), (40, 8)),
+                seed: int = 23) -> ScalingResult:
+    """Measure per-round cost at each size (via the scenario engine)."""
+    return _run_scaling(sizes=tuple(sizes), seed=seed)
+
+
+def run_large_fleet(n_hosts: int = 200, n_vms: int = 500, seed: int = 7,
+                    repeats: int = 1) -> LargeFleetResult:
+    """Schedule one large round both ways (via the scenario engine)."""
+    return _run_large_fleet(n_hosts=n_hosts, n_vms=n_vms, seed=seed,
+                            repeats=repeats)
+
+
+def run_fleet_simulation(n_hosts: int = 200, n_vms: int = 500,
+                         n_intervals: int = 96,
+                         seed: int = 7) -> FleetSimResult:
+    """Run the large-fleet scenario end-to-end (via the scenario engine)."""
+    return _run_fleet_simulation(n_hosts=n_hosts, n_vms=n_vms,
+                                 n_intervals=n_intervals, seed=seed)
+
+
+def run_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
+                           n_vms: int = 3000, n_intervals: int = 6,
+                           sources_per_vm: int = 8, seed: int = 11,
+                           fail_prob: float = 0.02,
+                           sla_move_threshold: float = 0.9
+                           ) -> HierarchicalFleetResult:
+    """Run the many-DC comparison (via the scenario engine)."""
+    return _run_hierarchical_fleet(
+        n_dcs=n_dcs, pms_per_dc=pms_per_dc, n_vms=n_vms,
+        n_intervals=n_intervals, sources_per_vm=sources_per_vm, seed=seed,
+        fail_prob=fail_prob, sla_move_threshold=sla_move_threshold)
 
 
 def format_hierarchical_fleet(result: HierarchicalFleetResult) -> str:

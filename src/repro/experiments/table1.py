@@ -24,10 +24,12 @@ from ..ml.metrics import EvalReport, correlation, error_std, mean_absolute_error
 from ..ml.predictors import (PREDICTOR_SPECS, ModelSet, train_model_set,
                              train_predictor)
 from ..sim.monitor import Monitor
-from .scenario import ScenarioConfig, multidc_system, multidc_trace
-from .training import harvest
+from .engine import (ANALYSES, REGISTRY, FleetSpec, ScenarioResult,
+                     ScenarioSpec, TrainingSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import ScenarioConfig
 
-__all__ = ["Table1Result", "run_table1", "format_table1"]
+__all__ = ["Table1Result", "table1_spec", "run_table1", "format_table1"]
 
 
 @dataclass
@@ -76,21 +78,58 @@ def _sla_ablation(monitor: Monitor,
             correlation(y, pred_via_rt))
 
 
+def table1_spec(config: ScenarioConfig = ScenarioConfig(),
+                scales: Sequence[float] = (0.5, 1.0, 2.0),
+                seed: int = 7, name: str = "table1") -> ScenarioSpec:
+    """Table I as an engine spec: no simulation variants, the engine's
+    training phase *is* the experiment and the ``table1`` analysis hook
+    computes the metrics and the §IV.B SLA-design ablation."""
+    return ScenarioSpec(
+        name=name,
+        description="Table I — per-predictor learning quality",
+        fleet=FleetSpec("multidc", config=config),
+        workload=WorkloadSpec("multidc", config=config),
+        training=TrainingSpec(scales=tuple(scales), seed=seed),
+        analysis="table1",
+        seed=seed)
+
+
+def _table1_analysis(result: ScenarioResult) -> dict:
+    """Model-quality metrics + the direct-vs-RT ablation (engine hook)."""
+    if result.models is None or result.monitor is None:
+        raise ValueError("table1 analysis needs the engine training phase")
+    mae_d, mae_r, corr_d, corr_r = _sla_ablation(
+        result.monitor, np.random.default_rng(result.spec.seed + 3))
+    table1 = Table1Result(reports=result.models.table1(),
+                          models=result.models,
+                          n_samples=len(result.monitor.vm_samples),
+                          sla_direct_mae=mae_d, sla_via_rt_mae=mae_r,
+                          sla_direct_corr=corr_d, sla_via_rt_corr=corr_r)
+    return {"table1": table1, "report": format_table1(table1),
+            "n_samples": table1.n_samples,
+            "sla_direct_mae": mae_d, "sla_via_rt_mae": mae_r,
+            "direct_wins": table1.direct_wins}
+
+
+ANALYSES["table1"] = _table1_analysis
+
+
+@REGISTRY.register("table1",
+                   description="Table I — per-predictor learning quality")
+def _table1_registered(n_intervals=None, seed=None,
+                       scale=None) -> ScenarioSpec:
+    config = ScenarioConfig(n_intervals=fallback(n_intervals, 144),
+                            scale=fallback(scale, 3.0),
+                            seed=fallback(seed, 42))
+    return table1_spec(config, seed=fallback(seed, 7))
+
+
 def run_table1(config: ScenarioConfig = ScenarioConfig(),
                scales: Sequence[float] = (0.5, 1.0, 2.0),
                seed: int = 7) -> Table1Result:
     """Harvest, train, evaluate — the full Table I pipeline."""
-    trace = multidc_trace(config)
-    monitor = harvest(lambda: multidc_system(config), trace,
-                      scales=scales, seed=seed)
-    rng = np.random.default_rng(seed + 2)
-    models = train_model_set(monitor, rng=rng)
-    mae_d, mae_r, corr_d, corr_r = _sla_ablation(
-        monitor, np.random.default_rng(seed + 3))
-    return Table1Result(reports=models.table1(), models=models,
-                        n_samples=len(monitor.vm_samples),
-                        sla_direct_mae=mae_d, sla_via_rt_mae=mae_r,
-                        sla_direct_corr=corr_d, sla_via_rt_corr=corr_r)
+    result = run_scenario(table1_spec(config, scales, seed))
+    return result.extras["table1"]
 
 
 def format_table1(result: Table1Result) -> str:

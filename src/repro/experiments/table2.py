@@ -15,8 +15,10 @@ from typing import Dict, List, Tuple
 from ..sim.datacenter import PAPER_ENERGY_PRICES
 from ..sim.network import (PAPER_BANDWIDTH_GBPS, PAPER_LOCATIONS,
                            paper_latency_matrix)
+from .engine import ANALYSES, REGISTRY, ScenarioResult, ScenarioSpec
 
-__all__ = ["Table2Result", "run_table2", "format_table2", "LOCATION_NAMES"]
+__all__ = ["Table2Result", "table2_spec", "run_table2", "format_table2",
+           "LOCATION_NAMES"]
 
 LOCATION_NAMES: Dict[str, str] = {
     "BRS": "Brisbane",
@@ -34,7 +36,7 @@ class Table2Result:
     bandwidth_gbps: float
 
 
-def run_table2() -> Table2Result:
+def _compute_table2() -> Table2Result:
     matrix = paper_latency_matrix()
     latency = {(a, b): matrix.ms(a, b)
                for a in PAPER_LOCATIONS for b in PAPER_LOCATIONS}
@@ -42,6 +44,41 @@ def run_table2() -> Table2Result:
                         energy_eur_kwh=dict(PAPER_ENERGY_PRICES),
                         latency_ms=latency,
                         bandwidth_gbps=PAPER_BANDWIDTH_GBPS)
+
+
+def table2_spec(name: str = "table2") -> ScenarioSpec:
+    """Table II as an (analysis-only) engine spec: pure input constants."""
+    return ScenarioSpec(
+        name=name,
+        description="Table II — prices and latencies (inputs)",
+        analysis="table2")
+
+
+def _table2_analysis(result: ScenarioResult) -> dict:
+    table2 = _compute_table2()
+    return {"table2": table2, "report": format_table2(table2)}
+
+
+ANALYSES["table2"] = _table2_analysis
+
+
+@REGISTRY.register("table2",
+                   description="Table II — prices and latencies (inputs)")
+def _table2_registered(n_intervals=None, seed=None,
+                       scale=None) -> ScenarioSpec:
+    overrides = {"--intervals": n_intervals, "--seed": seed,
+                 "--scale": scale}
+    given = [flag for flag, v in overrides.items() if v is not None]
+    if given:
+        raise ValueError(
+            f"scenario 'table2' reports fixed paper inputs; it has no "
+            f"{'/'.join(given)} knob")
+    return table2_spec()
+
+
+def run_table2() -> Table2Result:
+    from .engine import run_scenario
+    return run_scenario(table2_spec()).extras["table2"]
 
 
 def format_table2(result: Table2Result) -> str:

@@ -26,13 +26,14 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..core.policies import bf_ml_scheduler, static_scheduler
 from ..ml.predictors import ModelSet
-from ..sim.engine import RunHistory, RunSummary, run_simulation
-from .scenario import ScenarioConfig, multidc_system, multidc_trace
-from .training import train_paper_models
+from ..sim.engine import RunHistory, RunSummary
+from .engine import (REGISTRY, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     TrainingSpec, VariantSpec, WorkloadSpec, fallback,
+                     run_scenario)
+from .scenario import ScenarioConfig
 
-__all__ = ["Table3Result", "run_table3", "format_table3"]
+__all__ = ["Table3Result", "table3_spec", "run_table3", "format_table3"]
 
 
 @dataclass
@@ -63,23 +64,43 @@ class Table3Result:
                 - self.static_summary.avg_eur_per_hour)
 
 
+def table3_spec(config: ScenarioConfig = ScenarioConfig(),
+                train_scales: Sequence[float] = (0.5, 1.0, 2.0),
+                seed: int = 7, name: str = "table3") -> ScenarioSpec:
+    """Table III as an engine spec: one trace, static vs dynamic."""
+    return ScenarioSpec(
+        name=name,
+        description="Table III — static vs dynamic multi-DC",
+        fleet=FleetSpec("multidc", config=config),
+        workload=WorkloadSpec("multidc", config=config),
+        training=TrainingSpec(scales=tuple(train_scales), seed=seed),
+        variants=(VariantSpec("static", SchedulerSpec("static")),
+                  VariantSpec("dynamic", SchedulerSpec("bf_ml"))),
+        seed=seed)
+
+
+@REGISTRY.register("table3",
+                   description="Table III — static vs dynamic multi-DC")
+def _table3_registered(n_intervals=None, seed=None,
+                       scale=None) -> ScenarioSpec:
+    config = ScenarioConfig(n_intervals=fallback(n_intervals, 144),
+                            scale=fallback(scale, 3.0),
+                            seed=fallback(seed, 42))
+    return table3_spec(config, seed=fallback(seed, 7))
+
+
 def run_table3(config: ScenarioConfig = ScenarioConfig(),
                models: Optional[ModelSet] = None,
                train_scales: Sequence[float] = (0.5, 1.0, 2.0),
                seed: int = 7) -> Table3Result:
     """Train (unless given models), then run both scenarios on one trace."""
-    trace = multidc_trace(config)
-    if models is None:
-        models, _ = train_paper_models(lambda: multidc_system(config),
-                                       trace, scales=train_scales, seed=seed)
-    h_static = run_simulation(multidc_system(config), trace,
-                              scheduler=static_scheduler())
-    h_dynamic = run_simulation(multidc_system(config), trace,
-                               scheduler=bf_ml_scheduler(models))
-    return Table3Result(static_summary=h_static.summary(),
-                        dynamic_summary=h_dynamic.summary(),
-                        static_history=h_static,
-                        dynamic_history=h_dynamic,
+    result = run_scenario(table3_spec(config, train_scales, seed),
+                          models=models)
+    static, dynamic = result.variant("static"), result.variant("dynamic")
+    return Table3Result(static_summary=static.summary,
+                        dynamic_summary=dynamic.summary,
+                        static_history=static.history,
+                        dynamic_history=dynamic.history,
                         config=config)
 
 

@@ -58,8 +58,15 @@ def harvest(system_factory: Callable[[], MultiDCSystem],
 def train_paper_models(system_factory: Callable[[], MultiDCSystem],
                        trace: WorkloadTrace,
                        scales: Sequence[float] = (0.5, 1.0, 2.0),
-                       seed: int = 7) -> Tuple[ModelSet, Monitor]:
-    """Harvest and train the seven Table I predictors in one call."""
+                       seed: int = 7,
+                       bagging: int = 0) -> Tuple[ModelSet, Monitor]:
+    """Harvest and train the seven Table I predictors in one call.
+
+    ``bagging > 0`` trains each predictor as a bootstrap ensemble of that
+    many members (see :func:`repro.ml.predictors.train_model_set`); the
+    default single-model setting matches the paper.
+    """
     monitor = harvest(system_factory, trace, scales=scales, seed=seed)
-    models = train_model_set(monitor, rng=np.random.default_rng(seed + 2))
+    models = train_model_set(monitor, rng=np.random.default_rng(seed + 2),
+                             bagging=bagging)
     return models, monitor

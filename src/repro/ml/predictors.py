@@ -26,7 +26,7 @@ placement*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +35,7 @@ from ..sim.demand import LoadVector
 from ..sim.machines import Resources
 from ..sim.monitor import Monitor
 from .dataset import Dataset, train_test_split
+from .ensemble import BaggingRegressor
 from .knn import KNNRegressor
 from .linreg import LinearRegression
 from .m5p import M5PRegressor
@@ -247,6 +248,26 @@ class ModelSet:
         net_out = float(max(0.0, self.predictors["vm_out"].predict(x)[0]))
         return Resources(cpu=cpu, mem=mem, bw=net_in + net_out)
 
+    def predict_requirements_batch(self, rps, bytes_per_req,
+                                   cpu_time_per_req,
+                                   cpu_cap: float = 400.0,
+                                   mem_floor=0.0):
+        """Vectorized :meth:`predict_requirements` over many loads.
+
+        One entry per VM in the aligned input arrays; ``mem_floor`` may be
+        a per-VM array (each VM's base memory footprint).  Returns the
+        ``(cpu, mem, bw)`` requirement arrays, clipped exactly like the
+        scalar method element-for-element (differential tests pin this).
+        """
+        X = _load_features(rps, bytes_per_req, cpu_time_per_req)
+        cpu = np.clip(self.predictors["vm_cpu"].predict(X), 0.0, cpu_cap)
+        mem = np.maximum(np.asarray(mem_floor, dtype=float),
+                         np.maximum(0.0,
+                                    self.predictors["vm_mem"].predict(X)))
+        net_in = np.maximum(0.0, self.predictors["vm_in"].predict(X))
+        net_out = np.maximum(0.0, self.predictors["vm_out"].predict(X))
+        return cpu, mem, net_in + net_out
+
     def predict_pm_cpu(self, vm_cpus: Sequence[float]) -> float:
         """Total PM CPU for a tentative co-location (paper goal 2)."""
         vm_cpus = np.asarray(list(vm_cpus), dtype=float)
@@ -327,10 +348,32 @@ class ModelSet:
         return [self.predictors[k].report for k in order]
 
 
+@dataclass(frozen=True)
+class _BaggedFactory:
+    """Picklable factory wrapping a base model in a bagging ensemble."""
+
+    base: Callable[[], object]
+    n_estimators: int
+    seed: int = 0
+
+    def __call__(self) -> BaggingRegressor:
+        return BaggingRegressor(base_factory=self.base,
+                                n_estimators=self.n_estimators,
+                                seed=self.seed)
+
+
 def train_model_set(monitor: Monitor,
                     rng: Optional[np.random.Generator] = None,
-                    train_fraction: float = 0.66) -> ModelSet:
-    """Train all seven Table I predictors from one monitoring harvest."""
+                    train_fraction: float = 0.66,
+                    bagging: int = 0) -> ModelSet:
+    """Train all seven Table I predictors from one monitoring harvest.
+
+    ``bagging > 0`` wraps every predictor in a ``bagging``-member
+    bootstrap ensemble (:class:`~repro.ml.ensemble.BaggingRegressor`) —
+    the variance-reduction knob for schedulers that rank *many*
+    candidate hosts per VM, where a single model's optimistic errors win
+    the argmax (the paper uses single models; 0 keeps that default).
+    """
     if len(monitor.vm_samples) < 10:
         raise ValueError(
             f"need at least 10 VM samples to train, got "
@@ -339,7 +382,14 @@ def train_model_set(monitor: Monitor,
         raise ValueError(
             f"need at least 10 PM samples to train, got "
             f"{len(monitor.pm_samples)}")
+    specs = PREDICTOR_SPECS
+    if bagging:
+        specs = {key: replace(
+                     spec, method=f"Bagged({bagging}) {spec.method}",
+                     model_factory=_BaggedFactory(spec.model_factory,
+                                                  bagging))
+                 for key, spec in specs.items()}
     predictors = {key: train_predictor(spec, monitor, rng=rng,
                                        train_fraction=train_fraction)
-                  for key, spec in PREDICTOR_SPECS.items()}
+                  for key, spec in specs.items()}
     return ModelSet(predictors=predictors)

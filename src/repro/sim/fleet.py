@@ -138,9 +138,17 @@ class FleetState:
         self.trace = trace
         self.key = _cache_key(system, trace)
         traced = {vm for vm, _src in trace.series}
-        self.vm_ids: List[str] = [vm for vm in system.vms if vm in traced]
+        #: Every system VM gets a column; placed-but-untraced VMs carry
+        #: all-zero load (the pinned semantic: no series means no traffic,
+        #: matching the scheduling paths, which skip them so they stay
+        #: put).  :attr:`traced_ids` / :attr:`traced_set` identify the VMs
+        #: that actually have series.
+        self.vm_ids: List[str] = list(system.vms)
         self.vm_index: Dict[str, int] = {vm: j
                                          for j, vm in enumerate(self.vm_ids)}
+        self.traced_ids: List[str] = [vm for vm in self.vm_ids
+                                      if vm in traced]
+        self.traced_set = frozenset(self.traced_ids)
         n_vms = len(self.vm_ids)
         n_t = max(trace.n_intervals, 1)
 
@@ -187,27 +195,48 @@ class FleetState:
         np.add.at(wsum_bpr, self.series_vm, self.rps_rows * self.bpr_rows)
         np.add.at(wsum_cpr, self.series_vm, self.rps_rows * self.cpr_rows)
         first_row = np.zeros(n_vms, dtype=np.intp)
+        has_rows = np.zeros(n_vms, dtype=bool)
         for j in range(n_vms):
-            first_row[j] = self.vm_rows[j][0][0]
+            if self.vm_rows[j]:
+                first_row[j] = self.vm_rows[j][0][0]
+                has_rows[j] = True
+        self.traced_mask = has_rows
         safe_tot = np.where(tot > 0, tot, 1.0)
         # Zero-rate intervals keep the first source's request mix, exactly
-        # like LoadVector.combine.
+        # like LoadVector.combine; untraced VMs have no sources at all and
+        # aggregate to LoadVector(0, 0, 0), like LoadVector.combine([]).
+        if rows_rps:
+            fb_bpr = np.where(has_rows[:, None], self.bpr_rows[first_row],
+                              0.0)
+            fb_cpr = np.where(has_rows[:, None], self.cpr_rows[first_row],
+                              0.0)
+        else:
+            fb_bpr = np.zeros((n_vms, n_t))
+            fb_cpr = np.zeros((n_vms, n_t))
         self.agg_rps = tot
-        self.agg_bpr = np.where(tot > 0, wsum_bpr / safe_tot,
-                                self.bpr_rows[first_row])
-        self.agg_cpr = np.where(tot > 0, wsum_cpr / safe_tot,
-                                self.cpr_rows[first_row])
+        self.agg_bpr = np.where(tot > 0, wsum_bpr / safe_tot, fb_bpr)
+        self.agg_cpr = np.where(tot > 0, wsum_cpr / safe_tot, fb_cpr)
 
         # -- per-VM static columns ------------------------------------------
         vms = [system.vms[vm] for vm in self.vm_ids]
-        contracts = [system.contracts[vm] for vm in self.vm_ids]
+        # Traced VMs need a contract (as before); an untraced VM without
+        # one only errors if it is ever *placed* — exactly when the
+        # scalar loop would raise — so its columns stay zero and
+        # ``no_contract`` lets the stepper mirror that KeyError.
+        contracts = [system.contracts[vm] if has_rows[j]
+                     else system.contracts.get(vm)
+                     for j, vm in enumerate(self.vm_ids)]
+        self.no_contract = np.array([c is None for c in contracts])
         self.base_mem = np.array([vm.base_mem_mb for vm in vms])
         self.vm_cap_cpu = np.array([vm.max_resources.cpu for vm in vms])
         self.vm_cap_mem = np.array([vm.max_resources.mem for vm in vms])
         self.vm_cap_bw = np.array([vm.max_resources.bw for vm in vms])
-        self.price = np.array([c.price_eur_per_hour for c in contracts])
-        self.rt0 = np.array([c.rt0 for c in contracts])
-        self.alpha = np.array([c.alpha for c in contracts])
+        self.price = np.array([0.0 if c is None else c.price_eur_per_hour
+                               for c in contracts])
+        self.rt0 = np.array([0.0 if c is None else c.rt0
+                             for c in contracts])
+        self.alpha = np.array([0.0 if c is None else c.alpha
+                               for c in contracts])
 
         # -- per-PM static columns ------------------------------------------
         self.locations: List[str] = [dc.location
@@ -324,9 +353,15 @@ def fleet_step(system: MultiDCSystem, trace: WorkloadTrace, t: int,
             continue
         pm_vm_lists[i] = ids
         for vm_id in ids:
+            # Every system VM has a column (untraced ones carry zero
+            # load); only a VM foreign to the system is an error.
             j = vm_index.get(vm_id)
             if j is None:
-                raise KeyError(f"no series for VM {vm_id!r}")
+                raise KeyError(f"unknown VM {vm_id!r} on host {pm.pm_id!r}")
+            if fleet.no_contract[j]:
+                # The scalar loop raises on the contract lookup of any
+                # placed VM; mirror it.
+                raise KeyError(vm_id)
             placed.append(j)
             seg.append(i)
     placed_idx = np.asarray(placed, dtype=np.intp)
@@ -487,8 +522,10 @@ def fleet_step(system: MultiDCSystem, trace: WorkloadTrace, t: int,
     system.last_demands = last_demands
 
     # Unplaced-but-traced VMs: fully unavailable, SLA 0, no revenue.
+    # Unplaced *and* untraced VMs are invisible, as in the scalar loop.
+    traced_mask = fleet.traced_mask
     for j, vm_id in enumerate(vm_ids):
-        if placed_mask[j]:
+        if placed_mask[j] or not traced_mask[j]:
             continue
         vm_stats[vm_id] = VMIntervalStats(
             vm_id=vm_id, pm_id="", location="",

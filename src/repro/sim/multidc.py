@@ -514,7 +514,12 @@ class MultiDCSystem:
                 caps: Dict[str, Resources] = {}
                 for vm_id in pm.vm_ids:
                     vm = self.vms[vm_id]
-                    agg = trace.aggregate_at(vm_id, t)
+                    # Placed-but-untraced VMs carry zero load: no series
+                    # means no traffic (the scheduling paths skip them for
+                    # the same reason), so they demand only their base
+                    # footprint and trivially meet their SLA.
+                    agg = (trace.aggregate_at(vm_id, t)
+                           if trace.has_vm(vm_id) else LoadVector(0, 0, 0))
                     # Demand is what the load *needs*, deliberately not
                     # truncated to the host: overload must register as
                     # stress > 1 (queueing), not disappear.
@@ -532,7 +537,8 @@ class MultiDCSystem:
                 for vm_id in pm.vm_ids:
                     vm = self.vms[vm_id]
                     contract = self.contracts[vm_id]
-                    loads = trace.load_at(vm_id, t)
+                    loads = (trace.load_at(vm_id, t)
+                             if trace.has_vm(vm_id) else {})
                     agg = LoadVector.combine(loads.values())
                     required = demands[vm_id]
                     given = grants[vm_id]

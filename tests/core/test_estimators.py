@@ -160,3 +160,34 @@ class TestML:
         est = MLEstimator(tiny_models)
         assert est.pm_cpu([]) == 0.0
         assert est.pm_cpu([100.0, 100.0]) > 180.0
+
+
+class TestMLBatchDemand:
+    """MLEstimator.required_resources_batch vs the scalar method."""
+
+    def test_matches_scalar_per_vm(self, tiny_models):
+        est = MLEstimator(tiny_models)
+        rng = np.random.default_rng(3)
+        vms = [VirtualMachine(vm_id=f"vm{j}", base_mem_mb=200.0 + 50.0 * j)
+               for j in range(20)]
+        rps = rng.uniform(0.0, 60.0, len(vms))
+        bpr = rng.uniform(500.0, 9000.0, len(vms))
+        cpr = rng.uniform(0.002, 0.06, len(vms))
+        for cpu_cap in (float("inf"), 400.0, 50.0):
+            cpu, mem, bw = est.required_resources_batch(
+                vms, rps, bpr, cpr, cpu_cap)
+            for j, m in enumerate(vms):
+                ref = est.required_resources(
+                    m, LoadVector(rps[j], bpr[j], cpr[j]), cpu_cap)
+                # Matrix-vs-row BLAS paths may differ by ~1 ULP; the
+                # repo-wide batch contract is 1e-9 agreement.
+                assert abs(cpu[j] - ref.cpu) < 1e-9
+                assert abs(mem[j] - ref.mem) < 1e-9
+                assert abs(bw[j] - ref.bw) < 1e-9
+
+    def test_mem_floor_respected(self, tiny_models):
+        est = MLEstimator(tiny_models)
+        vms = [VirtualMachine(vm_id="vm0", base_mem_mb=4096.0)]
+        cpu, mem, bw = est.required_resources_batch(
+            vms, [1.0], [1000.0], [0.01], float("inf"))
+        assert mem[0] >= 4096.0

@@ -1,0 +1,100 @@
+"""Fast tests for the PR 4 catalog scenarios (reduced sizes).
+
+The full-size runs are benchmark-gated in
+``benchmarks/test_bench_scenarios.py``; these shrink the fleets so the
+behavioural claims stay pinned in the tier-1 suite.
+"""
+
+import pytest
+
+from repro.experiments.catalog import (flash_crowd_failures_spec,
+                                       follow_the_sun_8dc_spec,
+                                       ml_large_fleet_spec)
+from repro.experiments.engine import run_scenario
+
+
+class TestFlashCrowdFailures:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(flash_crowd_failures_spec(n_intervals=24))
+
+    def test_failures_injected(self, result):
+        injector = result.variant("managed").failure_injector
+        assert len(injector.events) > 0
+
+    def test_flash_crowd_in_load(self, result):
+        rps = result.variant("managed").series["total_rps"]
+        # Flash window: minutes 70-90 at 10-minute rounds = intervals 7-8.
+        assert rps[7] > 2.0 * rps[:6].mean()
+
+    def test_managed_beats_unmanaged(self, result):
+        managed = result.variant("managed").summary
+        unmanaged = result.variant("unmanaged").summary
+        assert managed.avg_sla > unmanaged.avg_sla + 0.1
+        assert managed.profit_eur > unmanaged.profit_eur
+
+    def test_managed_replaces_orphans(self, result):
+        assert result.variant("managed").summary.n_migrations > 0
+
+
+class TestFollowTheSun8DC:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Same 8-DC shape, far fewer PMs/VMs than the benchmarked default.
+        return run_scenario(follow_the_sun_8dc_spec(
+            n_intervals=12, pms_per_dc=6, n_vms=150))
+
+    def test_sun_following_crosses_dcs(self, result):
+        assert (result.variant("follow_the_sun").summary
+                .n_inter_dc_migrations > 0)
+
+    def test_narrow_interface_cannot_chase_the_sun(self, result):
+        """The §IV.C QoS-only interface never moves a VM for energy."""
+        assert (result.variant("narrow").summary
+                .n_inter_dc_migrations == 0)
+
+    def test_energy_bill_cut(self, result):
+        follow = result.variant("follow_the_sun").summary
+        static = result.variant("static").summary
+        assert follow.energy_cost_eur < 0.8 * static.energy_cost_eur
+
+    def test_sla_held(self, result):
+        follow = result.variant("follow_the_sun").summary
+        static = result.variant("static").summary
+        assert follow.avg_sla > static.avg_sla - 0.02
+
+
+class TestMLLargeFleet:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = ml_large_fleet_spec(n_intervals=4, n_hosts=40, n_vms=100)
+        return run_scenario(spec)
+
+    def test_ml_models_trained_and_used(self, result):
+        variant = result.variant("bf_ml")
+        assert variant.models is not None
+        assert variant.summary.n_migrations > 0
+
+    def test_ml_estimator_batch_demand_path_live(self, result):
+        """The scenario's estimator answers whole-round demand queries."""
+        import numpy as np
+        from repro.core.estimators import MLEstimator
+        from repro.sim.machines import VirtualMachine
+        est = MLEstimator(result.models)
+        vms = [VirtualMachine(vm_id=f"v{j}") for j in range(8)]
+        cpu, mem, bw = est.required_resources_batch(
+            vms, np.full(8, 10.0), np.full(8, 4000.0), np.full(8, 0.02),
+            float("inf"))
+        assert cpu.shape == (8,) and (mem >= 0).all() and (bw >= 0).all()
+
+    def test_ml_cuts_energy_vs_static(self, result):
+        ml = result.variant("bf_ml").summary
+        static = result.variant("static").summary
+        assert ml.energy_cost_eur < 0.7 * static.energy_cost_eur
+
+    def test_oracle_bounds_the_headroom(self, result):
+        oracle = result.variant("oracle").summary
+        static = result.variant("static").summary
+        ml = result.variant("bf_ml").summary
+        assert oracle.profit_eur > static.profit_eur
+        assert oracle.avg_sla >= ml.avg_sla

@@ -1,0 +1,25 @@
+"""Golden-parity: legacy entry points produce pre-engine output, byte-for-byte.
+
+The files under ``golden/`` were rendered by the PR 3 (pre-engine)
+experiment modules with the small configurations in
+``golden_config.GOLDEN_JOBS``.  The ``run_*``/``format_*`` entry points
+are now thin wrappers over :mod:`repro.experiments.engine`; these tests
+re-render every artifact through the engine and compare byte-for-byte,
+proving the refactor changed no physics, seedings or formatting.
+"""
+
+import pathlib
+
+import pytest
+
+from golden_config import GOLDEN_JOBS, render
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("artifact", sorted(GOLDEN_JOBS))
+def test_engine_output_matches_pre_refactor_golden(artifact):
+    golden = (GOLDEN_DIR / f"{artifact}.txt").read_text().rstrip("\n")
+    assert render(artifact) == golden, (
+        f"{artifact}: engine-driven output diverged from the pre-engine "
+        f"golden (tests/experiments/golden/{artifact}.txt)")

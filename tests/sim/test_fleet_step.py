@@ -169,18 +169,62 @@ class TestStepEquivalence:
         assert rb.pms["BST-pm0"].facility_watts == 0.0
         assert report_max_abs_diff(ra, rb) < TOL
 
-    def test_placed_vm_without_series_raises(self):
+    def test_placed_vm_without_series_zero_load(self):
+        """Pinned semantic: a placed-but-untraced VM carries zero load.
+
+        It demands only its base memory footprint, trivially meets its
+        SLA (no traffic, nothing to violate — like ``weighted_sla`` with
+        no sources), earns full contract revenue, and both stepping paths
+        agree within TOL (this used to raise ``KeyError`` in both).
+        """
         (sa, trace), (sb, _) = make_pair(n_vms=3)
         for s in (sa, sb):
+            deploy_round_robin(s)
             s.vms["ghost"] = VirtualMachine(vm_id="ghost")
-            s.contracts.setdefault(
-                "ghost", s.contracts["vm0"])
-            s.deploy("vm0", "BCN-pm0")
+            s.contracts.setdefault("ghost", s.contracts["vm0"])
             s.deploy("ghost", "BCN-pm0")
-        with pytest.raises(KeyError):
-            sa.step(trace, 0, batch=False)
-        with pytest.raises(KeyError):
-            sb.step(trace, 0, batch=True)
+        ra = sa.step(trace, 0, batch=False)
+        rb = sb.step(trace, 0, batch=True)
+        assert report_max_abs_diff(ra, rb) < TOL
+        assert_states_match(sa, sb)
+        for r in (ra, rb):
+            ghost = r.vms["ghost"]
+            assert ghost.load.rps == 0.0
+            assert ghost.required.cpu == 0.0
+            assert ghost.required.mem == sa.vms["ghost"].base_mem_mb
+            assert ghost.rt_by_source == {}
+            assert ghost.sla == 1.0
+            assert ghost.revenue_eur > 0.0
+
+    def test_unplaced_untraced_vm_invisible(self):
+        """An unplaced VM with no series appears in neither report."""
+        (sa, trace), (sb, _) = make_pair(n_vms=3)
+        for s in (sa, sb):
+            deploy_round_robin(s)
+            s.vms["ghost"] = VirtualMachine(vm_id="ghost")
+            s.contracts.setdefault("ghost", s.contracts["vm0"])
+        ra = sa.step(trace, 0, batch=False)
+        rb = sb.step(trace, 0, batch=True)
+        assert "ghost" not in ra.vms and "ghost" not in rb.vms
+        assert report_max_abs_diff(ra, rb) < TOL
+
+    def test_untraced_vm_full_run_with_scheduler(self):
+        """Zero-load VMs survive a whole scheduled run on both paths."""
+        results = []
+        for batch in (False, True):
+            (s, trace), _ = make_pair(n_vms=4, T=4)
+            deploy_round_robin(s)
+            s.vms["ghost"] = VirtualMachine(vm_id="ghost")
+            s.contracts.setdefault("ghost", s.contracts["vm0"])
+            s.deploy("ghost", "BCN-pm0")
+            history = run_simulation(s, trace,
+                                     scheduler=oracle_scheduler(),
+                                     batch=batch)
+            results.append(history)
+        for ra, rb in zip(results[0].reports, results[1].reports):
+            assert report_max_abs_diff(ra, rb) < TOL
+            # The scheduler skips the untraced VM, so it never moves.
+            assert rb.placement["ghost"] == "BCN-pm0"
 
     def test_tariff_schedule_respected(self):
         (sa, trace), (sb, _) = make_pair()

@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import ARTIFACTS, build_parser, main
+from repro.cli import ARTIFACTS, build_parser, build_scenario_parser, main
+from repro.experiments import REGISTRY
+from repro.experiments.table2 import format_table2, run_table2
 
 
 class TestParser:
@@ -51,3 +55,91 @@ class TestMain:
         assert main(["table3", "--intervals", "18", "--scale", "2.5"]) == 0
         out = capsys.readouterr().out
         assert "Static-Global" in out
+
+    def test_legacy_artifact_byte_identical(self, capsys):
+        """The legacy command prints exactly the format_* report."""
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert format_table2(run_table2()) in out
+
+
+class TestScenariosCLI:
+    def test_list_covers_registry(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY.names():
+            assert name in out
+
+    def test_run_prints_kpi_report(self, capsys):
+        assert main(["scenarios", "run", "figure5",
+                     "--intervals", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario figure5" in out
+        assert "avg SLA" in out and "timings" in out
+
+    def test_run_json_artifact_schema(self, capsys, tmp_path):
+        path = tmp_path / "result.json"
+        assert main(["scenarios", "run", "table3", "--intervals", "8",
+                     "--scale", "2.0", "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["scenario"] == "table3"
+        assert set(data["variants"]) == {"static", "dynamic"}
+        for entry in data["variants"].values():
+            assert 0.0 <= entry["kpis"]["avg_sla"] <= 1.0
+            assert len(entry["series"]["watts"]) == 8
+        assert "timings" in data and "extras" in data
+
+    def test_run_csv_roundtrip(self, capsys, tmp_path):
+        import csv
+        path = tmp_path / "rows.csv"
+        assert main(["scenarios", "run", "figure5", "--intervals", "8",
+                     "--csv", str(path)]) == 0
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 8
+        assert rows[0]["variant"] == "follow"
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenarios", "run", "figure99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_csv_on_analysis_only_scenario_fails_cleanly(self, capsys,
+                                                         tmp_path):
+        path = tmp_path / "t2.csv"
+        assert main(["scenarios", "run", "table2",
+                     "--csv", str(path)]) == 2
+        assert "no per-interval series" in capsys.readouterr().err
+        assert not path.exists()
+
+    def test_scale_on_measurement_scenario_fails_cleanly(self, capsys):
+        assert main(["scenarios", "run", "scaling", "--scale", "2.0"]) == 2
+        assert "no --scale knob" in capsys.readouterr().err
+
+    def test_intervals_on_measurement_without_knob_fails_cleanly(
+            self, capsys):
+        assert main(["scenarios", "run", "large_fleet",
+                     "--intervals", "4"]) == 2
+        assert "no --intervals knob" in capsys.readouterr().err
+
+    def test_overrides_on_fixed_inputs_scenario_fail_cleanly(self, capsys):
+        assert main(["scenarios", "run", "table2", "--seed", "3"]) == 2
+        assert "no --seed knob" in capsys.readouterr().err
+
+    def test_zero_scale_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "figure4", "--scale", "0"])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_zero_intervals_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenarios", "run", "figure4", "--intervals", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_seed_zero_reaches_the_config(self):
+        spec = REGISTRY.spec("table3", seed=0)
+        assert spec.seed == 0
+        assert spec.fleet.config.seed == 0
+
+    def test_scenario_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_scenario_parser().parse_args([])
