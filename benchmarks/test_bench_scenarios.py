@@ -1,6 +1,6 @@
-"""Bench the PR 4 catalog scenarios at full size, with behavioural gates.
+"""Bench the catalog scenarios at full size, with behavioural gates.
 
-The three ROADMAP scenarios run straight from the registry
+The ROADMAP scenarios run straight from the registry
 (``repro.experiments.catalog``), exactly as ``python -m repro.cli
 scenarios run <name>`` would:
 
@@ -11,14 +11,26 @@ scenarios run <name>`` would:
   DCs and cut the energy bill, the paper's QoS-only interface must not.
 * ``ml_large_fleet`` — Table I models (trained on a small fleet)
   schedule 500 VMs x 200 PMs through
-  ``MLEstimator.required_resources_batch``; the oracle variant bounds
-  what perfect models achieve.
+  ``MLEstimator.required_resources_batch``, with the PR 5 ranking
+  ladder: raw models vs bagged ensembles vs the calibrated,
+  variance-penalized ranking.  Gates: the calibrated variant recovers
+  SLA >= 0.80 (raw ~0.44) while keeping >= 2/3 of the raw variant's
+  energy cut vs static.
+
+On top of the scenario runs, ``test_bench_ensemble_inference`` gates
+the shared-matrix ensemble-stats path (one design matrix, one stacked
+member pass for mean *and* spread) at >= 3x over the naive per-member
+loop (one 1-row member prediction per candidate host for the mean,
+another for the spread — what the scalar scoring path would cost).
 
 Each scenario is executed once: the ``test_bench_*`` test times it into
-the persisted benchmark JSON (`BENCH_4.json` in CI) and caches the
+the persisted benchmark JSON (`BENCH_5.json` in CI) and caches the
 result for the shape gates below it.
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.experiments import run_scenario
@@ -115,12 +127,136 @@ class TestMLLargeFleet:
         assert ml.energy_cost_eur < 0.6 * static.energy_cost_eur
 
     def test_oracle_bounds_the_headroom(self, result):
-        """Perfect models beat static; the transferred models' SLA gap
-        vs the oracle is the documented ranking-amplification headroom
-        (see ``ml_large_fleet_spec``)."""
+        """Perfect models beat static; the raw transferred models' SLA
+        gap vs the oracle is the ranking-amplification headroom the
+        calibrated variant recovers (see ``ml_large_fleet_spec``)."""
         oracle = result.variant("oracle").summary
         static = result.variant("static").summary
         assert oracle.avg_sla > static.avg_sla
         profits = {name: v.summary.avg_eur_per_hour
                    for name, v in result.variants.items()}
         assert profits["oracle"] >= max(profits.values()) - 1e-9
+
+    def test_raw_ranking_amplification_is_real(self, result):
+        """The failure mode the risk subsystem exists for: raw argmax
+        over 200 hosts burns SLA far below the oracle."""
+        raw = result.variant("bf_ml").summary
+        oracle = result.variant("oracle").summary
+        assert raw.avg_sla < oracle.avg_sla - 0.3
+
+    def test_calibrated_ranking_recovers_sla(self, result):
+        """PR 5 acceptance gate: SLA >= 0.80 (raw ~0.44)."""
+        cal = result.variant("bf_ml_calibrated").summary
+        assert cal.avg_sla >= 0.80
+
+    def test_calibrated_keeps_two_thirds_of_the_energy_cut(self, result):
+        """PR 5 acceptance gate: >= 2/3 of the raw ML energy cut vs
+        static survives the risk aversion."""
+        raw = result.variant("bf_ml").summary
+        cal = result.variant("bf_ml_calibrated").summary
+        static = result.variant("static").summary
+        raw_cut = static.energy_cost_eur - raw.energy_cost_eur
+        cal_cut = static.energy_cost_eur - cal.energy_cost_eur
+        assert raw_cut > 0
+        assert cal_cut >= (2.0 / 3.0) * raw_cut
+
+    def test_calibrated_beats_raw_and_bagged_profit(self, result):
+        """Risk aversion pays for itself: the recovered SLA revenue
+        dwarfs the extra energy spend, and mean-only bagging alone
+        does not achieve it."""
+        profits = {name: result.variant(name).summary.profit_eur
+                   for name in ("bf_ml", "bf_ml_bagged",
+                                "bf_ml_calibrated")}
+        assert profits["bf_ml_calibrated"] > profits["bf_ml"]
+        assert profits["bf_ml_calibrated"] > profits["bf_ml_bagged"]
+
+    def test_bagged_variants_share_one_training(self, result):
+        assert (result.variant("bf_ml_bagged").models
+                is result.variant("bf_ml_calibrated").models)
+
+
+# =============================================================================
+# Ensemble inference: shared-matrix stats vs the naive per-member loop
+# =============================================================================
+
+@pytest.fixture(scope="module")
+def bagged_setup():
+    """A 5-member bagged model set plus a 200-host candidate slate."""
+    from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                            multidc_trace)
+    from repro.experiments.training import harvest
+    from repro.ml.predictors import train_model_set
+    from repro.sim.demand import LoadVector
+
+    config = ScenarioConfig(n_intervals=48, scale=3.0, seed=5)
+    monitor = harvest(lambda: multidc_system(config), multidc_trace(config),
+                      scales=(0.7, 1.4, 2.2), seed=9)
+    models = train_model_set(monitor, rng=np.random.default_rng(11),
+                             bagging=5)
+    load = LoadVector(rps=25.0, bytes_per_req=5000.0,
+                      cpu_time_per_req=0.05)
+    n = 200
+    grants = (np.linspace(10.0, 400.0, n), np.full(n, 512.0),
+              np.full(n, 1000.0))
+    return models, load, grants
+
+
+def _naive_member_loop(models, load, grants):
+    """The pre-stats cost of (mean, spread) per candidate host: one
+    1-row prediction per member per host for the mean (``predict``),
+    and another full member pass for the spread (``predict_std``)."""
+    gc, gm, gb = grants
+    bag = models["vm_sla"].model
+    n = gc.shape[0]
+    mean = np.empty(n)
+    spread = np.empty(n)
+    for i in range(n):
+        X = models._placement_matrix(load, gc[i:i + 1], gm[i:i + 1],
+                                     gb[i:i + 1], 0.0)
+        mean[i] = bag.predict(X)[0]
+        spread[i] = bag.predict_std(X)[0]
+    return np.clip(mean, 0.0, 1.0), spread
+
+
+def test_bench_ensemble_inference(benchmark, bagged_setup):
+    """Time the shared-matrix ensemble-stats path (the gate is below)."""
+    models, load, grants = bagged_setup
+    gc, gm, gb = grants
+    benchmark.pedantic(
+        lambda: models.predict_sla_batch_stats(load, gc, gm, gb),
+        rounds=5, iterations=2)
+
+
+class TestEnsembleInferenceSpeedup:
+    @pytest.fixture(scope="class")
+    def timings(self, bagged_setup):
+        models, load, grants = bagged_setup
+        gc, gm, gb = grants
+
+        def timed(fn, reps):
+            fn()  # warm up
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            return (time.perf_counter() - t0) / reps
+
+        shared_s = timed(
+            lambda: models.predict_sla_batch_stats(load, gc, gm, gb), 5)
+        naive_s = timed(
+            lambda: _naive_member_loop(models, load, grants), 2)
+        return shared_s, naive_s
+
+    def test_shared_matrix_at_least_3x_faster(self, bagged_setup, timings):
+        shared_s, naive_s = timings
+        speedup = naive_s / shared_s
+        assert speedup >= 3.0, (
+            f"shared-matrix ensemble inference only {speedup:.1f}x faster "
+            f"({shared_s * 1e3:.1f} ms vs {naive_s * 1e3:.1f} ms)")
+
+    def test_same_statistics(self, bagged_setup):
+        models, load, grants = bagged_setup
+        gc, gm, gb = grants
+        mean, spread = models.predict_sla_batch_stats(load, gc, gm, gb)
+        ref_mean, ref_spread = _naive_member_loop(models, load, grants)
+        np.testing.assert_allclose(mean, ref_mean, atol=1e-9)
+        np.testing.assert_allclose(spread, ref_spread, atol=1e-9)

@@ -14,15 +14,21 @@ Generic scenario commands over the PR 4 engine
     python -m repro.cli scenarios run figure6 --intervals 72
     python -m repro.cli scenarios run follow_the_sun_8dc --json out.json
     python -m repro.cli scenarios run table3 --csv intervals.csv
+    python -m repro.cli scenarios diff before.json after.json
 
 ``scenarios run`` prints the generic KPI report and can persist the
 structured :class:`~repro.experiments.engine.ScenarioResult` as a JSON
 artifact (per-variant KPIs + interval series) or a per-interval CSV.
+``scenarios diff`` compares two such JSON artifacts KPI-by-KPI (the
+perf/quality trajectory across PRs, reviewable from CI artifacts
+alone); ``--tol PCT`` makes it exit non-zero on drift beyond the
+tolerance, so it can gate CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -169,11 +175,93 @@ def build_scenario_parser() -> argparse.ArgumentParser:
                      help="write the per-interval series as CSV")
     run.add_argument("--no-series", action="store_true",
                      help="omit interval series from the JSON artifact")
+    diff = sub.add_parser(
+        "diff", help="compare the KPIs of two scenario JSON artifacts")
+    diff.add_argument("a", help="baseline artifact (scenarios run --json)")
+    diff.add_argument("b", help="candidate artifact")
+    diff.add_argument("--variant", default=None,
+                      help="restrict the comparison to one variant")
+    diff.add_argument("--tol", type=_positive_float, default=None,
+                      metavar="PCT",
+                      help="exit 1 when any KPI drifts by more than "
+                           "PCT %% (timings excluded)")
     return parser
+
+
+#: KPI keys excluded from ``--tol`` gating: wall-clock noise, not drift.
+_DIFF_TIMING_KEYS = frozenset({"run_s"})
+
+
+def _load_artifact(path: str) -> Dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    variants = data.get("variants") if isinstance(data, dict) else None
+    if (not isinstance(variants, dict)
+            or not all(isinstance(v, dict) for v in variants.values())):
+        raise ValueError(f"{path} is not a scenario artifact "
+                         f"(expected the `scenarios run --json` schema)")
+    return data
+
+
+def _scenarios_diff(args) -> int:
+    """Compare two ``scenarios run --json`` artifacts KPI-by-KPI."""
+    try:
+        a = _load_artifact(args.a)
+        b = _load_artifact(args.b)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if a.get("scenario") != b.get("scenario"):
+        print(f"note: comparing different scenarios "
+              f"({a.get('scenario')!r} vs {b.get('scenario')!r})")
+    names_a, names_b = set(a["variants"]), set(b["variants"])
+    shared = sorted(names_a & names_b)
+    if args.variant is not None:
+        if args.variant not in shared:
+            print(f"error: variant {args.variant!r} not in both artifacts "
+                  f"(shared: {shared})", file=sys.stderr)
+            return 2
+        shared = [args.variant]
+    print(f"Scenario {a.get('scenario')}: {args.a} vs {args.b}")
+    for only, path in ((names_a - names_b, args.a),
+                       (names_b - names_a, args.b)):
+        if only and args.variant is None:
+            print(f"  only in {path}: {sorted(only)}")
+    worst = 0.0
+    for name in shared:
+        ka = a["variants"][name].get("kpis", {})
+        kb = b["variants"][name].get("kpis", {})
+        print(f"\nvariant {name}")
+        print(f"  {'kpi':<24} {'a':>12} {'b':>12} {'delta':>12} {'%':>9}")
+        for key in sorted(set(ka) | set(kb)):
+            va, vb = ka.get(key), kb.get(key)
+            if not (isinstance(va, (int, float))
+                    and isinstance(vb, (int, float))):
+                print(f"  {key:<24} {'?' if va is None else va:>12} "
+                      f"{'?' if vb is None else vb:>12}")
+                continue
+            delta = vb - va
+            if va != 0:
+                pct = 100.0 * delta / abs(va)
+                pct_s = f"{pct:+8.2f}%"
+            else:
+                pct = float("inf") if delta else 0.0
+                pct_s = "     n/a" if delta else "   +0.00%"
+            if key not in _DIFF_TIMING_KEYS:
+                worst = max(worst, abs(pct))
+            print(f"  {key:<24} {va:>12.6g} {vb:>12.6g} {delta:>+12.6g} "
+                  f"{pct_s:>9}")
+    if args.tol is not None and worst > args.tol:
+        print(f"\nFAIL: worst KPI drift {worst:.2f}% exceeds "
+              f"--tol {args.tol}%", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _scenarios_main(argv) -> int:
     args = build_scenario_parser().parse_args(argv)
+    if args.command == "diff":
+        return _scenarios_diff(args)
     if args.command == "list":
         for name in REGISTRY.names():
             print(f"{name:<22} {REGISTRY.describe(name)}")

@@ -28,6 +28,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..ml.calibration import RiskConfig
 from ..ml.predictors import ModelSet
 from ..sim.demand import DemandModel, LoadVector
 from ..sim.machines import Resources, VirtualMachine
@@ -76,6 +77,27 @@ def scalar_process_sla_batch(est, vm: VirtualMachine, load: LoadVector,
                                np.asarray(given_mem, dtype=float),
                                np.asarray(given_bw, dtype=float))],
         dtype=float)
+
+
+def _fit_fraction(required: Resources, given_cpu, given_mem,
+                  given_bw) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-host (fits, worst granted/required ratio) for one demand.
+
+    The same fit arithmetic :class:`ObservedEstimator` scores SLA with;
+    shared so the risk-aware ML path can fall back to it where the
+    learned models have no support (starved grants).
+    """
+    gc = np.asarray(given_cpu, dtype=float)
+    gm = np.asarray(given_mem, dtype=float)
+    gb = np.asarray(given_bw, dtype=float)
+    fits = ((required.cpu <= gc + 1e-9) & (required.mem <= gm + 1e-9)
+            & (required.bw <= gb + 1e-9))
+    ones = np.ones_like(gc)
+    frac = np.minimum(
+        np.minimum(gc / required.cpu if required.cpu > 0 else ones,
+                   gm / required.mem if required.mem > 0 else ones),
+        gb / required.bw if required.bw > 0 else ones)
+    return fits, frac
 
 
 class Estimator:
@@ -322,16 +344,7 @@ class ObservedEstimator:
                           required: Resources, given_cpu, given_mem,
                           given_bw, contract: SLAContract,
                           queue_len: float = 0.0) -> np.ndarray:
-        gc = np.asarray(given_cpu, dtype=float)
-        gm = np.asarray(given_mem, dtype=float)
-        gb = np.asarray(given_bw, dtype=float)
-        fits = ((required.cpu <= gc + 1e-9) & (required.mem <= gm + 1e-9)
-                & (required.bw <= gb + 1e-9))
-        ones = np.ones_like(gc)
-        frac = np.minimum(
-            np.minimum(gc / required.cpu if required.cpu > 0 else ones,
-                       gm / required.mem if required.mem > 0 else ones),
-            gb / required.bw if required.bw > 0 else ones)
+        fits, frac = _fit_fraction(required, given_cpu, given_mem, given_bw)
         return np.where(fits, 1.0, np.maximum(0.0, frac))
 
 
@@ -343,19 +356,47 @@ class MLEstimator:
 
     * ``"direct"`` — predict SLA with k-NN (the paper's pick);
     * ``"rt"`` — predict RT with M5P and push it through the contract.
+
+    ``risk`` (a :class:`~repro.ml.calibration.RiskConfig`) turns on
+    uncertainty-aware scoring: the QoS prediction is shifted to its
+    conservative side by the predictor's split-conformal margin plus a
+    weighted ensemble spread (SLA lowered / RT raised), and demand
+    estimates are optionally inflated to their conformal upper bound.
+    This is the antidote to ranking amplification: argmax over many
+    candidate hosts picks the most *optimistic* score, so the penalty is
+    largest exactly where a single model's noise would win the round.
+    The scalar methods delegate to the batch ones on one-element arrays
+    whenever risk is on, so both paths stay equal by construction.
     """
 
     models: ModelSet
     sla_mode: str = "direct"
+    risk: Optional[RiskConfig] = None
 
     def __post_init__(self) -> None:
         if self.sla_mode not in ("direct", "rt"):
             raise ValueError("sla_mode must be 'direct' or 'rt'")
+        if self.risk is not None:
+            # Resolve the margins once — they are fixed numbers per
+            # (model set, coverage), and a missing calibration must fail
+            # here, not mid-round.
+            score_key = "vm_sla" if self.sla_mode == "direct" else "vm_rt"
+            self._score_margin = self.models.conformal_margin(
+                score_key, self.risk.coverage)
+            self._demand_margins = (
+                self.models.demand_margins(self.risk.demand_coverage)
+                if self.risk.demand_coverage is not None else None)
 
     def required_resources(self, vm: VirtualMachine, load: LoadVector,
                            cpu_cap: float) -> Resources:
-        return self.models.predict_requirements(
+        base = self.models.predict_requirements(
             load, cpu_cap=cpu_cap, mem_floor=vm.base_mem_mb)
+        if self.risk is None or self._demand_margins is None:
+            return base
+        dm = self._demand_margins
+        return Resources(cpu=min(base.cpu + dm.cpu, cpu_cap),
+                         mem=base.mem + dm.mem,
+                         bw=base.bw + dm.bw)
 
     def pm_cpu(self, vm_cpus: Sequence[float]) -> float:
         return self.models.predict_pm_cpu(vm_cpus)
@@ -368,6 +409,11 @@ class MLEstimator:
         # scorer through process_sla.
         if self.sla_mode == "direct":
             return None
+        if self.risk is not None:
+            return float(self.process_rt_batch(
+                vm, load, required, np.array([given.cpu]),
+                np.array([given.mem]), np.array([given.bw]),
+                queue_len=queue_len)[0])
         return self.models.predict_rt(load, given, queue_len=queue_len)
 
     def predict_rt(self, load: LoadVector, given: Resources,
@@ -379,6 +425,11 @@ class MLEstimator:
                     required: Resources, given: Resources,
                     contract: SLAContract,
                     queue_len: float = 0.0) -> float:
+        if self.risk is not None:
+            return float(self.process_sla_batch(
+                vm, load, required, np.array([given.cpu]),
+                np.array([given.mem]), np.array([given.bw]), contract,
+                queue_len=queue_len)[0])
         if self.sla_mode == "direct":
             return self.models.predict_sla(load, given, queue_len=queue_len)
         rt = self.models.predict_rt(load, given, queue_len=queue_len)
@@ -392,9 +443,15 @@ class MLEstimator:
         # 1-row prediction per VM; the predictors are row-independent, so
         # results match the scalar method element-for-element.
         mem_floor = np.array([vm.base_mem_mb for vm in vms], dtype=float)
-        return self.models.predict_requirements_batch(
+        cpu, mem, bw = self.models.predict_requirements_batch(
             rps, bytes_per_req, cpu_time_per_req, cpu_cap=cpu_cap,
             mem_floor=mem_floor)
+        if self.risk is None or self._demand_margins is None:
+            return cpu, mem, bw
+        # Same scalar margins, same IEEE ops as the scalar method.
+        dm = self._demand_margins
+        return (np.minimum(cpu + dm.cpu, cpu_cap), mem + dm.mem,
+                bw + dm.bw)
 
     def pm_cpu_batch(self, counts, sums) -> np.ndarray:
         return self.models.predict_pm_cpu_batch(counts, sums)
@@ -405,6 +462,20 @@ class MLEstimator:
                          queue_len: float = 0.0) -> Optional[np.ndarray]:
         if self.sla_mode == "direct":
             return None
+        if self.risk is not None:
+            mean, spread = self.models.predict_rt_batch_stats(
+                load, given_cpu, given_mem, given_bw, queue_len=queue_len)
+            rt = (mean + self.risk.spread_weight * spread
+                  + self._score_margin)
+            if self.risk.fit_guard:
+                # Starved grants are outside the harvest's support:
+                # stretch the predicted RT by the worst shortfall ratio
+                # (work at fit-fraction f of its resources takes >= 1/f
+                # as long) instead of trusting the extrapolation.
+                fits, frac = _fit_fraction(required, given_cpu, given_mem,
+                                           given_bw)
+                rt = np.where(fits, rt, rt / np.maximum(frac, 1e-12))
+            return rt
         return self.models.predict_rt_batch(load, given_cpu, given_mem,
                                             given_bw, queue_len=queue_len)
 
@@ -413,9 +484,24 @@ class MLEstimator:
                           given_bw, contract: SLAContract,
                           queue_len: float = 0.0) -> np.ndarray:
         if self.sla_mode == "direct":
+            if self.risk is not None:
+                mean, spread = self.models.predict_sla_batch_stats(
+                    load, given_cpu, given_mem, given_bw,
+                    queue_len=queue_len)
+                sla = np.clip(mean - self.risk.spread_weight * spread
+                              - self._score_margin, 0.0, 1.0)
+                if self.risk.fit_guard:
+                    # Cap by the fit-degradation bound where the demand
+                    # does not fit: the learned score has no support
+                    # there (see RiskConfig.fit_guard).
+                    fits, frac = _fit_fraction(required, given_cpu,
+                                               given_mem, given_bw)
+                    sla = np.minimum(
+                        sla, np.where(fits, 1.0, np.maximum(0.0, frac)))
+                return sla
             return self.models.predict_sla_batch(load, given_cpu, given_mem,
                                                  given_bw,
                                                  queue_len=queue_len)
-        rt = self.models.predict_rt_batch(load, given_cpu, given_mem,
-                                          given_bw, queue_len=queue_len)
+        rt = self.process_rt_batch(vm, load, required, given_cpu, given_mem,
+                                   given_bw, queue_len=queue_len)
         return contract.fulfillment(rt)

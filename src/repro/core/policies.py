@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..ml.calibration import RiskConfig
 from ..ml.predictors import ModelSet
 from ..sim.engine import Scheduler
 from ..sim.monitor import Monitor
@@ -76,13 +77,17 @@ def bf_ml_scheduler(models: ModelSet, sla_mode: str = "direct",
                     weights: Optional[ObjectiveWeights] = None,
                     min_gain_eur: float = 0.0,
                     scope_pms: Optional[Sequence[str]] = None,
-                    forecaster=None) -> Scheduler:
+                    forecaster=None,
+                    risk: Optional[RiskConfig] = None) -> Scheduler:
     """ML-enhanced Best-Fit: Table I models drive fit and QoS predictions.
 
     Pass a :class:`repro.workload.forecast.LoadForecaster` to plan on
-    forecast rather than measured current-interval load.
+    forecast rather than measured current-interval load, and a
+    :class:`~repro.ml.calibration.RiskConfig` for calibrated,
+    variance-penalized ranking (the large-candidate-set antidote).
     """
-    return make_bestfit_scheduler(MLEstimator(models, sla_mode=sla_mode),
+    return make_bestfit_scheduler(MLEstimator(models, sla_mode=sla_mode,
+                                              risk=risk),
                                   weights=weights,
                                   min_gain_eur=min_gain_eur,
                                   scope_pms=scope_pms,
@@ -100,16 +105,18 @@ def hierarchical_ml_scheduler(models: ModelSet, sla_mode: str = "direct",
                               weights: Optional[ObjectiveWeights] = None,
                               sla_move_threshold: float = 0.95,
                               max_offers_per_dc: int = 2,
-                              min_gain_eur: float = DEFAULT_MIN_GAIN_EUR
+                              min_gain_eur: float = DEFAULT_MIN_GAIN_EUR,
+                              risk: Optional[RiskConfig] = None
                               ) -> HierarchicalScheduler:
     """The paper's two-layer scheduler with learned models.
 
     ``min_gain_eur`` defaults to the churn-damping hysteresis
     (:data:`repro.core.hierarchical.DEFAULT_MIN_GAIN_EUR`); pass ``0.0``
-    to opt out.
+    to opt out.  ``risk`` enables calibrated, variance-penalized ranking
+    (:class:`~repro.ml.calibration.RiskConfig`).
     """
     return HierarchicalScheduler(
-        estimator=MLEstimator(models, sla_mode=sla_mode),
+        estimator=MLEstimator(models, sla_mode=sla_mode, risk=risk),
         weights=weights or ObjectiveWeights(),
         sla_move_threshold=sla_move_threshold,
         max_offers_per_dc=max_offers_per_dc,

@@ -44,6 +44,7 @@ from ..core.online import OnlineLearningScheduler
 from ..core.policies import (bf_ml_scheduler, bf_overbook_scheduler,
                              bf_scheduler, follow_the_load_scheduler,
                              oracle_scheduler, static_scheduler)
+from ..ml.calibration import RiskConfig
 from ..ml.predictors import ModelSet
 from ..sim.engine import RunHistory, RunSummary, Scheduler, run_simulation
 from ..sim.failures import FailureInjector
@@ -187,9 +188,15 @@ class SchedulerSpec:
     min_gain_eur: Optional[float] = None
     params: Mapping[str, object] = field(default_factory=dict)
 
-    def build(self, models: Optional[ModelSet]
+    def build(self, models: Optional[ModelSet],
+              risk: Optional[RiskConfig] = None
               ) -> Tuple[Optional[Scheduler], Optional[Monitor]]:
-        """The engine-ready scheduler plus its live monitor (if any)."""
+        """The engine-ready scheduler plus its live monitor (if any).
+
+        ``risk`` (threaded from ``VariantSpec.risk``) turns on
+        calibrated, variance-penalized ranking for the ML-estimator
+        kinds (``bf_ml``, ``hierarchical`` with ``estimator='ml'``).
+        """
         # Knobs a kind cannot honor fail loudly (same convention as the
         # registry) instead of silently running with defaults.
         unsupported = []
@@ -199,6 +206,11 @@ class SchedulerSpec:
         if (self.min_gain_eur is not None
                 and self.kind in ("static", "bf", "bf_ob", "online")):
             unsupported.append("min_gain_eur")
+        if (risk is not None
+                and not (self.kind == "bf_ml"
+                         or (self.kind == "hierarchical"
+                             and self.params.get("estimator") == "ml"))):
+            unsupported.append("risk")
         if unsupported:
             raise ValueError(
                 f"scheduler kind {self.kind!r} does not support "
@@ -225,7 +237,8 @@ class SchedulerSpec:
             return bf_ml_scheduler(
                 models, sla_mode=p.get("sla_mode", "direct"),
                 weights=self.weights,
-                min_gain_eur=self.min_gain_eur or 0.0), None
+                min_gain_eur=self.min_gain_eur or 0.0,
+                risk=risk), None
         if self.kind == "oracle":
             return oracle_scheduler(
                 weights=self.weights,
@@ -238,7 +251,8 @@ class SchedulerSpec:
                 if models is None:
                     raise ValueError("hierarchical/ml variant needs models")
                 estimator = MLEstimator(models,
-                                        sla_mode=p.get("sla_mode", "direct"))
+                                        sla_mode=p.get("sla_mode", "direct"),
+                                        risk=risk)
             else:
                 raise ValueError(f"unknown estimator {est_kind!r}")
             kwargs = dict(
@@ -267,7 +281,14 @@ class TrainingSpec:
     trains on a different shape (Figure 6 trains without the flash crowd
     so the models must generalize to the unseen surge).  ``bagging > 0``
     trains each predictor as a bootstrap ensemble of that many members —
-    the variance-reduction knob for large candidate sets.
+    the variance-reduction knob for large candidate sets — and
+    ``calibrate`` (default) fits split-conformal residual quantiles per
+    predictor, the error budget ``VariantSpec(risk=...)`` spends.
+
+    Two training specs are interchangeable for model reuse only when
+    *every* knob matches (:func:`run_scenario` keys its per-run cache on
+    all of them), so e.g. a bagged and an unbagged variant can never
+    silently share a model set.
     """
 
     scales: Tuple[float, ...] = (0.5, 1.0, 2.0)
@@ -275,6 +296,7 @@ class TrainingSpec:
     fleet: Optional[FleetSpec] = None
     workload: Optional[WorkloadSpec] = None
     bagging: int = 0
+    calibrate: bool = True
 
 
 @dataclass(frozen=True)
@@ -341,7 +363,9 @@ class VariantSpec:
     de-location comparison pits one vs several DCs), ``trace_scale``
     (replay the shared trace at another request rate — Figure 8's load
     sweep), ``training`` (a per-variant model set — the harvest-size
-    ablation) and ``schedule_every`` (rounds between scheduler calls).
+    ablation), ``schedule_every`` (rounds between scheduler calls) and
+    ``risk`` (a :class:`~repro.ml.calibration.RiskConfig`: calibrated,
+    variance-penalized ranking for ML-estimator schedulers).
     """
 
     name: str
@@ -350,6 +374,7 @@ class VariantSpec:
     trace_scale: Optional[float] = None
     training: Optional[TrainingSpec] = None
     schedule_every: int = 1
+    risk: Optional[RiskConfig] = None
 
 
 @dataclass(frozen=True)
@@ -574,7 +599,24 @@ def _train(training: TrainingSpec, spec: ScenarioSpec,
         trace = workload.build(fleet_trace)
     return train_paper_models(lambda: fleet.build()[0], trace,
                               scales=training.scales, seed=training.seed,
-                              bagging=training.bagging)
+                              bagging=training.bagging,
+                              calibrate=training.calibrate)
+
+
+def _training_key(training: TrainingSpec, spec: ScenarioSpec) -> str:
+    """Cache key covering *every* knob that shapes the trained models.
+
+    The effective fleet/workload (after falling back to the scenario's
+    own) are part of the key, so a variant-level spec that happens to
+    equal the scenario-level one shares its models, while any knob
+    drift — scales, seed, bagging, calibration, a different training
+    fleet — trains fresh.  Specs are frozen dataclasses of plain data,
+    so their reprs are canonical.
+    """
+    return repr((training.scales, training.seed, training.bagging,
+                 training.calibrate,
+                 training.fleet or spec.fleet,
+                 training.workload or spec.workload))
 
 
 def run_scenario(spec: Union[ScenarioSpec, str],
@@ -598,10 +640,17 @@ def run_scenario(spec: Union[ScenarioSpec, str],
     timings["build_s"] = time.perf_counter() - t0
 
     # -- train (shared across variants unless a variant overrides) ----------
+    # Per-run cache of trained model sets, keyed on the full training
+    # knobs (scales, seed, bagging, calibration, fleet, workload): two
+    # variants share a ModelSet iff their effective specs are identical,
+    # so mismatched training can never be silently reused while
+    # identical per-variant specs train only once.
+    trained: Dict[str, Tuple[ModelSet, Monitor]] = {}
     monitor: Optional[Monitor] = None
     t0 = time.perf_counter()
     if models is None and spec.training is not None:
         models, monitor = _train(spec.training, spec, base_trace)
+        trained[_training_key(spec.training, spec)] = (models, monitor)
     timings["train_s"] = time.perf_counter() - t0
 
     variants: Dict[str, VariantResult] = {}
@@ -624,15 +673,18 @@ def run_scenario(spec: Union[ScenarioSpec, str],
         variant_models = models
         variant_monitor = None
         if variant.training is not None:
-            variant_models, variant_monitor = _train(variant.training, spec,
-                                                     base_trace)
+            key = _training_key(variant.training, spec)
+            if key not in trained:
+                trained[key] = _train(variant.training, spec, base_trace)
+            variant_models, variant_monitor = trained[key]
 
         if spec.tariffs is not None:
             system.tariff_schedule = spec.tariffs.build(
                 system, trace.n_intervals, trace.interval_s)
         injector = (spec.failures.build() if spec.failures is not None
                     else None)
-        scheduler, live_monitor = variant.scheduler.build(variant_models)
+        scheduler, live_monitor = variant.scheduler.build(variant_models,
+                                                          risk=variant.risk)
         history = run_simulation(
             system, trace, scheduler=scheduler,
             schedule_every=variant.schedule_every,

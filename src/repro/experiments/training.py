@@ -59,14 +59,17 @@ def train_paper_models(system_factory: Callable[[], MultiDCSystem],
                        trace: WorkloadTrace,
                        scales: Sequence[float] = (0.5, 1.0, 2.0),
                        seed: int = 7,
-                       bagging: int = 0) -> Tuple[ModelSet, Monitor]:
+                       bagging: int = 0,
+                       calibrate: bool = True) -> Tuple[ModelSet, Monitor]:
     """Harvest and train the seven Table I predictors in one call.
 
     ``bagging > 0`` trains each predictor as a bootstrap ensemble of that
     many members (see :func:`repro.ml.predictors.train_model_set`); the
-    default single-model setting matches the paper.
+    default single-model setting matches the paper.  ``calibrate``
+    (default) fits the split-conformal residual quantiles the risk-aware
+    ranking consumes.
     """
     monitor = harvest(system_factory, trace, scales=scales, seed=seed)
     models = train_model_set(monitor, rng=np.random.default_rng(seed + 2),
-                             bagging=bagging)
+                             bagging=bagging, calibrate=calibrate)
     return models, monitor

@@ -4,10 +4,14 @@
 * :class:`~repro.ml.knn.KNNRegressor` — k-NN regression (SLA prediction).
 * :class:`~repro.ml.linreg.LinearRegression` — OLS (memory prediction).
 * :mod:`~repro.ml.metrics` — Table I validation metrics.
+* :mod:`~repro.ml.calibration` — split-conformal margins and ensemble
+  spread (the risk-aware ranking primitives).
 * :mod:`~repro.ml.predictors` — the seven paper predictors and
   :class:`~repro.ml.predictors.ModelSet`.
 """
 
+from .calibration import (Calibration, RiskConfig, ensemble_stats,
+                          fit_calibration)
 from .dataset import Dataset, Standardizer, train_test_split
 from .ensemble import BaggingRegressor, bagged_m5p
 from .knn import KNNRegressor
@@ -21,6 +25,7 @@ from .predictors import (PREDICTOR_SPECS, ModelSet, PredictorSpec,
                          TrainedPredictor, train_model_set, train_predictor)
 
 __all__ = [
+    "Calibration", "RiskConfig", "ensemble_stats", "fit_calibration",
     "Dataset", "Standardizer", "train_test_split",
     "BaggingRegressor", "bagged_m5p",
     "KNNRegressor", "LinearRegression", "M5PRegressor",

@@ -70,7 +70,14 @@ class BaggingRegressor:
             self._members.append(member)
         return self
 
-    def _member_predictions(self, X) -> np.ndarray:
+    def member_predictions(self, X) -> np.ndarray:
+        """Every member's predictions on one shared design matrix.
+
+        Shape ``(n_members, n_rows)``.  This is the single-pass primitive
+        behind :func:`repro.ml.calibration.ensemble_stats`: mean *and*
+        spread come from one stack instead of separate ``predict`` /
+        ``predict_std`` passes (each of which re-runs every member).
+        """
         if not self._members:
             raise RuntimeError("model not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
@@ -79,12 +86,15 @@ class BaggingRegressor:
                 f"expected {self._n_features} features, got {X.shape[1]}")
         return np.stack([m.predict(X) for m in self._members])
 
+    # Backwards-compatible private alias.
+    _member_predictions = member_predictions
+
     def predict(self, X) -> np.ndarray:
-        return self._member_predictions(X).mean(axis=0)
+        return self.member_predictions(X).mean(axis=0)
 
     def predict_std(self, X) -> np.ndarray:
         """Cross-member standard deviation (epistemic spread)."""
-        return self._member_predictions(X).std(axis=0)
+        return self.member_predictions(X).std(axis=0)
 
     def predict_one(self, x) -> float:
         return float(self.predict(np.asarray(x, dtype=float)[None, :])[0])

@@ -9,10 +9,12 @@ columns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 import numpy as np
+
+from .calibration import Calibration, fit_calibration
 
 __all__ = ["correlation", "mean_absolute_error", "error_std",
            "root_mean_squared_error", "r_squared", "EvalReport", "evaluate"]
@@ -80,6 +82,11 @@ class EvalReport:
     n_val: int
     data_min: float
     data_max: float
+    #: Split-conformal residual quantiles of the same validation split —
+    #: the error budget the risk-aware ranking subtracts from scores
+    #: (:mod:`repro.ml.calibration`).  None when calibration was skipped.
+    calibration: Optional[Calibration] = field(default=None, repr=False,
+                                               compare=False)
 
     def row(self) -> str:
         """Rendered like the paper's table."""
@@ -89,8 +96,14 @@ class EvalReport:
                 f"[{self.data_min:.4g}, {self.data_max:.4g}]")
 
 
-def evaluate(name: str, method: str, y_train, y_val, y_pred) -> EvalReport:
-    """Build a Table I row from validation predictions."""
+def evaluate(name: str, method: str, y_train, y_val, y_pred,
+             calibrate: bool = True) -> EvalReport:
+    """Build a Table I row from validation predictions.
+
+    ``calibrate`` also fits the split-conformal residual quantiles from
+    the same held-out predictions (no extra model calls) and stores them
+    on the report for the risk-aware ranking path.
+    """
     yv = np.asarray(y_val, dtype=float)
     yt = np.asarray(y_train, dtype=float)
     all_y = np.concatenate([yt, yv])
@@ -100,4 +113,5 @@ def evaluate(name: str, method: str, y_train, y_val, y_pred) -> EvalReport:
         mae=mean_absolute_error(yv, y_pred),
         err_std=error_std(yv, y_pred),
         n_train=int(yt.size), n_val=int(yv.size),
-        data_min=float(all_y.min()), data_max=float(all_y.max()))
+        data_min=float(all_y.min()), data_max=float(all_y.max()),
+        calibration=fit_calibration(yv, y_pred) if calibrate else None)

@@ -34,6 +34,7 @@ import numpy as np
 from ..sim.demand import LoadVector
 from ..sim.machines import Resources
 from ..sim.monitor import Monitor
+from .calibration import Calibration, ensemble_stats
 from .dataset import Dataset, train_test_split
 from .ensemble import BaggingRegressor
 from .knn import KNNRegressor
@@ -200,18 +201,30 @@ class TrainedPredictor:
         return float(self.model.predict(np.atleast_2d(
             np.asarray(x, dtype=float)))[0])
 
+    @property
+    def calibration(self) -> Optional[Calibration]:
+        """The held-out conformal residual quantiles (None if skipped)."""
+        return self.report.calibration
+
 
 def train_predictor(spec: PredictorSpec, monitor: Monitor,
                     rng: Optional[np.random.Generator] = None,
-                    train_fraction: float = 0.66) -> TrainedPredictor:
-    """Fit one Table I element with the paper's split and metrics."""
+                    train_fraction: float = 0.66,
+                    calibrate: bool = True) -> TrainedPredictor:
+    """Fit one Table I element with the paper's split and metrics.
+
+    ``calibrate`` (default) also fits split-conformal residual quantiles
+    from the same held-out predictions — zero extra model calls, stored
+    on the report for the risk-aware ranking path
+    (:mod:`repro.ml.calibration`).
+    """
     data = spec.build(monitor)
     train, val = train_test_split(data, train_fraction=train_fraction,
                                   rng=rng)
     model = spec.model_factory()
     model.fit(train.X, train.y)
     report = evaluate(spec.name, spec.method, train.y, val.y,
-                      model.predict(val.X))
+                      model.predict(val.X), calibrate=calibrate)
     return TrainedPredictor(spec=spec, model=model, report=report)
 
 
@@ -340,6 +353,86 @@ class ModelSet:
         out = np.maximum(0.0, self.predictors["pm_cpu"].predict(X))
         return np.where(counts == 0, 0.0, out)
 
+    # -- uncertainty-aware batch queries (mean, spread) ----------------------
+    # One shared design matrix per call: for bagged predictors every
+    # member predicts on the *same* matrix in one stacked pass
+    # (``ensemble_stats``), so mean + spread cost ~1 matrix build instead
+    # of one per member (and no second pass for the spread).  Single
+    # models return spread exactly 0.  Means transform identically to
+    # the mean-only ``predict_*_batch`` twins; spreads are reported raw
+    # (clipping an uncertainty would hide it).
+
+    def predict_rt_batch_stats(self, load: LoadVector, given_cpu, given_mem,
+                               given_bw, queue_len: float = 0.0
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(mean, spread)`` twin of :meth:`predict_rt_batch`."""
+        X = self._placement_matrix(load, given_cpu, given_mem, given_bw,
+                                   queue_len)
+        mean, spread = ensemble_stats(self.predictors["vm_rt"].model, X)
+        return np.maximum(0.0, mean), spread
+
+    def predict_sla_batch_stats(self, load: LoadVector, given_cpu,
+                                given_mem, given_bw,
+                                queue_len: float = 0.0
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(mean, spread)`` twin of :meth:`predict_sla_batch`."""
+        X = self._placement_matrix(load, given_cpu, given_mem, given_bw,
+                                   queue_len)
+        mean, spread = ensemble_stats(self.predictors["vm_sla"].model, X)
+        return np.clip(mean, 0.0, 1.0), spread
+
+    def predict_pm_cpu_batch_stats(self, counts, sums
+                                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(mean, spread)`` twin of :meth:`predict_pm_cpu_batch`.
+
+        Empty hosts (count 0) are masked to mean 0 *and* spread 0 — the
+        scalar early-return never consults the model there, so there is
+        no model uncertainty to report either.  Completes the stats
+        family for diagnostics; the risk-aware scorer deliberately keeps
+        the energy term at the mean — inflating PM CPU conservatively
+        caps overloaded hosts' watts sooner, making further dogpiling
+        look *free*, the opposite of risk aversion.
+        """
+        counts = np.asarray(counts, dtype=float)
+        sums = np.asarray(sums, dtype=float)
+        X = np.column_stack([counts, sums])
+        mean, spread = ensemble_stats(self.predictors["pm_cpu"].model, X)
+        empty = counts == 0
+        return (np.where(empty, 0.0, np.maximum(0.0, mean)),
+                np.where(empty, 0.0, spread))
+
+    # -- calibration ----------------------------------------------------------
+    def calibration(self, key: str) -> Optional[Calibration]:
+        """The named predictor's conformal calibration (None if skipped)."""
+        return self.predictors[key].calibration
+
+    def conformal_margin(self, key: str, coverage: float) -> float:
+        """The named predictor's conformal error margin at ``coverage``.
+
+        Raises when the predictor was trained without calibration
+        (``train_model_set(calibrate=False)`` or a pre-calibration
+        pickle) — risk-aware ranking must fail loudly rather than
+        silently run unpenalized.
+        """
+        cal = self.calibration(key)
+        if cal is None:
+            raise ValueError(
+                f"predictor {key!r} has no calibration; retrain with "
+                f"calibrate=True to use risk-aware ranking")
+        return cal.margin(coverage)
+
+    def demand_margins(self, coverage: float) -> Resources:
+        """Conformal demand head-room per resource at ``coverage``.
+
+        CPU and MEM from their own predictors; BW is the sum of the IN
+        and OUT margins (the estimate itself is their sum).
+        """
+        return Resources(
+            cpu=self.conformal_margin("vm_cpu", coverage),
+            mem=self.conformal_margin("vm_mem", coverage),
+            bw=(self.conformal_margin("vm_in", coverage)
+                + self.conformal_margin("vm_out", coverage)))
+
     # -- reporting -------------------------------------------------------------
     def table1(self) -> List[EvalReport]:
         """Validation reports in the paper's Table I row order."""
@@ -365,7 +458,8 @@ class _BaggedFactory:
 def train_model_set(monitor: Monitor,
                     rng: Optional[np.random.Generator] = None,
                     train_fraction: float = 0.66,
-                    bagging: int = 0) -> ModelSet:
+                    bagging: int = 0,
+                    calibrate: bool = True) -> ModelSet:
     """Train all seven Table I predictors from one monitoring harvest.
 
     ``bagging > 0`` wraps every predictor in a ``bagging``-member
@@ -373,6 +467,15 @@ def train_model_set(monitor: Monitor,
     the variance-reduction knob for schedulers that rank *many*
     candidate hosts per VM, where a single model's optimistic errors win
     the argmax (the paper uses single models; 0 keeps that default).
+    Each ensemble resamples under its own seed drawn from ``rng`` (a
+    fixed fallback generator when ``rng`` is None), so the seven
+    predictors draw *distinct* bootstrap index sequences — a shared
+    seed would correlate their resampling errors, which is exactly what
+    bagging is meant to wash out.
+
+    ``calibrate`` (default) fits split-conformal residual quantiles per
+    predictor from the held-out validation split — the error budget of
+    the risk-aware ranking (:mod:`repro.ml.calibration`).
     """
     if len(monitor.vm_samples) < 10:
         raise ValueError(
@@ -384,12 +487,18 @@ def train_model_set(monitor: Monitor,
             f"{len(monitor.pm_samples)}")
     specs = PREDICTOR_SPECS
     if bagging:
+        # One bootstrap seed per predictor, derived from the training
+        # RNG (the bagging=0 path never reaches this draw, so its rng
+        # stream — and its goldens — stay byte-for-byte).
+        seed_rng = rng if rng is not None else np.random.default_rng(0)
         specs = {key: replace(
                      spec, method=f"Bagged({bagging}) {spec.method}",
-                     model_factory=_BaggedFactory(spec.model_factory,
-                                                  bagging))
+                     model_factory=_BaggedFactory(
+                         spec.model_factory, bagging,
+                         seed=int(seed_rng.integers(2 ** 63))))
                  for key, spec in specs.items()}
     predictors = {key: train_predictor(spec, monitor, rng=rng,
-                                       train_fraction=train_fraction)
+                                       train_fraction=train_fraction,
+                                       calibrate=calibrate)
                   for key, spec in specs.items()}
     return ModelSet(predictors=predictors)

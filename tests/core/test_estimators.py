@@ -6,6 +6,8 @@ import pytest
 from repro.core.estimators import (MLEstimator, ObservedEstimator,
                                    OracleEstimator)
 from repro.core.sla import PAPER_SLA
+from repro.ml.calibration import RiskConfig
+from repro.ml.predictors import train_model_set
 from repro.sim.demand import DemandModel, LoadVector
 from repro.sim.machines import Resources, VirtualMachine
 from repro.sim.monitor import Monitor, VMSample
@@ -191,3 +193,137 @@ class TestMLBatchDemand:
         cpu, mem, bw = est.required_resources_batch(
             vms, [1.0], [1000.0], [0.01], float("inf"))
         assert mem[0] >= 4096.0
+
+
+@pytest.fixture(scope="module")
+def bagged_models(tiny_monitor):
+    return train_model_set(tiny_monitor, rng=np.random.default_rng(11),
+                           bagging=3)
+
+
+#: Tentative grants spanning abundant, marginal and starved hosts.
+def _grants(n=12):
+    rng = np.random.default_rng(17)
+    return (rng.uniform(5.0, 400.0, n), rng.uniform(64.0, 2048.0, n),
+            rng.uniform(50.0, 5000.0, n))
+
+
+class TestMLRisk:
+    """Calibrated, variance-penalized scoring (RiskConfig on MLEstimator)."""
+
+    RISKS = [
+        RiskConfig(coverage=0.9, spread_weight=1.0),
+        RiskConfig(coverage=0.5, spread_weight=2.0, fit_guard=False),
+        RiskConfig(coverage=0.8, spread_weight=0.5, demand_coverage=0.8),
+        RiskConfig(coverage=0.0, spread_weight=0.0, fit_guard=True),
+    ]
+
+    @pytest.mark.parametrize("sla_mode", ["direct", "rt"])
+    @pytest.mark.parametrize("risk_i", range(len(RISKS)))
+    def test_scalar_batch_sla_parity(self, bagged_models, sla_mode, risk_i):
+        """The repo-wide contract, with risk enabled: scalar and batch
+        agree within 1e-9 (delegation makes them equal in practice)."""
+        est = MLEstimator(bagged_models, sla_mode=sla_mode,
+                          risk=self.RISKS[risk_i])
+        gc, gm, gb = _grants()
+        heavy = LoadVector(rps=45.0, bytes_per_req=6000.0,
+                           cpu_time_per_req=0.07)
+        req = est.required_resources(vm(), heavy, float("inf"))
+        batch = est.process_sla_batch(vm(), heavy, req, gc, gm, gb,
+                                      PAPER_SLA)
+        for j in range(len(gc)):
+            scalar = est.process_sla(vm(), heavy, req,
+                                     res(gc[j], gm[j], gb[j]), PAPER_SLA)
+            assert abs(batch[j] - scalar) < 1e-9
+            assert 0.0 <= batch[j] <= 1.0
+
+    def test_scalar_batch_rt_parity(self, bagged_models):
+        est = MLEstimator(bagged_models, sla_mode="rt",
+                          risk=RiskConfig(coverage=0.9, spread_weight=1.5))
+        gc, gm, gb = _grants()
+        req = est.required_resources(vm(), load(), float("inf"))
+        batch = est.process_rt_batch(vm(), load(), req, gc, gm, gb)
+        for j in range(len(gc)):
+            scalar = est.process_rt(vm(), load(), req,
+                                    res(gc[j], gm[j], gb[j]))
+            assert abs(batch[j] - scalar) < 1e-9
+
+    def test_scalar_batch_demand_parity_with_inflation(self, bagged_models):
+        est = MLEstimator(bagged_models,
+                          risk=RiskConfig(demand_coverage=0.9))
+        vms = [VirtualMachine(vm_id=f"vm{j}", base_mem_mb=256.0)
+               for j in range(8)]
+        rng = np.random.default_rng(3)
+        rps = rng.uniform(0.0, 60.0, 8)
+        bpr = rng.uniform(500.0, 9000.0, 8)
+        cpr = rng.uniform(0.002, 0.06, 8)
+        for cpu_cap in (float("inf"), 200.0):
+            cpu, mem, bw = est.required_resources_batch(vms, rps, bpr, cpr,
+                                                        cpu_cap)
+            for j, m in enumerate(vms):
+                ref = est.required_resources(
+                    m, LoadVector(rps[j], bpr[j], cpr[j]), cpu_cap)
+                assert abs(cpu[j] - ref.cpu) < 1e-9
+                assert abs(mem[j] - ref.mem) < 1e-9
+                assert abs(bw[j] - ref.bw) < 1e-9
+
+    def test_demand_inflation_adds_conformal_headroom(self, bagged_models):
+        plain = MLEstimator(bagged_models)
+        risky = MLEstimator(bagged_models,
+                            risk=RiskConfig(demand_coverage=0.9))
+        base = plain.required_resources(vm(), load(), float("inf"))
+        inflated = risky.required_resources(vm(), load(), float("inf"))
+        dm = bagged_models.demand_margins(0.9)
+        assert inflated.cpu == pytest.approx(base.cpu + dm.cpu)
+        assert inflated.mem == pytest.approx(base.mem + dm.mem)
+        assert inflated.bw == pytest.approx(base.bw + dm.bw)
+
+    def test_no_demand_coverage_leaves_demand_untouched(self, bagged_models):
+        plain = MLEstimator(bagged_models)
+        risky = MLEstimator(bagged_models, risk=RiskConfig(coverage=0.9))
+        assert (risky.required_resources(vm(), load(), float("inf"))
+                == plain.required_resources(vm(), load(), float("inf")))
+
+    def test_penalty_lowers_sla(self, bagged_models):
+        """Margin + spread only ever push the score down (never up)."""
+        plain = MLEstimator(bagged_models)
+        risky = MLEstimator(bagged_models,
+                            risk=RiskConfig(coverage=0.9, spread_weight=2.0))
+        gc, gm, gb = _grants()
+        req = plain.required_resources(vm(), load(), float("inf"))
+        raw = plain.process_sla_batch(vm(), load(), req, gc, gm, gb,
+                                      PAPER_SLA)
+        pen = risky.process_sla_batch(vm(), load(), req, gc, gm, gb,
+                                      PAPER_SLA)
+        assert np.all(pen <= raw + 1e-12)
+
+    def test_fit_guard_caps_starved_grants(self, bagged_models):
+        est = MLEstimator(bagged_models,
+                          risk=RiskConfig(coverage=0.0, spread_weight=0.0))
+        req = Resources(cpu=100.0, mem=1000.0, bw=1000.0)
+        # Starved on memory only: the guard caps at the worst ratio.
+        sla = est.process_sla_batch(vm(), load(), req, np.array([200.0]),
+                                    np.array([250.0]), np.array([2000.0]),
+                                    PAPER_SLA)
+        assert sla[0] <= 0.25 + 1e-12
+
+    def test_zero_risk_with_one_member_is_noop(self, tiny_monitor):
+        """coverage=0 + spread_weight=0 + no guard + 1-member ensembles:
+        every penalty is exactly a no-op, so the risk path reproduces
+        the plain scores bit-for-bit."""
+        models = train_model_set(tiny_monitor, rng=np.random.default_rng(4),
+                                 bagging=1)
+        plain = MLEstimator(models)
+        noop = MLEstimator(models, risk=RiskConfig(
+            coverage=0.0, spread_weight=0.0, fit_guard=False))
+        gc, gm, gb = _grants()
+        req = plain.required_resources(vm(), load(), float("inf"))
+        a = plain.process_sla_batch(vm(), load(), req, gc, gm, gb, PAPER_SLA)
+        b = noop.process_sla_batch(vm(), load(), req, gc, gm, gb, PAPER_SLA)
+        np.testing.assert_array_equal(a, b)
+
+    def test_uncalibrated_models_fail_loudly(self, tiny_monitor):
+        models = train_model_set(tiny_monitor, rng=np.random.default_rng(4),
+                                 calibrate=False)
+        with pytest.raises(ValueError, match="no calibration"):
+            MLEstimator(models, risk=RiskConfig(coverage=0.9))

@@ -67,13 +67,38 @@ class TestFollowTheSun8DC:
 class TestMLLargeFleet:
     @pytest.fixture(scope="class")
     def result(self):
-        spec = ml_large_fleet_spec(n_intervals=4, n_hosts=40, n_vms=100)
+        spec = ml_large_fleet_spec(n_intervals=4, n_hosts=40, n_vms=100,
+                                   bagging=2)
         return run_scenario(spec)
 
     def test_ml_models_trained_and_used(self, result):
         variant = result.variant("bf_ml")
         assert variant.models is not None
         assert variant.summary.n_migrations > 0
+
+    def test_all_ranking_variants_present(self, result):
+        assert {"bf_ml", "bf_ml_bagged", "bf_ml_calibrated", "static",
+                "oracle"} <= set(result.variants)
+
+    def test_bagged_variants_share_one_ensemble_training(self, result):
+        bagged = result.variant("bf_ml_bagged").models
+        calibrated = result.variant("bf_ml_calibrated").models
+        assert bagged is calibrated
+        assert bagged is not result.variant("bf_ml").models
+        assert bagged["vm_sla"].model.n_members == 2
+
+    def test_calibrated_ranking_recovers_sla(self, result):
+        """The tentpole claim at reduced size: risk-aware ranking closes
+        most of the raw variant's SLA gap to the oracle while still
+        cutting energy vs static."""
+        raw = result.variant("bf_ml").summary
+        cal = result.variant("bf_ml_calibrated").summary
+        static = result.variant("static").summary
+        oracle = result.variant("oracle").summary
+        assert cal.avg_sla > raw.avg_sla + 0.05
+        assert oracle.avg_sla - cal.avg_sla < 0.5 * (oracle.avg_sla
+                                                     - raw.avg_sla)
+        assert cal.energy_cost_eur < 0.8 * static.energy_cost_eur
 
     def test_ml_estimator_batch_demand_path_live(self, result):
         """The scenario's estimator answers whole-round demand queries."""

@@ -128,6 +128,118 @@ class TestTraining:
         assert result.variant("ml").models is result.models
 
 
+class TestTrainingReuseKeying:
+    """Shared-model reuse is keyed on the *full* training knobs: variants
+    with different TrainingSpecs never silently share a ModelSet, while
+    identical specs train exactly once."""
+
+    def test_different_training_specs_get_different_models(self):
+        shared = TrainingSpec(scales=(0.8, 1.6), seed=5)
+        bagged = TrainingSpec(scales=(0.8, 1.6), seed=5, bagging=2)
+        spec = small_spec(
+            training=shared,
+            variants=(
+                VariantSpec("raw", SchedulerSpec("bf_ml")),
+                VariantSpec("bagged", SchedulerSpec("bf_ml"),
+                            training=bagged),
+            ))
+        result = run_scenario(spec)
+        raw = result.variant("raw").models
+        bag = result.variant("bagged").models
+        assert raw is result.models
+        assert bag is not raw
+        # The knob really reached training: bagged predictors are
+        # ensembles, raw ones are single models.
+        assert hasattr(bag["vm_cpu"].model, "n_members")
+        assert not hasattr(raw["vm_cpu"].model, "n_members")
+
+    def test_identical_variant_spec_reuses_scenario_models(self):
+        """A variant-level TrainingSpec equal to the scenario's shares
+        the scenario's model set instead of retraining."""
+        shared = TrainingSpec(scales=(0.8, 1.6), seed=5)
+        spec = small_spec(
+            training=shared,
+            variants=(
+                VariantSpec("a", SchedulerSpec("bf_ml")),
+                VariantSpec("b", SchedulerSpec("bf_ml"), training=shared),
+            ))
+        result = run_scenario(spec)
+        assert result.variant("b").models is result.variant("a").models
+
+    def test_identical_variant_specs_train_once(self):
+        bagged = TrainingSpec(scales=(0.8, 1.6), seed=5, bagging=2)
+        spec = small_spec(
+            training=TrainingSpec(scales=(0.8, 1.6), seed=5),
+            variants=(
+                VariantSpec("a", SchedulerSpec("bf_ml"), training=bagged),
+                VariantSpec("b", SchedulerSpec("bf_ml"), training=bagged),
+            ))
+        result = run_scenario(spec)
+        assert result.variant("a").models is result.variant("b").models
+        assert result.variant("a").models is not result.models
+
+    def test_calibrate_knob_is_part_of_the_key(self):
+        base = TrainingSpec(scales=(0.8, 1.6), seed=5)
+        uncal = TrainingSpec(scales=(0.8, 1.6), seed=5, calibrate=False)
+        spec = small_spec(
+            training=base,
+            variants=(
+                VariantSpec("cal", SchedulerSpec("bf_ml")),
+                VariantSpec("uncal", SchedulerSpec("bf_ml"),
+                            training=uncal),
+            ))
+        result = run_scenario(spec)
+        assert result.variant("uncal").models is not result.models
+        assert result.variant("uncal").models.calibration("vm_sla") is None
+        assert result.variant("cal").models.calibration("vm_sla") is not None
+
+
+class TestRiskKnob:
+    def test_risk_reaches_the_scheduler(self):
+        """A risk-averse variant must behave differently from the raw one
+        on the same trace and models (the knob is live end to end)."""
+        from repro.ml.calibration import RiskConfig
+        spec = small_spec(
+            training=TrainingSpec(scales=(0.8, 1.6), seed=5),
+            variants=(
+                VariantSpec("raw", SchedulerSpec("bf_ml")),
+                VariantSpec("risk", SchedulerSpec("bf_ml"),
+                            risk=RiskConfig(coverage=0.9,
+                                            spread_weight=1.0)),
+            ))
+        result = run_scenario(spec)
+        raw = result.variant("raw").kpis()
+        risky = result.variant("risk").kpis()
+        assert raw != risky
+
+    def test_risk_on_non_ml_scheduler_fails_loudly(self):
+        from repro.ml.calibration import RiskConfig
+        spec = small_spec(variants=(
+            VariantSpec("static", SchedulerSpec("static"),
+                        risk=RiskConfig()),))
+        with pytest.raises(ValueError, match="risk"):
+            run_scenario(spec)
+
+    def test_risk_on_hierarchical_oracle_fails_loudly(self):
+        from repro.ml.calibration import RiskConfig
+        spec = small_spec(variants=(
+            VariantSpec("h", SchedulerSpec(
+                "hierarchical", params=dict(estimator="oracle")),
+                risk=RiskConfig()),))
+        with pytest.raises(ValueError, match="risk"):
+            run_scenario(spec)
+
+    def test_risk_on_hierarchical_ml_supported(self):
+        from repro.ml.calibration import RiskConfig
+        spec = small_spec(
+            training=TrainingSpec(scales=(0.8, 1.6), seed=5),
+            variants=(VariantSpec("h", SchedulerSpec(
+                "hierarchical", params=dict(estimator="ml")),
+                risk=RiskConfig(coverage=0.5)),))
+        result = run_scenario(spec)
+        assert result.variant("h").summary.n_intervals == SMALL.n_intervals
+
+
 class TestSerialization:
     @pytest.fixture(scope="class")
     def result(self):

@@ -1,0 +1,267 @@
+"""Tests for split-conformal calibration and ensemble-spread statistics.
+
+Covers the risk primitives themselves (margins, RiskConfig, the shared
+single-pass ``ensemble_stats``), the per-predictor bootstrap seeding
+bugfix in ``train_model_set``, and the ``predict_*_batch_stats``
+ModelSet queries with their edge cases (one-member ensembles, constant
+residuals, empty-host masking).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import (Calibration, RiskConfig, ensemble_stats,
+                                  fit_calibration)
+from repro.ml.ensemble import BaggingRegressor
+from repro.ml.linreg import LinearRegression
+from repro.ml.predictors import train_model_set
+from repro.sim.demand import LoadVector
+
+
+@pytest.fixture(scope="module")
+def bagged_models(tiny_monitor):
+    return train_model_set(tiny_monitor, rng=np.random.default_rng(11),
+                           bagging=3)
+
+
+class TestCalibrationMargin:
+    def test_margin_is_conformal_quantile(self):
+        cal = Calibration(abs_residuals=np.arange(1.0, 100.0))  # 1..99
+        # ceil((99 + 1) * 0.9) = 90 -> the 90th smallest residual.
+        assert cal.margin(0.9) == 90.0
+
+    def test_constant_residuals_give_that_constant(self):
+        cal = fit_calibration(np.full(50, 3.0), np.full(50, 2.5))
+        for coverage in (0.1, 0.5, 0.9, 0.99):
+            assert cal.margin(coverage) == pytest.approx(0.5)
+
+    def test_zero_coverage_gives_zero_margin(self):
+        cal = Calibration(abs_residuals=np.array([1.0, 2.0, 3.0]))
+        assert cal.margin(0.0) == 0.0
+
+    def test_small_set_clamps_to_max_residual(self):
+        cal = Calibration(abs_residuals=np.array([1.0, 5.0]))
+        assert cal.margin(0.99) == 5.0
+
+    def test_empty_set_gives_zero(self):
+        cal = Calibration(abs_residuals=np.array([]))
+        assert cal.margin(0.9) == 0.0
+
+    def test_margin_monotone_in_coverage(self):
+        rng = np.random.default_rng(0)
+        cal = Calibration(abs_residuals=rng.exponential(size=200))
+        margins = [cal.margin(c) for c in (0.1, 0.5, 0.8, 0.9, 0.95)]
+        assert margins == sorted(margins)
+
+    def test_invalid_coverage_rejected(self):
+        cal = Calibration(abs_residuals=np.array([1.0]))
+        for coverage in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError, match="coverage"):
+                cal.margin(coverage)
+
+    def test_residuals_sorted_and_absolute(self):
+        cal = fit_calibration([0.0, 10.0, 2.0], [1.0, 2.0, 2.0])
+        assert list(cal.abs_residuals) == [0.0, 1.0, 8.0]
+        assert cal.n_cal == 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            fit_calibration([1.0, 2.0], [1.0])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Calibration(abs_residuals=np.array([1.0, np.nan]))
+
+    def test_quantiles_report(self):
+        cal = Calibration(abs_residuals=np.arange(1.0, 100.0))
+        q = cal.quantiles((0.5, 0.9))
+        assert q == (cal.margin(0.5), cal.margin(0.9))
+
+    def test_coverage_holds_marginally(self):
+        """The finite-sample guarantee: >= coverage of fresh residuals
+        fall inside the margin (same distribution)."""
+        rng = np.random.default_rng(7)
+        cal = Calibration(abs_residuals=rng.normal(size=500))
+        fresh = np.abs(rng.normal(size=4000))
+        covered = np.mean(fresh <= cal.margin(0.9))
+        # Marginal coverage holds in expectation over calibration draws;
+        # one fixed draw may sit a little under the nominal level.
+        assert covered >= 0.85
+
+
+class TestRiskConfig:
+    def test_defaults_valid(self):
+        risk = RiskConfig()
+        assert risk.coverage == 0.9
+        assert risk.demand_coverage is None
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            RiskConfig(coverage=1.0)
+        with pytest.raises(ValueError):
+            RiskConfig(spread_weight=-0.5)
+        with pytest.raises(ValueError):
+            RiskConfig(demand_coverage=1.2)
+
+
+def _fitted_bag(n_estimators, seed=3):
+    rng = np.random.default_rng(0)
+    X = rng.uniform(size=(80, 2))
+    y = X @ np.array([2.0, -1.0]) + rng.normal(scale=0.1, size=80)
+    bag = BaggingRegressor(base_factory=LinearRegression,
+                           n_estimators=n_estimators, seed=seed)
+    return bag.fit(X, y), X[:10]
+
+
+class TestEnsembleStats:
+    def test_mean_matches_predict(self):
+        bag, X = _fitted_bag(5)
+        mean, spread = ensemble_stats(bag, X)
+        np.testing.assert_allclose(mean, bag.predict(X), rtol=0, atol=0)
+        np.testing.assert_allclose(spread, bag.predict_std(X), rtol=0,
+                                   atol=0)
+
+    def test_single_member_spread_exactly_zero(self):
+        """n_estimators=1: the spread is exactly 0, so every spread
+        penalty is a no-op by construction."""
+        bag, X = _fitted_bag(1)
+        mean, spread = ensemble_stats(bag, X)
+        assert np.all(spread == 0.0)
+        np.testing.assert_array_equal(mean, bag.predict(X))
+
+    def test_plain_model_spread_exactly_zero(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(30, 2))
+        model = LinearRegression().fit(X, X.sum(axis=1))
+        mean, spread = ensemble_stats(model, X[:5])
+        assert np.all(spread == 0.0)
+        np.testing.assert_array_equal(mean, model.predict(X[:5]))
+
+    def test_disagreeing_members_have_positive_spread(self):
+        bag, X = _fitted_bag(5)
+        _, spread = ensemble_stats(bag, X)
+        assert spread.max() > 0.0
+
+
+class TestBaggingSeedBugfix:
+    """`_BaggedFactory` used to hard-code seed=0 for every predictor, so
+    all seven ensembles drew identical bootstrap index sequences and the
+    training RNG never reached resampling."""
+
+    def test_seeds_distinct_across_predictors(self, bagged_models):
+        seeds = {key: bagged_models[key].model.seed
+                 for key in bagged_models.predictors}
+        assert len(set(seeds.values())) == len(seeds)
+
+    def test_training_rng_reaches_resampling(self, tiny_monitor):
+        a = train_model_set(tiny_monitor, rng=np.random.default_rng(1),
+                            bagging=2)
+        b = train_model_set(tiny_monitor, rng=np.random.default_rng(2),
+                            bagging=2)
+        assert a["vm_cpu"].model.seed != b["vm_cpu"].model.seed
+
+    def test_deterministic_given_rng(self, tiny_monitor):
+        a = train_model_set(tiny_monitor, rng=np.random.default_rng(5),
+                            bagging=2)
+        b = train_model_set(tiny_monitor, rng=np.random.default_rng(5),
+                            bagging=2)
+        assert a["vm_sla"].model.seed == b["vm_sla"].model.seed
+
+    def test_members_differ_across_predictors(self, bagged_models):
+        """Same method family (M5P), distinct bootstrap draws: the two
+        M5P(M=2) ensembles must not mirror each other's resampling.
+        With the old shared seed their bootstrap index sequences were
+        identical; distinct seeds make them diverge."""
+        vm_in = bagged_models["vm_in"].model
+        vm_out = bagged_models["vm_out"].model
+        assert vm_in.seed != vm_out.seed
+
+    def test_bagging_zero_untouched(self, tiny_monitor):
+        """The bagging=0 path never draws bootstrap seeds, so its rng
+        stream — and the byte-for-byte table1 goldens that pin it —
+        is unchanged (see tests/experiments/test_engine_parity.py)."""
+        models = train_model_set(tiny_monitor,
+                                 rng=np.random.default_rng(11))
+        assert not hasattr(models["vm_cpu"].model, "seed")
+
+
+class TestModelSetStats:
+    def _grants(self, n=4):
+        return (np.linspace(20.0, 400.0, n), np.full(n, 512.0),
+                np.full(n, 1000.0))
+
+    def test_sla_stats_mean_matches_batch(self, bagged_models):
+        load = LoadVector(rps=25.0, bytes_per_req=5000.0,
+                          cpu_time_per_req=0.05)
+        gc, gm, gb = self._grants()
+        mean, spread = bagged_models.predict_sla_batch_stats(load, gc, gm,
+                                                             gb)
+        ref = bagged_models.predict_sla_batch(load, gc, gm, gb)
+        np.testing.assert_allclose(mean, ref, atol=1e-12)
+        assert spread.shape == mean.shape
+        assert np.all(spread >= 0.0)
+
+    def test_rt_stats_mean_matches_batch(self, bagged_models):
+        load = LoadVector(rps=25.0, bytes_per_req=5000.0,
+                          cpu_time_per_req=0.05)
+        gc, gm, gb = self._grants()
+        mean, spread = bagged_models.predict_rt_batch_stats(load, gc, gm,
+                                                            gb)
+        np.testing.assert_allclose(
+            mean, bagged_models.predict_rt_batch(load, gc, gm, gb),
+            atol=1e-12)
+        assert np.all(mean >= 0.0)
+
+    def test_unbagged_spread_zero(self, tiny_models):
+        load = LoadVector(rps=25.0, bytes_per_req=5000.0,
+                          cpu_time_per_req=0.05)
+        gc, gm, gb = self._grants()
+        _, spread = tiny_models.predict_sla_batch_stats(load, gc, gm, gb)
+        assert np.all(spread == 0.0)
+
+    def test_pm_cpu_stats_empty_host_masked(self, bagged_models):
+        """counts == 0 hosts predict exactly (0, 0): the scalar path
+        early-returns without consulting the model there."""
+        mean, spread = bagged_models.predict_pm_cpu_batch_stats(
+            [0, 3, 0], [0.0, 250.0, 0.0])
+        assert mean[0] == 0.0 and mean[2] == 0.0
+        assert spread[0] == 0.0 and spread[2] == 0.0
+        assert mean[1] > 0.0
+
+    def test_pm_cpu_stats_empty_batch(self, bagged_models):
+        mean, spread = bagged_models.predict_pm_cpu_batch_stats([], [])
+        assert mean.shape == (0,) and spread.shape == (0,)
+
+    def test_pm_cpu_stats_mean_matches_batch(self, bagged_models):
+        counts = [0, 1, 4]
+        sums = [0.0, 90.0, 400.0]
+        mean, _ = bagged_models.predict_pm_cpu_batch_stats(counts, sums)
+        np.testing.assert_allclose(
+            mean, bagged_models.predict_pm_cpu_batch(counts, sums),
+            atol=1e-12)
+
+
+class TestModelSetCalibrationAccess:
+    def test_all_predictors_calibrated(self, tiny_models):
+        for key in tiny_models.predictors:
+            cal = tiny_models.calibration(key)
+            assert cal is not None and cal.n_cal > 0
+
+    def test_conformal_margin_positive_for_noisy_targets(self, tiny_models):
+        assert tiny_models.conformal_margin("vm_cpu", 0.9) > 0.0
+
+    def test_demand_margins_cover_all_resources(self, tiny_models):
+        dm = tiny_models.demand_margins(0.9)
+        assert dm.cpu > 0.0 and dm.mem > 0.0 and dm.bw > 0.0
+        # BW is the IN + OUT margin sum (the estimate itself is the sum).
+        assert dm.bw == pytest.approx(
+            tiny_models.conformal_margin("vm_in", 0.9)
+            + tiny_models.conformal_margin("vm_out", 0.9))
+
+    def test_uncalibrated_margin_fails_loudly(self, tiny_monitor):
+        models = train_model_set(tiny_monitor,
+                                 rng=np.random.default_rng(11),
+                                 calibrate=False)
+        assert models.calibration("vm_sla") is None
+        with pytest.raises(ValueError, match="no calibration"):
+            models.conformal_margin("vm_sla", 0.9)

@@ -143,3 +143,86 @@ class TestScenariosCLI:
     def test_scenario_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_scenario_parser().parse_args([])
+
+
+class TestScenariosDiffCLI:
+    """`scenarios diff <a.json> <b.json>` — KPI drift between artifacts."""
+
+    def _artifact(self, tmp_path, name, **kpi_overrides):
+        kpis = {"avg_sla": 0.9, "profit_eur": 10.0, "n_migrations": 4,
+                "run_s": 1.0}
+        kpis.update(kpi_overrides)
+        data = {"scenario": "unit", "description": "", "seed": 7,
+                "timings": {}, "extras": {},
+                "variants": {"dyn": {"kpis": kpis}}}
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_identical_artifacts_diff_clean(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+        b = self._artifact(tmp_path, "b.json")
+        assert main(["scenarios", "diff", a, b, "--tol", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "variant dyn" in out and "avg_sla" in out
+
+    def test_drift_reported_with_percentages(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json", avg_sla=0.5)
+        b = self._artifact(tmp_path, "b.json", avg_sla=0.75)
+        assert main(["scenarios", "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "+50.00%" in out
+
+    def test_tol_gate_fails_on_drift(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json", profit_eur=10.0)
+        b = self._artifact(tmp_path, "b.json", profit_eur=12.0)
+        assert main(["scenarios", "diff", a, b, "--tol", "5"]) == 1
+        assert "exceeds --tol" in capsys.readouterr().err
+
+    def test_timing_noise_never_gates(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json", run_s=1.0)
+        b = self._artifact(tmp_path, "b.json", run_s=9.0)
+        assert main(["scenarios", "diff", a, b, "--tol", "5"]) == 0
+
+    def test_variant_filter(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+        b = self._artifact(tmp_path, "b.json")
+        assert main(["scenarios", "diff", a, b, "--variant", "dyn"]) == 0
+        assert main(["scenarios", "diff", a, b, "--variant", "nope"]) == 2
+        assert "not in both artifacts" in capsys.readouterr().err
+
+    def test_disjoint_variants_noted(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+        data = json.loads((tmp_path / "a.json").read_text())
+        data["variants"]["extra"] = data["variants"].pop("dyn")
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(data))
+        assert main(["scenarios", "diff", a, str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "only in" in out
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+        assert main(["scenarios", "diff", a,
+                     str(tmp_path / "nope.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_non_artifact_json_fails_cleanly(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+        for i, payload in enumerate(("[1, 2, 3]",
+                                     '{"variants": {"dyn": null}}',
+                                     '{"variants": [1, 2]}')):
+            bad = tmp_path / f"bad{i}.json"
+            bad.write_text(payload)
+            assert main(["scenarios", "diff", a, str(bad)]) == 2
+            assert "not a scenario artifact" in capsys.readouterr().err
+
+    def test_real_artifact_roundtrip(self, capsys, tmp_path):
+        """diff consumes exactly what `scenarios run --json` writes."""
+        path = tmp_path / "real.json"
+        assert main(["scenarios", "run", "figure5", "--intervals", "8",
+                     "--no-series", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["scenarios", "diff", str(path), str(path),
+                     "--tol", "0.001"]) == 0
+        assert "variant follow" in capsys.readouterr().out
