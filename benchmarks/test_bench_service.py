@@ -1,0 +1,132 @@
+"""Bench the warm placement server's micro-batched scoring path.
+
+The service answers ``place`` queries against a warm session: one cached
+``SchedulingRound`` per interval and — through
+``SchedulingRound.pack_each`` — one shared nothing-released
+``RoundScorer`` whose per-query cost is a single column release/restore
+plus one vectorized scoring pass.  The cold reference is what a
+per-request server would do: rebuild the round (host-base walk, fleet
+snapshot, whole-fleet ``required_resources_batch``, two full estimator
+passes for the scorer) for every query.
+
+Gates (200-host x 500-VM synthetic fleet session, ML estimator,
+64 placement queries through the real ``MicroBatcher``):
+
+* >= 3x micro-batched warm throughput vs sequential per-request scoring;
+* bit-identical placements and scores between the two paths.
+"""
+
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+N_HOSTS = 200
+N_VMS = 500
+N_QUERIES = 64
+
+
+@dataclass
+class ServiceBenchResult:
+    warm_s: float
+    cold_s: float
+    n_hosts: int
+    n_vms: int
+    n_queries: int
+    n_batches: int
+    max_batch: int
+    warm_placements: Dict[str, dict]
+    cold_placements: Dict[str, dict]
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_s / self.warm_s
+
+
+def run_service_bench() -> ServiceBenchResult:
+    from repro.core.bestfit import SchedulingRound
+    from repro.core.estimators import MLEstimator
+    from repro.experiments.scaling import synthetic_fleet_system
+    from repro.experiments.training import train_paper_models
+    from repro.service.batching import MicroBatcher
+    from repro.service.state import Session, SessionStore
+
+    system, trace = synthetic_fleet_system(
+        n_hosts=N_HOSTS, n_vms=N_VMS, n_intervals=12, seed=7)
+    models, _ = train_paper_models(
+        lambda: synthetic_fleet_system(n_hosts=N_HOSTS, n_vms=N_VMS,
+                                       n_intervals=12, seed=7)[0],
+        trace, scales=(1.0,), seed=7)
+    estimator = MLEstimator(models)
+    vm_ids = sorted(system.vms)[:N_QUERIES]
+
+    # Cold reference: per-request round rebuild, sequential.
+    t0 = time.perf_counter()
+    cold: Dict[str, dict] = {}
+    for vm_id in vm_ids:
+        round_ = SchedulingRound(system, trace, 0, estimator)
+        result = round_.pack(round_.problem(scope_vms=[vm_id]))
+        ev = result.evaluations[vm_id]
+        cold[vm_id] = {"pm": result.assignment[vm_id],
+                       "profit_eur": ev.profit_eur, "sla": ev.sla}
+    cold_s = time.perf_counter() - t0
+
+    # Warm path: one session, queries coalesced by the micro-batcher.
+    store = SessionStore()
+    store.add(Session(name="bench", system=system, trace=trace,
+                      estimator=estimator))
+    batcher = MicroBatcher(store, max_batch=32, max_wait_ms=2.0)
+    try:
+        t0 = time.perf_counter()
+        futures = [batcher.submit("bench", [vm_id]) for vm_id in vm_ids]
+        warm: Dict[str, dict] = {}
+        for future in futures:
+            for vm_id, entry in future.result(timeout=300).items():
+                warm[vm_id] = {"pm": entry["pm"],
+                               "profit_eur": entry["profit_eur"],
+                               "sla": entry["sla"]}
+        warm_s = time.perf_counter() - t0
+        stats = batcher.stats.snapshot()
+    finally:
+        batcher.close()
+    return ServiceBenchResult(
+        warm_s=warm_s, cold_s=cold_s, n_hosts=N_HOSTS, n_vms=N_VMS,
+        n_queries=len(vm_ids), n_batches=int(stats["batches"]),
+        max_batch=int(stats["max_batch"]), warm_placements=warm,
+        cold_placements=cold)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_service_bench()
+
+
+def test_bench_service_place(benchmark, result):
+    benchmark.pedantic(run_service_bench, rounds=1, iterations=1)
+    print()
+    print(f"warm micro-batched: {result.warm_s:.3f} s, "
+          f"cold per-request: {result.cold_s:.3f} s "
+          f"-> {result.speedup:.2f}x "
+          f"({result.n_queries} queries, {result.n_batches} batches, "
+          f"max batch {result.max_batch})")
+
+
+class TestShape:
+    def test_micro_batched_at_least_3x_sequential(self, result):
+        assert result.speedup >= 3.0, (
+            f"warm micro-batched scoring only {result.speedup:.2f}x "
+            f"faster than sequential per-request rounds "
+            f"({result.warm_s:.3f} s vs {result.cold_s:.3f} s)")
+
+    def test_bit_identical_to_cold_path(self, result):
+        assert result.warm_placements == result.cold_placements
+
+    def test_queries_actually_coalesced(self, result):
+        assert result.n_batches < result.n_queries
+        assert result.max_batch > 1
+
+    def test_session_is_large(self, result):
+        assert result.n_hosts >= 200
+        assert result.n_vms >= 500
+        assert result.n_queries >= 64

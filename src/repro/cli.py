@@ -23,6 +23,15 @@ artifact (per-variant KPIs + interval series) or a per-interval CSV.
 perf/quality trajectory across PRs, reviewable from CI artifacts
 alone); ``--tol PCT`` makes it exit non-zero on drift beyond the
 tolerance, so it can gate CI.
+
+The warm placement server (PR 6, :mod:`repro.service`)::
+
+    python -m repro.cli serve --port 8421 --preload multidc_baseline
+    python -m repro.cli serve --preload table3:prod --estimator ml
+
+``serve`` trains/builds the preloaded sessions up front and then answers
+``/place`` / ``/step`` / ``/report`` / ``/scenarios/run`` / ``/healthz``
+over plain HTTP+JSON until interrupted.
 """
 
 from __future__ import annotations
@@ -298,10 +307,59 @@ def _scenarios_main(argv) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the warm placement server (repro.service).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8421,
+                        help="bind port (default: 8421; 0 = ephemeral)")
+    parser.add_argument("--preload", action="append", default=[],
+                        metavar="SCENARIO[:SESSION]",
+                        help="create a session from this registered "
+                             "scenario before accepting requests "
+                             "(repeatable; session name defaults to the "
+                             "scenario name)")
+    parser.add_argument("--estimator", choices=("ml", "oracle"),
+                        default="ml",
+                        help="estimator for preloaded sessions "
+                             "(default: ml)")
+    parser.add_argument("--max-batch", type=_positive_int, default=32,
+                        help="micro-batcher: max coalesced place "
+                             "queries per scoring pass (default: 32)")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="micro-batcher: max wait for stragglers "
+                             "after the first query (default: 2.0)")
+    return parser
+
+
+def _serve_main(argv) -> int:
+    args = build_serve_parser().parse_args(argv)
+    if args.max_wait_ms < 0:
+        print("error: --max-wait-ms must be >= 0", file=sys.stderr)
+        return 2
+    from .service import serve
+    preload = []
+    for entry in args.preload:
+        scenario, _, session = entry.partition(":")
+        if scenario not in REGISTRY:
+            print(f"unknown scenario {scenario!r}; run "
+                  f"`scenarios list` to see the registry",
+                  file=sys.stderr)
+            return 2
+        preload.append((session or scenario, scenario))
+    return serve(host=args.host, port=args.port, preload=tuple(preload),
+                 estimator=args.estimator, max_batch=args.max_batch,
+                 max_wait_ms=args.max_wait_ms)
+
+
 def main(argv: Optional[list] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):

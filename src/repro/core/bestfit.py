@@ -23,7 +23,8 @@ scheduler callable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -345,6 +346,9 @@ class SchedulingRound:
         self._aggs: Dict[str, LoadVector] = {}
         self._required: Dict[str, Resources] = {}
         self._required_batched = False
+        # Shared nothing-released scorer for pack_each (built lazily).
+        self._base_ready = False
+        self._base: Optional[Tuple[HostBatch, RoundScorer]] = None
 
     # -- request construction (once per round, shared across problems) -------
     def _request(self, vm_id: str) -> VMRequest:
@@ -499,6 +503,76 @@ class SchedulingRound:
         """:meth:`problem` + :meth:`pack` in one call."""
         return self.pack(self.problem(scope_vms, scope_pms),
                          min_gain_eur=min_gain_eur)
+
+    # -- per-VM placement queries (the warm-serving entry point) --------------
+    def _base_scorer(self) -> Optional[Tuple[HostBatch, "RoundScorer"]]:
+        """The shared nothing-released (batch, scorer) pair, built once.
+
+        ``None`` when the estimator lacks the batch interface — callers
+        fall back to the per-problem reference path.
+        """
+        if not self._base_ready:
+            self._base_ready = True
+            problem = self.problem(scope_vms=[])
+            if problem.hosts:
+                host_batch = HostBatch.of(problem.hosts)
+                try:
+                    self._base = (host_batch,
+                                  RoundScorer(problem, host_batch))
+                except ValueError:
+                    self._base = None
+        return self._base
+
+    def pack_each(self, vm_ids: Sequence[str],
+                  min_gain_eur: float = 0.0) -> Dict[str, BestFitResult]:
+        """Pack each VM as its own single-VM problem, sharing one scorer.
+
+        Bit-identical, per VM, to
+        ``self.pack(self.problem(scope_vms=[vm_id]), min_gain_eur)`` —
+        the placement-query entry point the service layer batches on.
+        Where per-query packing pays a fresh problem build, a
+        ``HostBatch`` walk and two whole-batch estimator passes each
+        time, this shares one nothing-released scorer across the whole
+        query set and releases/restores exactly the queried VM's host
+        column per query
+        (:meth:`~repro.core.model.RoundScorer.evaluate_released`).
+        Untraced VMs (no loads, nothing to place) get an empty result,
+        mirroring the empty problem the per-problem path would build.
+        """
+        base = self._base_scorer()
+        if base is None:
+            # Estimator without the batch interface: reference path,
+            # one problem per query.
+            return {vm_id: self.pack(self.problem(scope_vms=[vm_id]),
+                                     min_gain_eur=min_gain_eur)
+                    for vm_id in vm_ids}
+        host_batch, scorer = base
+        traced = self.fleet.traced_set
+        overridden = (self.loads_override
+                      if self.loads_override is not None else ())
+        results: Dict[str, BestFitResult] = {}
+
+        def evaluate(request, req):
+            return scorer.evaluate_released(
+                request, req, agg=self._aggs.get(request.vm_id))
+
+        def no_commit(i, vm_id, res, used_cpu):
+            # A single-VM problem commits after its only evaluation;
+            # the result is already determined, so the shared batch
+            # must stay untouched.
+            return None
+
+        for vm_id in vm_ids:
+            if vm_id not in traced and vm_id not in overridden:
+                results[vm_id] = BestFitResult(assignment={},
+                                               evaluations={}, order=[])
+                continue
+            request = self._request(vm_id)
+            required = self._required_for([request])
+            results[vm_id] = _pack_batch([request], required, host_batch,
+                                         min_gain_eur, evaluate,
+                                         no_commit)
+        return results
 
 
 def make_bestfit_scheduler(estimator: Estimator,

@@ -731,6 +731,9 @@ class RoundScorer:
         self._cap_cpu_bw = np.stack([batch.cap_cpu, batch.cap_bw])
         self._used_cpu_bw = np.stack([batch.used_cpu, batch.used_bw])
         self._zeros = np.zeros(n)
+        # Shared as the no-migration column of every stay-at-home
+        # evaluation; freeze so result consumers cannot corrupt it.
+        self._zeros.setflags(write=False)
         self._unit_weights = (problem.weights.revenue == 1.0
                               and problem.weights.energy == 1.0
                               and problem.weights.migration == 1.0)
@@ -746,6 +749,10 @@ class RoundScorer:
                 [net.host_to_source_ms(loc, src) / 1000.0
                  for loc in self._locations], dtype=float)
             col = per_loc[self._loc_of]
+            # Handed out across calls (and, under the service layer, across
+            # threads): freeze so a stray in-place op raises instead of
+            # corrupting every later round.
+            col.setflags(write=False)
             self._lat_cache[src] = col
         return col
 
@@ -760,8 +767,9 @@ class RoundScorer:
         location", the scalar path's ``current_location or loc`` case),
         the penalty it costs and the SLA blackout factor it implies.
         Fleets typically share one image size and few origin locations, so
-        these all hit the cache.  Callers must not mutate the arrays —
-        the stay-put column is patched on copies in :meth:`evaluate`.
+        these all hit the cache.  The arrays are returned read-only
+        (mutation raises) — the stay-put column is patched on copies in
+        :meth:`evaluate`.
         """
         key = (from_loc, image_mb)
         cached = self._mig_cache.get(key)
@@ -783,6 +791,8 @@ class RoundScorer:
                        * migration_s / 3600.0)
             haircut = np.maximum(0.0, 1.0 - migration_s
                                  / self.problem.interval_s)
+            for arr in (migration_s, penalty, haircut):
+                arr.setflags(write=False)
             cached = (migration_s, penalty, haircut)
             self._mig_cache[key] = cached
         return cached
@@ -791,7 +801,10 @@ class RoundScorer:
         """Stacked latency rows for one source set (row per source)."""
         mat = self._lat_mat_cache.get(srcs)
         if mat is None:
+            # np.stack copies, so the stacked matrix is writable even when
+            # the per-source columns are frozen — freeze it too.
             mat = np.stack([self._lat_col(s) for s in srcs])
+            mat.setflags(write=False)
             self._lat_mat_cache[srcs] = mat
         return mat
 
@@ -846,6 +859,83 @@ class RoundScorer:
         watts = batch.hosts[i].power_model.facility_watts(
             np.minimum(cpu_before, batch.cap_cpu[col]))
         self._watts_before_run[i] = watts[0]
+
+    # -- single-VM queries over a shared scorer ---------------------------------
+    def evaluate_released(self, request: VMRequest, required: Resources,
+                          agg: Optional[LoadVector] = None
+                          ) -> BatchEvaluation:
+        """Score ``request`` with its own VM released, on a shared batch.
+
+        The warm-serving batch entry point: a single-VM problem differs
+        from a nothing-released batch only in the VM's current host
+        column (the scope release of
+        :meth:`~repro.core.bestfit.SchedulingRound.problem` touches
+        exactly the host holding the VM).  Instead of building a fresh
+        problem + scorer per query — a full host walk plus two
+        whole-batch estimator passes — the column is released in place,
+        scored, and restored.  Values are bit-identical to a fresh
+        single-VM problem's scorer by the same elementwise-per-host
+        contract :meth:`commit` relies on: ``pm_cpu_batch``, the power
+        curves and the running mask all map each host's own aggregates,
+        so recomputing one column equals the full-batch recompute at
+        that column.
+        """
+        batch = self.batch
+        vm_id = request.vm_id
+        cur = (batch.index.get(request.current_pm)
+               if request.current_pm is not None else None)
+        if cur is None or vm_id not in batch.hosts[cur].committed:
+            # Unplaced VM (or host outside the batch): releasing is a
+            # no-op, the shared state already matches the fresh problem.
+            return self.evaluate(request, required, agg=agg)
+        i = cur
+        original = batch.hosts[i]
+        saved = (batch.used_cpu[i], batch.used_mem[i], batch.used_bw[i],
+                 batch.committed_cpu_sum[i], batch.committed_count[i],
+                 self._used_cpu_lists[i], self._used_cpu_bw[0, i],
+                 self._used_cpu_bw[1, i], self._watts_before_run[i])
+        # The released view mirrors problem()'s scope comprehension:
+        # the same dicts minus this VM, insertion order preserved, so
+        # the column folds are bit-identical to a fresh build.
+        released = HostView(
+            pm_id=original.pm_id, location=original.location,
+            capacity=original.capacity,
+            power_model=original.power_model,
+            energy_price_eur_kwh=original.energy_price_eur_kwh,
+            initially_on=original.initially_on,
+            committed={v: d for v, d in original.committed.items()
+                       if v != vm_id},
+            committed_used_cpu={
+                v: u for v, u in original.committed_used_cpu.items()
+                if v != vm_id})
+        try:
+            batch.hosts[i] = released
+            batch.refresh(i)
+            self._used_cpu_lists[i] = list(
+                released.committed_used_cpu.values())
+            self._used_cpu_bw[0, i] = batch.used_cpu[i]
+            self._used_cpu_bw[1, i] = batch.used_bw[i]
+            # One-column watts-before recompute, exactly like commit();
+            # would_be_on is elementwise, so only this host's running
+            # state can differ from the cached mask.
+            col = slice(i, i + 1)
+            cpu_before = np.asarray(
+                self._pm_fn(batch.committed_count[col],
+                            batch.committed_cpu_sum[col]), dtype=float)
+            watts = original.power_model.facility_watts(
+                np.minimum(cpu_before, batch.cap_cpu[col]))
+            running = bool(batch.committed_count[i] > 0
+                           or (not self.problem.auto_power_off
+                               and batch.initially_on[i]))
+            self._watts_before_run[i] = watts[0] if running else 0.0
+            return self.evaluate(request, required, agg=agg)
+        finally:
+            batch.hosts[i] = original
+            (batch.used_cpu[i], batch.used_mem[i], batch.used_bw[i],
+             batch.committed_cpu_sum[i], batch.committed_count[i],
+             self._used_cpu_lists[i], self._used_cpu_bw[0, i],
+             self._used_cpu_bw[1, i],
+             self._watts_before_run[i]) = saved
 
     # -- scoring ----------------------------------------------------------------
     def evaluate(self, request: VMRequest, required: Resources,

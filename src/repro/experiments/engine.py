@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
@@ -62,7 +63,7 @@ __all__ = ["FleetSpec", "WorkloadSpec", "SchedulerSpec", "TrainingSpec",
            "FailureSpec", "TariffSpec", "VariantSpec", "ScenarioSpec",
            "VariantResult", "ScenarioResult", "ScenarioRegistry",
            "REGISTRY", "ANALYSES", "run_scenario",
-           "format_scenario_result"]
+           "format_scenario_result", "json_safe"]
 
 
 # =============================================================================
@@ -507,11 +508,16 @@ class ScenarioResult:
             out["variants"][name] = entry
         extras = {}
         for key, value in self.extras.items():
+            coerced = json_safe(value)
             try:
-                json.dumps(value)
-            except TypeError:
+                json.dumps(coerced)
+            except (TypeError, ValueError):
+                warnings.warn(
+                    f"dropping unserializable extras[{key!r}] "
+                    f"({type(value).__name__})", RuntimeWarning,
+                    stacklevel=2)
                 continue
-            extras[key] = value
+            extras[key] = coerced
         out["extras"] = extras
         return out
 
@@ -542,6 +548,32 @@ class ScenarioResult:
             writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
             writer.writeheader()
             writer.writerows(rows)
+
+
+def json_safe(value: object) -> object:
+    """Recursively coerce ``value`` into JSON-serializable Python types.
+
+    Numpy scalars become Python scalars, numpy arrays become (nested)
+    lists, mappings/sequences are converted element-wise.  Types with no
+    obvious JSON form (objects, functions, ...) are returned unchanged —
+    callers decide whether to drop or stringify them.  Shared by
+    :meth:`ScenarioResult.to_json_dict` and the service layer's response
+    encoder, so ``ANALYSES`` extras and endpoint payloads survive numpy-
+    bearing values instead of being silently dropped.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
 
 
 def format_scenario_result(result: ScenarioResult) -> str:
@@ -648,8 +680,14 @@ def run_scenario(spec: Union[ScenarioSpec, str],
     trained: Dict[str, Tuple[ModelSet, Monitor]] = {}
     monitor: Optional[Monitor] = None
     t0 = time.perf_counter()
-    if models is None and spec.training is not None:
-        models, monitor = _train(spec.training, spec, base_trace)
+    if spec.training is not None:
+        if models is None:
+            models, monitor = _train(spec.training, spec, base_trace)
+        # Seed the cache whether the models were trained here or injected:
+        # an injected ModelSet stands in for the scenario-level training, so
+        # a variant whose training spec equals the scenario's must reuse it
+        # rather than silently retraining (and diverging from) the injected
+        # set.
         trained[_training_key(spec.training, spec)] = (models, monitor)
     timings["train_s"] = time.perf_counter() - t0
 

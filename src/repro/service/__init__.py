@@ -1,0 +1,20 @@
+"""Scheduling-as-a-service: the warm placement server.
+
+The offline pipeline (CLI artifacts, scenario runs) rebuilds fleets,
+traces and models per invocation; this package keeps them resident in a
+long-lived process and answers placement queries over HTTP — the paper's
+controller as a service.  See :mod:`repro.service.state` for the warm
+state, :mod:`repro.service.batching` for request micro-batching and
+:mod:`repro.service.app` for the endpoints; ``python -m repro.cli serve``
+starts it.
+"""
+
+from .app import PlacementService, make_server, serve
+from .batching import MicroBatcher
+from .protocol import ProtocolError
+from .state import (ModelRegistry, Session, SessionStore,
+                    session_from_scenario)
+
+__all__ = ["PlacementService", "make_server", "serve", "MicroBatcher",
+           "ProtocolError", "ModelRegistry", "Session", "SessionStore",
+           "session_from_scenario"]

@@ -1,0 +1,233 @@
+"""The placement server: HTTP endpoints over the warm state.
+
+:class:`PlacementService` is the transport-free application object — a
+:class:`~repro.service.state.ModelRegistry`, a
+:class:`~repro.service.state.SessionStore` and a
+:class:`~repro.service.batching.MicroBatcher`, with one ``handle``
+method mapping ``(method, path, query, body)`` to ``(status, payload)``.
+Tests exercise it in-process; :func:`make_server` wraps it in a stdlib
+:class:`~http.server.ThreadingHTTPServer` (one thread per connection, no
+third-party runtime deps) for the CLI's ``repro serve``.
+
+Endpoints
+---------
+``GET  /healthz``        liveness + registry/session/batcher counters
+``GET  /report``         per-session report (``?session=NAME``)
+``POST /sessions``       create a session from a registered scenario
+``POST /place``          micro-batched placement query (pure, no commit)
+``POST /step``           advance a session's simulation clock
+``POST /scenarios/run``  run a registered scenario with warm models
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..experiments.engine import REGISTRY, run_scenario
+from .batching import MicroBatcher
+from .protocol import (PlaceRequest, ProtocolError, ScenarioRunRequest,
+                       SessionRequest, StepRequest, decode_json,
+                       encode_json)
+from .state import ModelRegistry, SessionStore
+
+__all__ = ["PlacementService", "make_server", "serve"]
+
+
+class PlacementService:
+    """Application object: warm state + route dispatch (transport-free)."""
+
+    def __init__(self, max_batch: int = 32, max_wait_ms: float = 2.0,
+                 place_timeout_s: float = 60.0) -> None:
+        self.registry = ModelRegistry()
+        self.sessions = SessionStore()
+        self.batcher = MicroBatcher(self.sessions, max_batch=max_batch,
+                                    max_wait_ms=max_wait_ms)
+        self.place_timeout_s = place_timeout_s
+        self.started_at = time.time()
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    # -- dispatch --------------------------------------------------------------
+    def handle(self, method: str, path: str,
+               query: Optional[Dict[str, str]] = None,
+               body: Optional[Dict] = None) -> Tuple[int, Dict]:
+        """Route one request; returns ``(http_status, payload_dict)``."""
+        query = query or {}
+        body = body or {}
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, self._healthz()
+            if method == "GET" and path == "/report":
+                return 200, self._report(query)
+            if method == "POST" and path == "/sessions":
+                return 200, self._create_session(
+                    SessionRequest.from_dict(body))
+            if method == "POST" and path == "/place":
+                return 200, self._place(PlaceRequest.from_dict(body))
+            if method == "POST" and path == "/step":
+                return 200, self._step(StepRequest.from_dict(body))
+            if method == "POST" and path == "/scenarios/run":
+                return 200, self._run_scenario(
+                    ScenarioRunRequest.from_dict(body))
+            raise ProtocolError(f"no route for {method} {path}",
+                                status=404)
+        except ProtocolError as exc:
+            return exc.status, {"error": str(exc)}
+        except KeyError as exc:
+            return 404, {"error": str(exc.args[0]) if exc.args
+                         else "not found"}
+        except (ValueError, IndexError) as exc:
+            return 400, {"error": str(exc)}
+
+    # -- endpoints -------------------------------------------------------------
+    def _healthz(self) -> Dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_at,
+            "sessions": self.sessions.names(),
+            "models": len(self.registry),
+            "trainings": self.registry.trainings,
+            "batcher": self.batcher.stats.snapshot(),
+        }
+
+    def _report(self, query: Dict[str, str]) -> Dict:
+        name = query.get("session")
+        if not name:
+            raise ProtocolError("query parameter 'session' is required")
+        return self.sessions.get(name).report()
+
+    def _create_session(self, req: SessionRequest) -> Dict:
+        try:
+            session = self.sessions.create(
+                req.name, req.scenario, self.registry,
+                estimator=req.estimator, min_gain_eur=req.min_gain_eur,
+                **req.overrides)
+        except TypeError as exc:
+            # Unknown factory override keywords surface as TypeError.
+            raise ProtocolError(str(exc)) from exc
+        return {"session": session.name, "scenario": req.scenario,
+                "t": session.t, "n_vms": len(session.system.vms),
+                "n_intervals": session.trace.n_intervals,
+                "estimator": req.estimator}
+
+    def _place(self, req: PlaceRequest) -> Dict:
+        future = self.batcher.submit(req.session, req.vm_ids)
+        placements = future.result(timeout=self.place_timeout_s)
+        return {"session": req.session, "placements": placements}
+
+    def _step(self, req: StepRequest) -> Dict:
+        session = self.sessions.get(req.session)
+        reports = session.step(rounds=req.rounds, schedule=req.schedule)
+        return {"session": req.session, "t": session.t,
+                "reports": reports}
+
+    def _run_scenario(self, req: ScenarioRunRequest) -> Dict:
+        try:
+            spec = REGISTRY.spec(req.name, **req.overrides)
+        except TypeError as exc:
+            raise ProtocolError(str(exc)) from exc
+        models = None
+        if req.reuse_models and spec.training is not None:
+            hit = self.registry.get(spec.training, spec)
+            if hit is not None:
+                models = hit[0]
+        result = run_scenario(spec, models=models)
+        if spec.training is not None and result.models is not None:
+            # Feed trained models back so later sessions/runs start warm.
+            self.registry.seed(spec.training, spec, result.models,
+                               result.monitor)
+        payload = result.to_json_dict(include_series=req.include_series)
+        payload["reused_models"] = models is not None
+        return payload
+
+
+# =============================================================================
+# HTTP transport (stdlib ThreadingHTTPServer)
+# =============================================================================
+
+def _make_handler(service: PlacementService):
+    class Handler(BaseHTTPRequestHandler):
+        # Keep the server quiet; tests and the CLI report their own state.
+        def log_message(self, format: str, *args) -> None:
+            pass
+
+        def _respond(self, status: int, payload: Dict) -> None:
+            raw = encode_json(payload)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def _dispatch(self, method: str) -> None:
+            parts = urlsplit(self.path)
+            query = {k: v[-1] for k, v in
+                     parse_qs(parts.query).items()}
+            body: Dict = {}
+            if method == "POST":
+                length = int(self.headers.get("Content-Length") or 0)
+                try:
+                    body = decode_json(self.rfile.read(length))
+                except ProtocolError as exc:
+                    self._respond(exc.status, {"error": str(exc)})
+                    return
+            try:
+                status, payload = service.handle(method, parts.path,
+                                                 query=query, body=body)
+            except Exception as exc:  # last-resort 500, never a traceback
+                status, payload = 500, {"error": f"internal error: {exc}"}
+            self._respond(status, payload)
+
+        def do_GET(self) -> None:
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:
+            self._dispatch("POST")
+
+    return Handler
+
+
+def make_server(service: PlacementService, host: str = "127.0.0.1",
+                port: int = 8421) -> ThreadingHTTPServer:
+    """Bind the service to a stdlib threading HTTP server (not started)."""
+    return ThreadingHTTPServer((host, port), _make_handler(service))
+
+
+def serve(host: str = "127.0.0.1", port: int = 8421,
+          preload: Tuple[Tuple[str, str], ...] = (),
+          estimator: str = "ml", max_batch: int = 32,
+          max_wait_ms: float = 2.0,
+          ready: Optional[threading.Event] = None) -> int:
+    """Run the placement server until interrupted.
+
+    ``preload`` is a tuple of ``(session_name, scenario_name)`` pairs
+    created (models trained, fleets built) before the socket starts
+    accepting, so the first request hits a warm server.
+    """
+    service = PlacementService(max_batch=max_batch,
+                               max_wait_ms=max_wait_ms)
+    for session_name, scenario_name in preload:
+        session = service.sessions.create(session_name, scenario_name,
+                                          service.registry,
+                                          estimator=estimator)
+        print(f"[serve] preloaded session {session_name!r} "
+              f"({scenario_name}: {len(session.system.vms)} VMs, "
+              f"{session.trace.n_intervals} intervals)")
+    server = make_server(service, host=host, port=port)
+    print(f"[serve] listening on http://{host}:{server.server_port} "
+          f"(max_batch={max_batch}, max_wait_ms={max_wait_ms})")
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("[serve] shutting down")
+    finally:
+        server.server_close()
+        service.close()
+    return 0

@@ -1,0 +1,179 @@
+"""Request micro-batching: coalesce concurrent place queries per session.
+
+Every ``POST /place`` lands on the :class:`MicroBatcher` queue as a
+pending item with its own :class:`concurrent.futures.Future`.  A single
+worker thread drains the queue in batches — up to ``max_batch`` items or
+``max_wait_ms`` after the first, whichever comes first — groups the batch
+by session, and answers each group against **one** warm
+:class:`~repro.core.bestfit.SchedulingRound`: the round's request cache,
+host base and single vectorized ``required_resources_batch`` call
+amortize across every query of the batch (and across batches, until the
+session steps).  Per-query packing is unchanged — each VM is still its
+own single-VM problem, so coalescing is invisible in the results
+(bit-identical to a cold per-request round) and only the throughput
+differs.
+
+The single worker also serializes scoring against :meth:`Session.step`
+mutations via the session lock, so a ``place`` never observes a
+half-stepped fleet.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .state import SessionStore
+
+__all__ = ["MicroBatcher", "BatcherStats"]
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Pending:
+    session: str
+    vm_ids: Tuple[str, ...]
+    future: Future
+
+
+@dataclass
+class BatcherStats:
+    """Counters the healthz/report endpoints expose."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock,
+                                 repr=False)
+
+    def record(self, batch_size: int) -> None:
+        with self.lock:
+            self.requests += batch_size
+            self.batches += 1
+            self.max_batch = max(self.max_batch, batch_size)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self.lock:
+            mean = self.requests / self.batches if self.batches else 0.0
+            return {"requests": self.requests, "batches": self.batches,
+                    "max_batch": self.max_batch, "mean_batch": mean}
+
+
+class MicroBatcher:
+    """Queue + worker coalescing concurrent place queries.
+
+    Parameters
+    ----------
+    store:
+        The session store queries resolve against.
+    max_batch:
+        Hard cap on queries per coalesced batch.
+    max_wait_ms:
+        How long the worker waits for stragglers after the first query
+        of a batch arrives.  Zero still coalesces whatever is already
+        queued (the drain is opportunistic, never blocking beyond the
+        deadline).
+    """
+
+    def __init__(self, store: SessionStore, max_batch: int = 32,
+                 max_wait_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.store = store
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.stats = BatcherStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._worker = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-place-batcher")
+        self._worker.start()
+
+    # -- client side -----------------------------------------------------------
+    def submit(self, session: str, vm_ids: Sequence[str]) -> Future:
+        """Enqueue one place query; the future resolves to its results."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        if not vm_ids:
+            raise ValueError("vm_ids must be non-empty")
+        pending = _Pending(session=session, vm_ids=tuple(vm_ids),
+                           future=Future())
+        self._queue.put(pending)
+        return pending.future
+
+    def place(self, session: str, vm_ids: Sequence[str],
+              timeout: Optional[float] = None) -> Dict[str, dict]:
+        """Blocking convenience wrapper over :meth:`submit`."""
+        return self.submit(session, vm_ids).result(timeout=timeout)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain and stop the worker; later submits raise."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+
+    # -- worker side -----------------------------------------------------------
+    def _collect(self) -> Optional[List[_Pending]]:
+        """Block for the first item, then drain until batch/deadline."""
+        first = self._queue.get()
+        if first is _SHUTDOWN:
+            return None
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Re-post so the outer loop terminates after this batch.
+                self._queue.put(_SHUTDOWN)
+                break
+            batch.append(item)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            self.stats.record(len(batch))
+            groups: Dict[str, List[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(pending.session, []).append(pending)
+            for name, group in groups.items():
+                self._execute_group(name, group)
+
+    def _execute_group(self, name: str, group: List[_Pending]) -> None:
+        try:
+            session = self.store.get(name)
+        except KeyError as exc:
+            for pending in group:
+                pending.future.set_exception(exc)
+            return
+        with session.lock:
+            try:
+                round_ = session.current_round()
+            except Exception as exc:
+                for pending in group:
+                    pending.future.set_exception(exc)
+                return
+            for pending in group:
+                try:
+                    pending.future.set_result(
+                        session.place(pending.vm_ids, round_=round_))
+                except Exception as exc:
+                    pending.future.set_exception(exc)

@@ -1,0 +1,154 @@
+"""Wire protocol: request validation and JSON response encoding.
+
+Every endpoint speaks JSON objects.  Request bodies are validated into
+plain dataclasses here — the handlers never touch raw dicts — and
+responses are encoded through :func:`encode_json`, which routes every
+payload through :func:`repro.experiments.engine.json_safe` so numpy
+scalars and arrays (ubiquitous in reports and scenario extras) serialize
+as native JSON instead of erroring.
+
+:class:`ProtocolError` carries an HTTP status; handlers raise it for
+anything client-shaped (bad JSON, missing fields, unknown names) and the
+server maps it to a ``{"error": ...}`` body with that status.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..experiments.engine import json_safe
+
+__all__ = ["ProtocolError", "PlaceRequest", "StepRequest",
+           "SessionRequest", "ScenarioRunRequest", "encode_json",
+           "decode_json"]
+
+
+class ProtocolError(Exception):
+    """Client-visible request error with an HTTP status code."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def decode_json(raw: bytes) -> Dict:
+    """Parse a request body into a JSON object (400 on anything else)."""
+    if not raw:
+        return {}
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON body: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    return body
+
+
+def encode_json(payload: object) -> bytes:
+    """Serialize a response payload (numpy-safe, stable key order)."""
+    return (json.dumps(json_safe(payload), sort_keys=True) + "\n").encode(
+        "utf-8")
+
+
+def _require_str(body: Dict, key: str) -> str:
+    value = body.get(key)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"field {key!r} must be a non-empty string")
+    return value
+
+
+@dataclass(frozen=True)
+class PlaceRequest:
+    """``POST /place`` — score placements for one or more VMs."""
+
+    session: str
+    vm_ids: Tuple[str, ...]
+
+    @classmethod
+    def from_dict(cls, body: Dict) -> "PlaceRequest":
+        session = _require_str(body, "session")
+        vm_ids = body.get("vm_ids")
+        if vm_ids is None:
+            vm_ids = [_require_str(body, "vm_id")]
+        if (not isinstance(vm_ids, list) or not vm_ids
+                or not all(isinstance(v, str) for v in vm_ids)):
+            raise ProtocolError(
+                "field 'vm_ids' must be a non-empty list of strings")
+        return cls(session=session, vm_ids=tuple(vm_ids))
+
+
+@dataclass(frozen=True)
+class StepRequest:
+    """``POST /step`` — advance a session's simulation clock."""
+
+    session: str
+    rounds: int = 1
+    schedule: Optional[bool] = None
+
+    @classmethod
+    def from_dict(cls, body: Dict) -> "StepRequest":
+        session = _require_str(body, "session")
+        rounds = body.get("rounds", 1)
+        if not isinstance(rounds, int) or isinstance(rounds, bool) \
+                or rounds < 1:
+            raise ProtocolError("field 'rounds' must be a positive int")
+        schedule = body.get("schedule")
+        if schedule is not None and not isinstance(schedule, bool):
+            raise ProtocolError("field 'schedule' must be a boolean")
+        return cls(session=session, rounds=rounds, schedule=schedule)
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """``POST /sessions`` — create a session from a registered scenario."""
+
+    name: str
+    scenario: str
+    estimator: str = "ml"
+    min_gain_eur: float = 0.0
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, body: Dict) -> "SessionRequest":
+        name = _require_str(body, "name")
+        scenario = _require_str(body, "scenario")
+        estimator = body.get("estimator", "ml")
+        if estimator not in ("ml", "oracle"):
+            raise ProtocolError(
+                "field 'estimator' must be 'ml' or 'oracle'")
+        min_gain = body.get("min_gain_eur", 0.0)
+        if not isinstance(min_gain, (int, float)) \
+                or isinstance(min_gain, bool):
+            raise ProtocolError("field 'min_gain_eur' must be a number")
+        overrides = body.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise ProtocolError("field 'overrides' must be an object")
+        return cls(name=name, scenario=scenario, estimator=estimator,
+                   min_gain_eur=float(min_gain), overrides=dict(overrides))
+
+
+@dataclass(frozen=True)
+class ScenarioRunRequest:
+    """``POST /scenarios/run`` — run a registered scenario warm."""
+
+    name: str
+    include_series: bool = False
+    reuse_models: bool = True
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, body: Dict) -> "ScenarioRunRequest":
+        name = _require_str(body, "name")
+        include_series = body.get("include_series", False)
+        reuse_models = body.get("reuse_models", True)
+        for key, value in (("include_series", include_series),
+                           ("reuse_models", reuse_models)):
+            if not isinstance(value, bool):
+                raise ProtocolError(f"field {key!r} must be a boolean")
+        overrides = body.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise ProtocolError("field 'overrides' must be an object")
+        return cls(name=name, include_series=include_series,
+                   reuse_models=reuse_models, overrides=dict(overrides))

@@ -1,0 +1,118 @@
+"""Shared-state fixes the placement server exposed in the engine.
+
+Two regressions pinned here:
+
+* Injected models must seed ``run_scenario``'s per-run training cache:
+  a variant whose training spec equals the scenario-level one has to
+  reuse the injected set *by identity*, not silently retrain and diverge
+  from it (the server's ``/scenarios/run`` feeds registry models in).
+* ``to_json_dict`` must coerce numpy-typed analysis extras to native
+  Python (the service encodes reports straight to JSON) and warn —
+  instead of silently dropping — when an entry has no JSON form at all.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments.engine import (FleetSpec, ScenarioSpec,
+                                      SchedulerSpec, TrainingSpec,
+                                      VariantSpec, WorkloadSpec, json_safe,
+                                      run_scenario)
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.training import train_paper_models
+from repro.experiments.scenario import multidc_system, multidc_trace
+
+SMALL = ScenarioConfig(n_intervals=6, scale=2.0, seed=5)
+TRAINING = TrainingSpec(scales=(1.0,), seed=7)
+
+
+def spec_with_variant_training() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="shared-models",
+        description="variant training equals scenario training",
+        fleet=FleetSpec("multidc", config=SMALL),
+        workload=WorkloadSpec("multidc", config=SMALL),
+        training=TRAINING,
+        variants=(
+            VariantSpec("ml", SchedulerSpec("bf_ml")),
+            # Same knobs as the scenario-level training: must share the
+            # (injected) model set, never retrain.
+            VariantSpec("ml_again", SchedulerSpec("bf_ml"),
+                        training=TRAINING),
+        ),
+        seed=5)
+
+
+@pytest.fixture(scope="module")
+def injected_models():
+    trace = multidc_trace(SMALL)
+    models, _ = train_paper_models(lambda: multidc_system(SMALL), trace,
+                                   scales=(1.0,), seed=7)
+    return models
+
+
+class TestInjectedModelsSeedCache:
+    def test_variant_reuses_injected_set_by_identity(self, injected_models):
+        result = run_scenario(spec_with_variant_training(),
+                              models=injected_models)
+        assert result.models is injected_models
+        # Both variants — scenario-level and explicit equal training —
+        # ride the injected set; nothing retrains behind its back.
+        assert result.variant("ml").models is injected_models
+        assert result.variant("ml_again").models is injected_models
+        assert result.timings["train_s"] < 0.5
+
+    def test_without_injection_trains_once_and_shares(self):
+        result = run_scenario(spec_with_variant_training())
+        assert result.models is not None
+        assert result.variant("ml").models is result.models
+        assert result.variant("ml_again").models is result.models
+
+
+class TestJsonExtras:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(ScenarioSpec(
+            name="extras",
+            description="numpy extras coercion",
+            fleet=FleetSpec("multidc", config=SMALL),
+            workload=WorkloadSpec("multidc", config=SMALL),
+            variants=(VariantSpec("static", SchedulerSpec("static")),),
+            seed=5))
+
+    def test_numpy_extras_coerced(self, result):
+        result.extras.clear()
+        result.extras.update({
+            "arr": np.arange(3, dtype=np.int64),
+            "scalar": np.float64(1.5),
+            "flag": np.bool_(True),
+            "nested": {"row": np.ones(2), "n": np.int32(7)},
+            "listed": [np.float32(0.5), {"k": np.arange(2)}],
+        })
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # coercion must not warn
+            payload = json.loads(json.dumps(
+                result.to_json_dict(include_series=False)))
+        extras = payload["extras"]
+        assert extras["arr"] == [0, 1, 2]
+        assert extras["scalar"] == 1.5
+        assert extras["flag"] is True
+        assert extras["nested"] == {"row": [1.0, 1.0], "n": 7}
+        assert extras["listed"] == [0.5, {"k": [0, 1]}]
+
+    def test_unserializable_extra_warns_and_drops(self, result):
+        result.extras.clear()
+        result.extras.update({"ok": 1, "bad": lambda: None})
+        with pytest.warns(RuntimeWarning, match="extras\\['bad'\\]"):
+            out = result.to_json_dict(include_series=False)
+        assert out["extras"] == {"ok": 1}
+        json.dumps(out)  # the surviving payload is fully serializable
+
+    def test_json_safe_leaves_unknown_types(self):
+        marker = object()
+        assert json_safe(marker) is marker
+        assert json_safe({"x": (np.float64(2.0), marker)}) == \
+            {"x": [2.0, marker]}

@@ -1,0 +1,143 @@
+"""Micro-batcher semantics: coalescing, correctness, and failure paths.
+
+Coalescing must be invisible in results — a batch of queries answers
+exactly what serial queries answer — and visible only in the stats.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.batching import MicroBatcher
+from repro.service.state import ModelRegistry, SessionStore
+
+
+@pytest.fixture(scope="module")
+def store():
+    registry = ModelRegistry()
+    store = SessionStore()
+    store.create("s1", "quickstart", registry, estimator="oracle",
+                 n_intervals=8)
+    return store
+
+
+@pytest.fixture
+def batcher(store):
+    b = MicroBatcher(store, max_batch=32, max_wait_ms=200.0)
+    yield b
+    b.close()
+
+
+class TestCoalescing:
+    def test_queries_coalesce_into_one_batch(self, store, batcher):
+        """Queries submitted within the wait window share one batch."""
+        session = store.get("s1")
+        vm_ids = sorted(session.system.vms)
+        # Serial reference, straight through the session (same lock the
+        # worker takes, so the state is identical).
+        with session.lock:
+            expected = session.place(vm_ids)
+        futures = [batcher.submit("s1", [vm_id]) for vm_id in vm_ids]
+        results = {}
+        for future in futures:
+            results.update(future.result(timeout=30))
+        assert results == expected
+        stats = batcher.stats.snapshot()
+        assert stats["requests"] == len(vm_ids)
+        # All submits landed well inside the 200ms window: one batch.
+        assert stats["batches"] == 1
+        assert stats["max_batch"] == len(vm_ids)
+
+    def test_zero_wait_still_answers(self, store):
+        batcher = MicroBatcher(store, max_batch=4, max_wait_ms=0.0)
+        try:
+            session = store.get("s1")
+            vm_id = sorted(session.system.vms)[0]
+            with session.lock:
+                expected = session.place([vm_id])
+            assert batcher.place("s1", [vm_id], timeout=30) == expected
+        finally:
+            batcher.close()
+
+    def test_max_batch_splits(self, store):
+        """More queries than max_batch still all resolve (in >1 batch)."""
+        batcher = MicroBatcher(store, max_batch=2, max_wait_ms=200.0)
+        try:
+            session = store.get("s1")
+            vm_ids = sorted(session.system.vms)
+            # Park the worker on the session lock so every submit is
+            # queued before the first batch is cut.
+            with session.lock:
+                futures = [batcher.submit("s1", [v]) for v in vm_ids]
+                time.sleep(0.3)
+            for future in futures:
+                future.result(timeout=30)
+            stats = batcher.stats.snapshot()
+            assert stats["batches"] >= 2
+            assert stats["max_batch"] <= 2
+        finally:
+            batcher.close()
+
+
+class TestFailurePaths:
+    def test_unknown_session_rejects_future(self, batcher):
+        future = batcher.submit("nope", ["vm-0"])
+        with pytest.raises(KeyError, match="unknown session"):
+            future.result(timeout=30)
+
+    def test_unknown_vm_rejects_only_its_future(self, store, batcher):
+        session = store.get("s1")
+        vm_id = sorted(session.system.vms)[0]
+        good = batcher.submit("s1", [vm_id])
+        bad = batcher.submit("s1", ["no-such-vm"])
+        assert vm_id in good.result(timeout=30)
+        with pytest.raises(KeyError, match="no-such-vm"):
+            bad.result(timeout=30)
+
+    def test_empty_vm_ids_rejected_at_submit(self, batcher):
+        with pytest.raises(ValueError, match="non-empty"):
+            batcher.submit("s1", [])
+
+    def test_submit_after_close_raises(self, store):
+        batcher = MicroBatcher(store)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit("s1", ["vm-0"])
+        batcher.close()  # idempotent
+
+    def test_close_drains_pending(self, store):
+        session = store.get("s1")
+        vm_id = sorted(session.system.vms)[0]
+        batcher = MicroBatcher(store, max_wait_ms=0.0)
+        future = batcher.submit("s1", [vm_id])
+        batcher.close()
+        assert vm_id in future.result(timeout=1)
+
+
+class TestSerializationWithStep:
+    def test_place_never_sees_half_stepped_fleet(self, store):
+        """Concurrent step + place: every answer matches *some* whole t."""
+        batcher = MicroBatcher(store, max_wait_ms=1.0)
+        try:
+            session = store.get("s1")
+            vm_id = sorted(session.system.vms)[0]
+            errors = []
+
+            def stepper():
+                try:
+                    session.step(rounds=2)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            thread = threading.Thread(target=stepper)
+            thread.start()
+            results = [batcher.place("s1", [vm_id], timeout=30)
+                       for _ in range(5)]
+            thread.join()
+            assert not errors
+            # Each response carries the round's t — an int in [0, 2];
+            # a torn read would blow up long before this assert.
+            assert all(r[vm_id]["t"] in (0, 1, 2) for r in results)
+        finally:
+            batcher.close()

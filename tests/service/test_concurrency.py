@@ -1,0 +1,152 @@
+"""Concurrency differential tests (tier-1): threads vs serial, bit-equal.
+
+The warm server shares one ``SchedulingRound`` and one ``ModelSet``
+across threads.  These tests pin the contract that sharing is safe *and*
+deterministic: N threads hammering the same warm state must produce
+exactly — bitwise — what the serial reference produces.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.bestfit import SchedulingRound
+from repro.core.estimators import MLEstimator, OracleEstimator
+from repro.experiments.scenario import multidc_system
+from repro.service.app import PlacementService
+
+N_THREADS = 8
+N_REPEATS = 3
+
+
+def run_threads(n, fn):
+    """Run ``fn(thread_index)`` on n threads through a start barrier."""
+    barrier = threading.Barrier(n)
+    errors = []
+
+    def worker(i):
+        try:
+            barrier.wait()
+            fn(i)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert not errors, errors
+
+
+class TestServicePlaceConcurrency:
+    @pytest.fixture(scope="class")
+    def service(self):
+        svc = PlacementService(max_batch=16, max_wait_ms=5.0)
+        status, _ = svc.handle("POST", "/sessions", body={
+            "name": "s1", "scenario": "quickstart",
+            "estimator": "oracle", "overrides": {"n_intervals": 8}})
+        assert status == 200
+        yield svc
+        svc.close()
+
+    def test_concurrent_place_bit_identical_to_serial(self, service):
+        session = service.sessions.get("s1")
+        vm_ids = sorted(session.system.vms)
+        # Serial reference: the offline round-snapshot path, per VM.
+        offline = SchedulingRound(session.system, session.trace,
+                                  session.t, OracleEstimator())
+        expected = {}
+        for vm_id in vm_ids:
+            ref = offline.pack(offline.problem(scope_vms=[vm_id]))
+            ev = ref.evaluations[vm_id]
+            expected[vm_id] = (ref.assignment[vm_id], ev.profit_eur,
+                               ev.sla, ev.migration_seconds)
+
+        answers = [[] for _ in range(N_THREADS)]
+
+        def query(i):
+            for _ in range(N_REPEATS):
+                for vm_id in vm_ids:
+                    status, payload = service.handle(
+                        "POST", "/place",
+                        body={"session": "s1", "vm_id": vm_id})
+                    assert status == 200, payload
+                    answers[i].append((vm_id,
+                                       payload["placements"][vm_id]))
+
+        run_threads(N_THREADS, query)
+        for per_thread in answers:
+            assert len(per_thread) == N_REPEATS * len(vm_ids)
+            for vm_id, entry in per_thread:
+                pm, profit, sla, mig_s = expected[vm_id]
+                assert entry["pm"] == pm
+                # Bitwise float equality, not approx: same arrays, same
+                # fold order, regardless of thread interleaving.
+                assert entry["profit_eur"] == profit
+                assert entry["sla"] == sla
+                assert entry["migration_seconds"] == mig_s
+
+    def test_batcher_actually_coalesced(self, service):
+        """The previous stampede must have shared batches (not 1:1)."""
+        stats = service.batcher.stats.snapshot()
+        assert stats["requests"] >= N_THREADS * N_REPEATS
+        assert stats["max_batch"] > 1
+
+
+class TestSharedModelSetConcurrency:
+    def test_ml_batch_predictions_bit_identical(self, tiny_config,
+                                                tiny_trace, tiny_models):
+        """Concurrent predict_*_batch on one ModelSet match serial runs."""
+        est = MLEstimator(tiny_models)
+        system = multidc_system(tiny_config)
+        fleet_round = SchedulingRound(system, tiny_trace, 0, est)
+        problem = fleet_round.problem()
+        vms = [r.vm for r in problem.requests]
+        rng = np.random.default_rng(3)
+        rps = rng.uniform(1.0, 200.0, len(vms))
+        bpr = rng.uniform(1e3, 1e5, len(vms))
+        cpr = rng.uniform(1e5, 1e7, len(vms))
+        counts = np.arange(1.0, 9.0)
+        sums = np.linspace(0.5, 4.0, 8)
+
+        serial_req = est.required_resources_batch(vms, rps, bpr, cpr,
+                                                  float("inf"))
+        serial_pm = est.pm_cpu_batch(counts, sums)
+        outputs = [None] * N_THREADS
+
+        def predict(i):
+            req = est.required_resources_batch(vms, rps, bpr, cpr,
+                                               float("inf"))
+            pm = est.pm_cpu_batch(counts, sums)
+            outputs[i] = (req, pm)
+
+        run_threads(N_THREADS, predict)
+        for req, pm in outputs:
+            for got, want in zip(req, serial_req):
+                assert np.array_equal(np.asarray(got), np.asarray(want))
+            assert np.array_equal(pm, serial_pm)
+
+    def test_concurrent_pack_each_on_shared_models(self, tiny_config,
+                                                   tiny_trace,
+                                                   tiny_models):
+        """Each thread's own round over one shared ModelSet stays exact."""
+        system = multidc_system(tiny_config)
+        vm_ids = sorted(system.vms)
+        ref_round = SchedulingRound(system, tiny_trace, 0,
+                                    MLEstimator(tiny_models))
+        expected = {v: r.assignment for v, r in
+                    ref_round.pack_each(vm_ids).items()}
+        results = [None] * N_THREADS
+
+        def pack(i):
+            round_ = SchedulingRound(system, tiny_trace, 0,
+                                     MLEstimator(tiny_models))
+            results[i] = {v: r.assignment for v, r in
+                          round_.pack_each(vm_ids).items()}
+
+        run_threads(N_THREADS, pack)
+        for got in results:
+            assert got == expected

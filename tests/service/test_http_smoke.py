@@ -1,0 +1,85 @@
+"""Server smoke test: boot, health, one placement, clean shutdown.
+
+Exercises the real stdlib HTTP transport end to end on an ephemeral
+port — the same surface `repro serve` exposes.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.app import PlacementService, make_server
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    service = PlacementService(max_batch=8, max_wait_ms=1.0)
+    server = make_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def post(url, payload):
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=120) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestServerSmoke:
+    def test_healthz(self, server_url):
+        status, payload = get(f"{server_url}/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["sessions"] == []
+
+    def test_session_place_step_report_cycle(self, server_url):
+        status, created = post(f"{server_url}/sessions", {
+            "name": "smoke", "scenario": "quickstart",
+            "estimator": "oracle", "overrides": {"n_intervals": 8}})
+        assert status == 200, created
+        assert created["n_vms"] > 0
+
+        status, placed = post(f"{server_url}/place", {
+            "session": "smoke", "vm_id": "vm0"})
+        assert status == 200, placed
+        entry = placed["placements"]["vm0"]
+        assert entry["pm"] and entry["t"] == 0
+        assert isinstance(entry["profit_eur"], float)
+
+        status, stepped = post(f"{server_url}/step",
+                               {"session": "smoke", "rounds": 2})
+        assert status == 200, stepped
+        assert stepped["t"] == 2 and len(stepped["reports"]) == 2
+
+        status, report = get(f"{server_url}/report?session=smoke")
+        assert status == 200
+        assert report["t"] == 2 and report["place_queries"] == 1
+
+    def test_error_statuses(self, server_url):
+        status, payload = get(f"{server_url}/report?session=ghost")
+        assert status == 404 and "unknown session" in payload["error"]
+        status, payload = post(f"{server_url}/place", {"session": "x"})
+        assert status == 400 and "vm_id" in payload["error"]
+        status, payload = post(f"{server_url}/nope", {})
+        assert status == 404 and "no route" in payload["error"]

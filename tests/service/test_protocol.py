@@ -1,0 +1,140 @@
+"""Wire protocol: request validation and numpy-safe JSON encoding."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import (PlaceRequest, ProtocolError,
+                                    ScenarioRunRequest, SessionRequest,
+                                    StepRequest, decode_json, encode_json)
+
+
+class TestDecodeEncode:
+    def test_decode_empty_body_is_empty_object(self):
+        assert decode_json(b"") == {}
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_json(b"[1, 2]")
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_json(b"{nope")
+
+    def test_encode_handles_numpy(self):
+        raw = encode_json({"arr": np.arange(2), "x": np.float64(0.5),
+                           "flag": np.bool_(False)})
+        assert json.loads(raw) == {"arr": [0, 1], "x": 0.5,
+                                   "flag": False}
+
+    def test_encode_stable_key_order(self):
+        assert encode_json({"b": 1, "a": 2}) == b'{"a": 2, "b": 1}\n'
+
+
+class TestPlaceRequest:
+    def test_vm_id_singular_accepted(self):
+        req = PlaceRequest.from_dict({"session": "s", "vm_id": "v"})
+        assert req.vm_ids == ("v",)
+
+    def test_vm_ids_list(self):
+        req = PlaceRequest.from_dict({"session": "s",
+                                      "vm_ids": ["a", "b"]})
+        assert req.vm_ids == ("a", "b")
+
+    @pytest.mark.parametrize("body", [
+        {},
+        {"session": "s"},
+        {"session": "", "vm_id": "v"},
+        {"session": "s", "vm_ids": []},
+        {"session": "s", "vm_ids": "not-a-list"},
+        {"session": "s", "vm_ids": [1, 2]},
+    ])
+    def test_invalid_bodies_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            PlaceRequest.from_dict(body)
+
+
+class TestStepRequest:
+    def test_defaults(self):
+        req = StepRequest.from_dict({"session": "s"})
+        assert req.rounds == 1 and req.schedule is None
+
+    @pytest.mark.parametrize("body", [
+        {"session": "s", "rounds": 0},
+        {"session": "s", "rounds": True},
+        {"session": "s", "rounds": "3"},
+        {"session": "s", "schedule": "yes"},
+    ])
+    def test_invalid_bodies_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            StepRequest.from_dict(body)
+
+
+class TestSessionRequest:
+    def test_defaults(self):
+        req = SessionRequest.from_dict({"name": "n", "scenario": "sc"})
+        assert req.estimator == "ml" and req.min_gain_eur == 0.0
+        assert req.overrides == {}
+
+    @pytest.mark.parametrize("body", [
+        {"name": "n", "scenario": "sc", "estimator": "magic"},
+        {"name": "n", "scenario": "sc", "min_gain_eur": "free"},
+        {"name": "n", "scenario": "sc", "min_gain_eur": True},
+        {"name": "n", "scenario": "sc", "overrides": [1]},
+    ])
+    def test_invalid_bodies_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            SessionRequest.from_dict(body)
+
+
+class TestScenarioRunRequest:
+    def test_defaults(self):
+        req = ScenarioRunRequest.from_dict({"name": "quickstart"})
+        assert not req.include_series and req.reuse_models
+
+    @pytest.mark.parametrize("body", [
+        {"name": "quickstart", "include_series": "yes"},
+        {"name": "quickstart", "reuse_models": 1},
+        {"name": "quickstart", "overrides": "n=3"},
+    ])
+    def test_invalid_bodies_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            ScenarioRunRequest.from_dict(body)
+
+
+class TestServiceDispatchErrors:
+    """Routing errors map to statuses without a live fleet."""
+
+    @pytest.fixture(scope="class")
+    def service(self):
+        from repro.service.app import PlacementService
+        svc = PlacementService()
+        yield svc
+        svc.close()
+
+    def test_unknown_route_404(self, service):
+        status, payload = service.handle("GET", "/teapot")
+        assert status == 404 and "no route" in payload["error"]
+
+    def test_bad_body_400(self, service):
+        status, payload = service.handle("POST", "/place", body={})
+        assert status == 400 and "session" in payload["error"]
+
+    def test_report_requires_session_param(self, service):
+        status, payload = service.handle("GET", "/report")
+        assert status == 400 and "session" in payload["error"]
+
+    def test_unknown_scenario_404(self, service):
+        status, payload = service.handle(
+            "POST", "/sessions",
+            body={"name": "x", "scenario": "not-a-scenario"})
+        assert status == 404
+
+    def test_unknown_override_400(self, service):
+        status, payload = service.handle(
+            "POST", "/sessions",
+            body={"name": "x", "scenario": "quickstart",
+                  "estimator": "oracle",
+                  "overrides": {"bogus_knob": 1}})
+        assert status == 400 and "bogus_knob" in payload["error"]

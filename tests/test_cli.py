@@ -226,3 +226,40 @@ class TestScenariosDiffCLI:
         assert main(["scenarios", "diff", str(path), str(path),
                      "--tol", "0.001"]) == 0
         assert "variant follow" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        from repro.cli import build_serve_parser
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1" and args.port == 8421
+        assert args.preload == [] and args.estimator == "ml"
+        assert args.max_batch == 32 and args.max_wait_ms == 2.0
+
+    def test_unknown_preload_scenario_fails(self, capsys):
+        assert main(["serve", "--preload", "not-a-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_negative_wait_fails(self, capsys):
+        assert main(["serve", "--max-wait-ms", "-1"]) == 2
+        assert "max-wait-ms" in capsys.readouterr().err
+
+    def test_preload_parsing_reaches_serve(self, monkeypatch):
+        """SCENARIO[:SESSION] entries resolve before the server starts."""
+        import repro.service
+        calls = {}
+
+        def fake_serve(**kwargs):
+            calls.update(kwargs)
+            return 0
+
+        monkeypatch.setattr(repro.service, "serve", fake_serve)
+        assert main(["serve", "--port", "0",
+                     "--preload", "quickstart",
+                     "--preload", "quickstart:warm",
+                     "--estimator", "oracle",
+                     "--max-batch", "8", "--max-wait-ms", "1.5"]) == 0
+        assert calls["preload"] == (("quickstart", "quickstart"),
+                                    ("warm", "quickstart"))
+        assert calls["estimator"] == "oracle"
+        assert calls["max_batch"] == 8 and calls["max_wait_ms"] == 1.5
