@@ -1,0 +1,50 @@
+"""Bench the arena tournament, with behavioural gates on the result.
+
+One smoke-sized tournament (training-free roster, 2 draws) is timed
+into the persisted benchmark JSON; the shape gates below it assert what
+the run must *mean*: a full policy x draw matrix with zero invariant
+violations, batch/scalar parity on every draw, and the per-round exact
+optimum ranking at or above greedy oracle Best-Fit.
+"""
+
+import pytest
+
+from repro.arena import (SMOKE_ROSTER, ArenaConfig, format_leaderboard,
+                         run_tournament)
+
+CONFIG = ArenaConfig(seed=0, n_draws=2, n_intervals=8,
+                     policies=SMOKE_ROSTER)
+
+_RESULTS = {}
+
+
+def _run_once():
+    if "arena" not in _RESULTS:
+        _RESULTS["arena"] = run_tournament(CONFIG)
+    return _RESULTS["arena"]
+
+
+@pytest.mark.benchmark(group="arena")
+def test_bench_tournament_smoke(benchmark):
+    _RESULTS["arena"] = benchmark.pedantic(
+        lambda: run_tournament(CONFIG), rounds=1, iterations=1)
+
+
+class TestShape:
+    def test_matrix_complete_and_clean(self):
+        result = _run_once()
+        played = {(c.draw, c.policy) for c in result.cells}
+        skipped = {(d, p) for p, ds in result.skipped.items() for d in ds}
+        assert len(played) + len(skipped) \
+            == CONFIG.n_draws * len(CONFIG.policies)
+        assert result.violations == []
+        assert all(v <= 1e-9 for v in result.parity.values())
+
+    def test_exact_optimum_at_least_oracle(self):
+        rows = {r["policy"]: r for r in _run_once().leaderboard()}
+        assert rows["exact"]["mean_rank"] <= rows["oracle"]["mean_rank"]
+
+    def test_leaderboard_renders(self):
+        text = format_leaderboard(_run_once())
+        assert "Arena leaderboard" in text
+        assert "invariants: OK" in text

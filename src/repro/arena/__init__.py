@@ -1,0 +1,58 @@
+"""Policy arena: adversarial scheduler tournaments over randomized draws.
+
+The paper's claim is comparative — the ML-driven controller beats static
+and heuristic placement on profit/SLA/energy — so this package makes
+*comparison* data the way the scenario engine made experiments data:
+
+* :mod:`repro.arena.invariants` — machine-checkable placement/simulation
+  laws (placement legality, grant/capacity bounds, money and energy
+  accounting balance, migration bookkeeping, batch/scalar parity),
+  asserted on every tournament cell and importable by the regular test
+  suite as plain assertion helpers.
+* :mod:`repro.arena.policies` — the named roster of competing
+  schedulers (static, BF, BF-OB, BF-ML raw/bagged/calibrated, oracle,
+  hierarchical, online, exact) as :class:`ArenaPolicy` entries that map
+  a scenario draw to a :class:`~repro.experiments.engine.SchedulerSpec`.
+* :mod:`repro.arena.tournament` — :func:`run_tournament` runs the
+  policy x draw matrix (surge timing, failure schedules, tariff shapes
+  and fleet mixes all derived deterministically from one tournament seed
+  via per-draw spawned RNG streams) and emits a ranked leaderboard
+  artifact that ``scenarios diff`` can compare across commits.
+* :mod:`repro.arena.fuzz` — mutates :class:`ScenarioSpec`s within
+  validity bounds, and when an invariant breaks or a watched policy
+  collapses below a floor, shrinks and writes a minimal repro spec JSON
+  so every arena-found failure becomes a permanent regression test.
+"""
+
+from .invariants import (DEFAULT_TOL, PARITY_TOL, InvariantViolation,
+                         assert_history_invariants, assert_invariants,
+                         assert_pack_results_equal, assert_problems_equal,
+                         assert_report_invariants,
+                         assert_system_states_match, capacities_of,
+                         check_history, check_report, check_spec_parity)
+from .policies import (DEFAULT_ROSTER, POLICIES, SMOKE_ROSTER, ArenaPolicy,
+                       resolve_policies)
+from .tournament import (ArenaConfig, CellResult, DrawBounds, ScenarioDraw,
+                         TournamentResult, draw_schedule, format_leaderboard,
+                         run_tournament, spec_for_draw)
+from .fuzz import (FuzzFinding, check_spec, mutate_spec, replay_repro,
+                   run_fuzz, shrink_spec, write_repro)
+
+__all__ = [
+    # invariants
+    "DEFAULT_TOL", "PARITY_TOL", "InvariantViolation", "capacities_of",
+    "check_report", "check_history", "check_spec_parity",
+    "assert_report_invariants", "assert_history_invariants",
+    "assert_invariants", "assert_pack_results_equal",
+    "assert_problems_equal", "assert_system_states_match",
+    # policies
+    "ArenaPolicy", "POLICIES", "DEFAULT_ROSTER", "SMOKE_ROSTER",
+    "resolve_policies",
+    # tournament
+    "ArenaConfig", "DrawBounds", "ScenarioDraw", "CellResult",
+    "TournamentResult", "draw_schedule", "spec_for_draw", "run_tournament",
+    "format_leaderboard",
+    # fuzz
+    "FuzzFinding", "check_spec", "mutate_spec", "shrink_spec", "run_fuzz",
+    "write_repro", "replay_repro",
+]

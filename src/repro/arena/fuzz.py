@@ -1,0 +1,347 @@
+"""Scenario fuzzing: mutate specs, find breakage, shrink, check it in.
+
+:func:`run_fuzz` draws a base scenario per trial (same sampler as the
+tournament), applies 1-3 named mutations within validity bounds
+(:func:`mutate_spec`), and audits the result (:func:`check_spec`): every
+variant's history against the invariant suite, batch/scalar stepping
+parity, and — optionally — a performance floor for a watched policy
+(e.g. "calibrated ML never drops below 0.5 avg SLA here").  On a
+finding, :func:`shrink_spec` greedily minimizes the spec while the
+finding persists and :func:`write_repro` lands the canonical JSON in
+``tests/arena/repros/``, where a regression test replays it forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..experiments.engine import ScenarioSpec, run_scenario
+from ..experiments.scenario import ScenarioConfig
+from ..experiments.specio import (spec_from_json_dict, spec_to_json,
+                                  spec_to_json_dict)
+from ..workload.patterns import FlashCrowd
+from .invariants import PARITY_TOL, capacities_of, check_history, \
+    check_spec_parity
+from .policies import SMOKE_ROSTER, resolve_policies
+from .tournament import ArenaConfig, DrawBounds, draw_schedule, spec_for_draw
+
+__all__ = ["FuzzFinding", "check_spec", "mutate_spec", "shrink_spec",
+           "run_fuzz", "write_repro", "replay_repro", "MUTATIONS"]
+
+
+@dataclass(frozen=True)
+class FuzzFinding:
+    """One failure the fuzzer kept: what broke, where, and the shrunk spec."""
+
+    #: ``invariant`` | ``parity`` | ``floor``.
+    kind: str
+    detail: str
+    trial: int
+    mutations: Tuple[str, ...]
+    spec: ScenarioSpec
+    shrink_steps: int = 0
+
+
+# =============================================================================
+# checking
+# =============================================================================
+
+def check_spec(spec: ScenarioSpec, floor: Optional[float] = None,
+               floor_policy: str = "bf_ml_calibrated",
+               check_parity: bool = True) -> List[Tuple[str, str]]:
+    """Run ``spec`` and return every ``(kind, detail)`` failure found."""
+    findings: List[Tuple[str, str]] = []
+    capacities = (capacities_of(spec.fleet.build()[0])
+                  if spec.fleet is not None else None)
+    result = run_scenario(spec)
+    for name, variant in result.variants.items():
+        for msg in check_history(variant.history, capacities=capacities):
+            findings.append(("invariant", f"{name}: {msg}"))
+    if check_parity:
+        worst = check_spec_parity(spec)
+        if worst > PARITY_TOL:
+            findings.append(
+                ("parity",
+                 f"batch/scalar stepping diverge by {worst:.3e}"))
+    if floor is not None and floor_policy in result.variants:
+        sla = float(result.variants[floor_policy].kpis()["avg_sla"])
+        if sla < floor:
+            findings.append(
+                ("floor",
+                 f"{floor_policy} avg_sla {sla:.4f} below floor {floor}"))
+    return findings
+
+
+# =============================================================================
+# mutation
+# =============================================================================
+
+def _config_of(spec: ScenarioSpec) -> ScenarioConfig:
+    if spec.fleet is None or spec.fleet.config is None:
+        raise ValueError("fuzzing needs a config-driven multidc spec")
+    return spec.fleet.config
+
+
+def _with_config(spec: ScenarioSpec, cfg: ScenarioConfig) -> ScenarioSpec:
+    """Swap the shared ScenarioConfig into both fleet and workload."""
+    return replace(spec,
+                   fleet=replace(spec.fleet, config=cfg),
+                   workload=replace(spec.workload, config=cfg))
+
+
+def _mut_scale_up(spec, rng):
+    cfg = _config_of(spec)
+    return _with_config(spec, replace(
+        cfg, scale=min(8.0, cfg.scale * float(rng.uniform(1.3, 2.5)))))
+
+
+def _mut_scale_down(spec, rng):
+    cfg = _config_of(spec)
+    return _with_config(spec, replace(
+        cfg, scale=max(0.5, cfg.scale * float(rng.uniform(0.4, 0.8)))))
+
+
+def _mut_more_vms(spec, rng):
+    cfg = _config_of(spec)
+    return _with_config(spec, replace(
+        cfg, n_vms=min(24, cfg.n_vms + int(rng.integers(1, 6)))))
+
+
+def _mut_fewer_pms(spec, rng):
+    cfg = _config_of(spec)
+    return _with_config(spec, replace(
+        cfg, pms_per_dc=max(1, cfg.pms_per_dc - 1)))
+
+
+def _mut_surge_boost(spec, rng):
+    cfg = _config_of(spec)
+    duration_min = cfg.n_intervals * cfg.interval_s / 60.0
+    if cfg.flash_crowds:
+        crowds = tuple(replace(c, factor=min(6.0, c.factor
+                                             * float(rng.uniform(1.2, 2.0))))
+                       for c in cfg.flash_crowds)
+    else:
+        start = float(rng.uniform(0.1, 0.5) * duration_min)
+        crowds = (FlashCrowd(start_minute=start,
+                             end_minute=start + 0.25 * duration_min,
+                             factor=float(rng.uniform(2.0, 6.0))),)
+    return _with_config(spec, replace(cfg, flash_crowds=crowds))
+
+
+def _mut_surge_drop(spec, rng):
+    cfg = _config_of(spec)
+    return _with_config(spec, replace(cfg, flash_crowds=()))
+
+
+def _mut_failures_up(spec, rng):
+    from ..experiments.engine import FailureSpec
+    failures = spec.failures or FailureSpec(fail_prob=0.0)
+    return replace(spec, failures=replace(
+        failures,
+        fail_prob=min(0.3, max(0.02, failures.fail_prob)
+                      * float(rng.uniform(1.5, 3.0)))))
+
+
+def _mut_failures_off(spec, rng):
+    return replace(spec, failures=None)
+
+
+def _mut_tariff_flip(spec, rng):
+    from ..experiments.engine import TariffSpec
+    cycle = ("flat", "solar", "time_of_use")
+    current = spec.tariffs.kind if spec.tariffs is not None else "flat"
+    nxt = cycle[(cycle.index(current) + 1) % len(cycle)]
+    return replace(spec, tariffs=None if nxt == "flat"
+                   else TariffSpec(kind=nxt))
+
+
+def _mut_reseed(spec, rng):
+    seed = int(rng.integers(0, 2**31 - 1))
+    cfg = _config_of(spec)
+    return replace(_with_config(spec, replace(cfg, seed=seed)), seed=seed)
+
+
+def _mut_horizon_cut(spec, rng):
+    cfg = _config_of(spec)
+    return _with_config(spec, replace(
+        cfg, n_intervals=max(4, cfg.n_intervals // 2)))
+
+
+#: Named mutations, each ``(spec, rng) -> spec`` inside validity bounds.
+MUTATIONS = {
+    "scale_up": _mut_scale_up,
+    "scale_down": _mut_scale_down,
+    "more_vms": _mut_more_vms,
+    "fewer_pms": _mut_fewer_pms,
+    "surge_boost": _mut_surge_boost,
+    "surge_drop": _mut_surge_drop,
+    "failures_up": _mut_failures_up,
+    "failures_off": _mut_failures_off,
+    "tariff_flip": _mut_tariff_flip,
+    "reseed": _mut_reseed,
+    "horizon_cut": _mut_horizon_cut,
+}
+
+
+def mutate_spec(spec: ScenarioSpec, rng: np.random.Generator,
+                name: Optional[str] = None
+                ) -> Tuple[ScenarioSpec, str]:
+    """Apply one (named or drawn) mutation; returns ``(spec, name)``."""
+    if name is None:
+        name = str(rng.choice(sorted(MUTATIONS)))
+    return MUTATIONS[name](spec, rng), name
+
+
+# =============================================================================
+# shrinking
+# =============================================================================
+
+def _shrink_candidates(spec: ScenarioSpec) -> List[Tuple[str, ScenarioSpec]]:
+    """Strictly-smaller variants of ``spec``, most aggressive first."""
+    out: List[Tuple[str, ScenarioSpec]] = []
+    cfg = _config_of(spec)
+    if cfg.n_vms > 2:
+        out.append(("halve_vms", _with_config(
+            spec, replace(cfg, n_vms=max(2, cfg.n_vms // 2)))))
+    if cfg.pms_per_dc > 1:
+        out.append(("halve_pms", _with_config(
+            spec, replace(cfg, pms_per_dc=max(1, cfg.pms_per_dc // 2)))))
+    if cfg.n_intervals > 4:
+        out.append(("halve_intervals", _with_config(
+            spec, replace(cfg, n_intervals=max(4, cfg.n_intervals // 2)))))
+    if len(cfg.locations) > 2:
+        out.append(("two_locations", _with_config(
+            spec, replace(cfg, locations=tuple(cfg.locations[:2])))))
+    if spec.failures is not None:
+        out.append(("drop_failures", replace(spec, failures=None)))
+    if spec.tariffs is not None:
+        out.append(("drop_tariffs", replace(spec, tariffs=None)))
+    if cfg.flash_crowds:
+        out.append(("drop_surge", _with_config(
+            spec, replace(cfg, flash_crowds=()))))
+    if len(spec.variants) > 1:
+        for i in range(len(spec.variants)):
+            kept = spec.variants[:i] + spec.variants[i + 1:]
+            out.append((f"drop_variant_{spec.variants[i].name}",
+                        replace(spec, variants=kept)))
+    return out
+
+
+def shrink_spec(spec: ScenarioSpec,
+                still_fails: Callable[[ScenarioSpec], bool],
+                max_rounds: int = 8) -> Tuple[ScenarioSpec, int]:
+    """Greedy fixpoint shrink: keep any reduction that still fails."""
+    steps = 0
+    for _ in range(max_rounds):
+        progressed = False
+        for _, candidate in _shrink_candidates(spec):
+            try:
+                if still_fails(candidate):
+                    spec, steps, progressed = candidate, steps + 1, True
+                    break
+            except Exception:
+                continue  # an invalid reduction is just not taken
+        if not progressed:
+            return spec, steps
+    return spec, steps
+
+
+# =============================================================================
+# the loop
+# =============================================================================
+
+def run_fuzz(budget: int, seed: int = 0,
+             policies: Sequence[str] = SMOKE_ROSTER,
+             n_intervals: int = 8,
+             floor: Optional[float] = None,
+             floor_policy: str = "bf_ml_calibrated",
+             check_parity: bool = True,
+             repro_dir: Optional[str] = None,
+             bounds: DrawBounds = DrawBounds(),
+             progress=None) -> List[FuzzFinding]:
+    """``budget`` trials of draw -> mutate -> check -> shrink -> record."""
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    roster = resolve_policies(policies)
+    config = ArenaConfig(seed=seed, n_draws=budget, policies=tuple(policies),
+                         n_intervals=n_intervals, bounds=bounds)
+    draws = draw_schedule(seed, budget, n_intervals, bounds)
+    streams = np.random.SeedSequence(seed ^ 0x5EED).spawn(budget)
+    findings: List[FuzzFinding] = []
+    for trial, (draw, stream) in enumerate(zip(draws, streams)):
+        rng = np.random.default_rng(stream)
+        eligible = [p for p in roster if p.plays(24)]  # mutation headroom
+        spec = spec_for_draw(draw, eligible, config)
+        applied: List[str] = []
+        for _ in range(int(rng.integers(1, 4))):
+            spec, name = mutate_spec(spec, rng)
+            applied.append(name)
+        found = check_spec(spec, floor=floor, floor_policy=floor_policy,
+                           check_parity=check_parity)
+        if progress is not None:
+            progress(f"trial {trial + 1}/{budget} "
+                     f"[{', '.join(applied)}]: "
+                     f"{len(found)} finding(s)")
+        for kind, detail in found:
+            def still_fails(candidate, _kind=kind):
+                return any(k == _kind for k, _ in check_spec(
+                    candidate, floor=floor, floor_policy=floor_policy,
+                    check_parity=check_parity))
+            shrunk, steps = shrink_spec(spec, still_fails)
+            finding = FuzzFinding(kind=kind, detail=detail, trial=trial,
+                                  mutations=tuple(applied), spec=shrunk,
+                                  shrink_steps=steps)
+            findings.append(finding)
+            if repro_dir is not None:
+                path = write_repro(finding, repro_dir,
+                                   floor=floor, floor_policy=floor_policy)
+                if progress is not None:
+                    progress(f"  repro written: {path}")
+            break  # one finding per trial is enough to act on
+    return findings
+
+
+# =============================================================================
+# repro files
+# =============================================================================
+
+def write_repro(finding: FuzzFinding, repro_dir: str,
+                floor: Optional[float] = None,
+                floor_policy: str = "bf_ml_calibrated") -> str:
+    """Write the finding as a replayable JSON file; returns its path."""
+    canonical = spec_to_json(finding.spec)
+    digest = hashlib.sha1(canonical.encode()).hexdigest()[:10]
+    payload = {
+        "schema": 1,
+        "kind": finding.kind,
+        "detail": finding.detail,
+        "trial": finding.trial,
+        "mutations": list(finding.mutations),
+        "shrink_steps": finding.shrink_steps,
+        "floor": floor,
+        "floor_policy": floor_policy,
+        "spec": spec_to_json_dict(finding.spec),
+    }
+    os.makedirs(repro_dir, exist_ok=True)
+    path = os.path.join(repro_dir, f"{finding.kind}_{digest}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def replay_repro(path: str) -> Tuple[dict, List[Tuple[str, str]]]:
+    """Re-run a checked-in repro; returns ``(payload, current findings)``."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    spec = spec_from_json_dict(payload["spec"])
+    findings = check_spec(spec, floor=payload.get("floor"),
+                          floor_policy=payload.get("floor_policy",
+                                                   "bf_ml_calibrated"))
+    return payload, findings

@@ -1,0 +1,138 @@
+"""The tournament roster: every competing scheduler as an ArenaPolicy.
+
+Each entry maps a :class:`~repro.arena.tournament.ScenarioDraw` to the
+:class:`~repro.experiments.engine.SchedulerSpec` that drives one variant
+of the draw's scenario, plus the metadata the tournament needs: whether
+the policy needs trained models, whether it wants its own bagged
+training run, the risk config of the calibrated variant, and an
+instance-size ceiling for the exact solver (branch-and-bound is
+O(hosts^VMs); cells above the ceiling are skipped and recorded, never
+silently dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.hierarchical import DEFAULT_MIN_GAIN_EUR
+from ..experiments.engine import SchedulerSpec
+from ..ml.calibration import RiskConfig
+
+__all__ = ["ArenaPolicy", "POLICIES", "DEFAULT_ROSTER", "SMOKE_ROSTER",
+           "resolve_policies"]
+
+#: The calibrated-ranking risk budget the PR 5 ladder settled on.
+CALIBRATED_RISK = RiskConfig(coverage=0.5, spread_weight=2.0)
+
+#: Largest draw (in VMs) the exact branch-and-bound policy will play.
+EXACT_MAX_VMS = 8
+
+
+@dataclass(frozen=True)
+class ArenaPolicy:
+    """One competitor: name, scheduler factory and tournament metadata."""
+
+    name: str
+    description: str
+    build: Callable[["ScenarioDraw"], SchedulerSpec]
+    #: Needs the scenario-level trained ModelSet (adds a TrainingSpec).
+    needs_models: bool = False
+    #: Wants its own bagged training run (shared by all bagged policies).
+    bagged: bool = False
+    risk: Optional[RiskConfig] = None
+    #: Draws with more VMs than this are skipped (None = no ceiling).
+    max_vms: Optional[int] = None
+
+    def plays(self, n_vms: int) -> bool:
+        return self.max_vms is None or n_vms <= self.max_vms
+
+
+def _static(draw) -> SchedulerSpec:
+    return SchedulerSpec("static")
+
+
+def _bf(draw) -> SchedulerSpec:
+    return SchedulerSpec("bf", params={"monitor_seed": draw.monitor_seed})
+
+
+def _bf_ob(draw) -> SchedulerSpec:
+    return SchedulerSpec("bf_ob", params={"monitor_seed": draw.monitor_seed,
+                                          "overbook": 2.0})
+
+
+def _bf_ml(draw) -> SchedulerSpec:
+    return SchedulerSpec("bf_ml", min_gain_eur=DEFAULT_MIN_GAIN_EUR)
+
+
+def _oracle(draw) -> SchedulerSpec:
+    return SchedulerSpec("oracle", min_gain_eur=DEFAULT_MIN_GAIN_EUR)
+
+
+def _hier_oracle(draw) -> SchedulerSpec:
+    return SchedulerSpec("hierarchical", params={"estimator": "oracle"})
+
+
+def _hier_ml(draw) -> SchedulerSpec:
+    return SchedulerSpec("hierarchical", params={"estimator": "ml"})
+
+
+def _online(draw) -> SchedulerSpec:
+    return SchedulerSpec("online", params={"monitor_seed": draw.monitor_seed,
+                                           "retrain_every": 4,
+                                           "window": 1000,
+                                           "min_samples": 40})
+
+
+def _exact(draw) -> SchedulerSpec:
+    return SchedulerSpec("exact", params={"max_nodes": 200_000})
+
+
+POLICIES: Dict[str, ArenaPolicy] = {p.name: p for p in (
+    ArenaPolicy("static", "never migrates (deploy-and-forget baseline)",
+                _static),
+    ArenaPolicy("bf", "Best-Fit on observed usage", _bf),
+    ArenaPolicy("bf_ob", "Best-Fit with 2x overbooking", _bf_ob),
+    ArenaPolicy("bf_ml", "ML Best-Fit, raw single models", _bf_ml,
+                needs_models=True),
+    ArenaPolicy("bf_ml_bagged", "ML Best-Fit, bagged ensembles", _bf_ml,
+                needs_models=True, bagged=True),
+    ArenaPolicy("bf_ml_calibrated",
+                "ML Best-Fit, bagged + calibrated variance-penalized "
+                "ranking", _bf_ml,
+                needs_models=True, bagged=True, risk=CALIBRATED_RISK),
+    ArenaPolicy("oracle", "Best-Fit with ground-truth models "
+                          "(upper-bound reference)", _oracle),
+    ArenaPolicy("hier_oracle", "two-layer hierarchical, oracle estimator",
+                _hier_oracle),
+    ArenaPolicy("hier_ml", "two-layer hierarchical, ML estimator",
+                _hier_ml, needs_models=True),
+    ArenaPolicy("online", "online-learning scheduler (bootstrapped, "
+                          "retrains from its own monitor)", _online,
+                needs_models=True),
+    ArenaPolicy("exact", "branch-and-bound optimum per round "
+                         "(small draws only)", _exact,
+                max_vms=EXACT_MAX_VMS),
+)}
+
+#: Every policy — the full matrix (trains models, slowest).
+DEFAULT_ROSTER: Tuple[str, ...] = tuple(POLICIES)
+
+#: The training-free subset for CI smoke runs and quick local checks.
+SMOKE_ROSTER: Tuple[str, ...] = ("static", "bf", "bf_ob", "oracle",
+                                 "hier_oracle", "exact")
+
+
+def resolve_policies(names: Sequence[str]) -> List[ArenaPolicy]:
+    """Names -> policies, failing loudly with the known roster."""
+    unknown = [n for n in names if n not in POLICIES]
+    if unknown:
+        raise ValueError(f"unknown arena polic"
+                         f"{'ies' if len(unknown) > 1 else 'y'} "
+                         f"{', '.join(repr(n) for n in unknown)} "
+                         f"(known: {', '.join(POLICIES)})")
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate policy names in the roster")
+    if not names:
+        raise ValueError("empty policy roster")
+    return [POLICIES[n] for n in names]

@@ -24,6 +24,21 @@ perf/quality trajectory across PRs, reviewable from CI artifacts
 alone); ``--tol PCT`` makes it exit non-zero on drift beyond the
 tolerance, so it can gate CI.
 
+The policy arena (PR 7, :mod:`repro.arena`)::
+
+    python -m repro.cli arena run --seed 0 --draws 4 --json leaderboard.json
+    python -m repro.cli arena run --policies all --intervals 24
+    python -m repro.cli arena fuzz --budget 10 --floor 0.5 \\
+        --repro-dir tests/arena/repros
+
+``arena run`` plays every roster policy against the same deterministic
+scenario draws, audits each cell with the shared invariant suite, and
+emits a ranked leaderboard artifact ``scenarios diff`` can compare
+across commits (same seed = byte-identical bytes).  ``arena fuzz``
+mutates scenario specs hunting invariant breaks; findings are shrunk to
+minimal repro specs.  The fuzz budget defaults to the
+``REPRO_ARENA_FUZZ_BUDGET`` env var (the CI nightly-profile knob).
+
 The warm placement server (PR 6, :mod:`repro.service`)::
 
     python -m repro.cli serve --port 8421 --preload multidc_baseline
@@ -38,6 +53,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -276,8 +292,8 @@ def _scenarios_main(argv) -> int:
             print(f"{name:<22} {REGISTRY.describe(name)}")
         return 0
     if args.name not in REGISTRY:
-        print(f"unknown scenario {args.name!r}; run "
-              f"`scenarios list` to see the registry", file=sys.stderr)
+        print(f"unknown scenario {args.name!r}; registered scenarios: "
+              f"{', '.join(REGISTRY.names())}", file=sys.stderr)
         return 2
     try:
         spec = REGISTRY.spec(args.name, n_intervals=args.intervals,
@@ -305,6 +321,109 @@ def _scenarios_main(argv) -> int:
             return 2
         print(f"[wrote {args.csv}]")
     return 0
+
+
+def build_arena_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro arena",
+        description="Policy tournaments and scenario fuzzing "
+                    "(repro.arena).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser(
+        "run", help="run the policy x draw tournament matrix")
+    run.add_argument("--seed", type=_seed_int, default=0,
+                     help="tournament seed: derives every draw "
+                          "(default: 0)")
+    run.add_argument("--draws", type=_positive_int, default=4,
+                     help="randomized scenario draws (default: 4)")
+    run.add_argument("--intervals", type=_positive_int, default=12,
+                     help="scheduling rounds per draw (default: 12)")
+    run.add_argument("--policies", default="smoke",
+                     help="comma-separated roster, or 'smoke' "
+                          "(training-free subset) / 'all' "
+                          "(default: smoke)")
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the leaderboard artifact "
+                          "(scenarios-diff compatible)")
+    run.add_argument("--no-invariants", action="store_true",
+                     help="skip the per-cell invariant audit")
+    run.add_argument("--no-parity", action="store_true",
+                     help="skip the per-draw batch/scalar parity check")
+    fuzz = sub.add_parser(
+        "fuzz", help="mutate scenario specs hunting invariant breaks")
+    fuzz.add_argument("--budget", type=_positive_int,
+                      default=int(os.environ.get(
+                          "REPRO_ARENA_FUZZ_BUDGET", "5")),
+                      help="fuzz trials (default: 5, or the "
+                           "REPRO_ARENA_FUZZ_BUDGET env var — the "
+                           "nightly-profile knob)")
+    fuzz.add_argument("--seed", type=_seed_int, default=0,
+                      help="fuzz seed (default: 0)")
+    fuzz.add_argument("--intervals", type=_positive_int, default=8,
+                      help="scheduling rounds per trial (default: 8)")
+    fuzz.add_argument("--policies", default="smoke",
+                      help="roster to fuzz (see `arena run --policies`)")
+    fuzz.add_argument("--floor", type=float, default=None,
+                      help="flag trials where --floor-policy drops "
+                           "below this avg SLA")
+    fuzz.add_argument("--floor-policy", default="bf_ml_calibrated",
+                      help="policy watched by --floor "
+                           "(default: bf_ml_calibrated)")
+    fuzz.add_argument("--repro-dir", metavar="DIR", default=None,
+                      help="write shrunk repro specs here "
+                           "(e.g. tests/arena/repros)")
+    fuzz.add_argument("--no-parity", action="store_true",
+                      help="skip the batch/scalar parity check")
+    return parser
+
+
+def _arena_policies(text: str):
+    from .arena import DEFAULT_ROSTER, SMOKE_ROSTER
+    if text == "smoke":
+        return SMOKE_ROSTER
+    if text == "all":
+        return DEFAULT_ROSTER
+    return tuple(n.strip() for n in text.split(",") if n.strip())
+
+
+def _arena_main(argv) -> int:
+    args = build_arena_parser().parse_args(argv)
+    from .arena import (ArenaConfig, format_leaderboard, run_fuzz,
+                        run_tournament)
+    try:
+        if args.command == "run":
+            config = ArenaConfig(
+                seed=args.seed, n_draws=args.draws,
+                policies=_arena_policies(args.policies),
+                n_intervals=args.intervals,
+                check_invariants=not args.no_invariants,
+                check_parity=not args.no_parity)
+            result = run_tournament(config, progress=print)
+            print(format_leaderboard(result))
+            if args.json:
+                result.save_json(args.json)
+                print(f"[wrote {args.json}]")
+            return 1 if result.violations else 0
+        findings = run_fuzz(
+            budget=args.budget, seed=args.seed,
+            policies=_arena_policies(args.policies),
+            n_intervals=args.intervals, floor=args.floor,
+            floor_policy=args.floor_policy,
+            check_parity=not args.no_parity,
+            repro_dir=args.repro_dir, progress=print)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    hard = [f for f in findings if f.kind in ("invariant", "parity")]
+    for f in findings:
+        print(f"{f.kind}: {f.detail} (trial {f.trial}, "
+              f"mutations {', '.join(f.mutations)}, "
+              f"shrunk {f.shrink_steps} steps)")
+    if not findings:
+        print(f"fuzz: {args.budget} trial(s), no findings")
+    # Floor findings are performance regressions to triage, not
+    # correctness breaks — only the latter fail the command.
+    return 1 if hard else 0
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -344,9 +463,8 @@ def _serve_main(argv) -> int:
     for entry in args.preload:
         scenario, _, session = entry.partition(":")
         if scenario not in REGISTRY:
-            print(f"unknown scenario {scenario!r}; run "
-                  f"`scenarios list` to see the registry",
-                  file=sys.stderr)
+            print(f"unknown scenario {scenario!r}; registered scenarios: "
+                  f"{', '.join(REGISTRY.names())}", file=sys.stderr)
             return 2
         preload.append((session or scenario, scenario))
     return serve(host=args.host, port=args.port, preload=tuple(preload),
@@ -358,6 +476,8 @@ def main(argv: Optional[list] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "scenarios":
         return _scenarios_main(argv[1:])
+    if argv and argv[0] == "arena":
+        return _arena_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
     args = build_parser().parse_args(argv)

@@ -23,8 +23,9 @@ from .model import (BatchEvaluation, HostBatch, HostView, ObjectiveWeights,
                     placement_profit, score_candidates)
 from .online import OnlineLearningScheduler
 from .policies import (bf_ml_scheduler, bf_overbook_scheduler, bf_scheduler,
-                       follow_the_load_scheduler, hierarchical_ml_scheduler,
-                       oracle_scheduler, static_scheduler)
+                       exact_scheduler, follow_the_load_scheduler,
+                       hierarchical_ml_scheduler, oracle_scheduler,
+                       static_scheduler)
 from .profit import (PriceBook, ProfitBreakdown, energy_cost_eur,
                      migration_penalty_eur, revenue_eur)
 from .sla import PAPER_SLA, SLAContract, sla_fulfillment, weighted_sla
@@ -42,6 +43,7 @@ __all__ = [
     "evaluate_schedule", "placement_profit", "score_candidates",
     "OnlineLearningScheduler",
     "bf_ml_scheduler", "bf_overbook_scheduler", "bf_scheduler",
+    "exact_scheduler",
     "follow_the_load_scheduler", "hierarchical_ml_scheduler",
     "oracle_scheduler", "static_scheduler",
     "PriceBook", "ProfitBreakdown", "energy_cost_eur",

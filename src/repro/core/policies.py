@@ -23,14 +23,17 @@ from ..ml.calibration import RiskConfig
 from ..ml.predictors import ModelSet
 from ..sim.engine import Scheduler
 from ..sim.monitor import Monitor
-from .bestfit import make_bestfit_scheduler
+from .bestfit import build_problem, descending_best_fit, \
+    make_bestfit_scheduler
 from .estimators import MLEstimator, ObservedEstimator, OracleEstimator
+from .exact import exact_schedule
 from .hierarchical import DEFAULT_MIN_GAIN_EUR, HierarchicalScheduler
 from .model import ObjectiveWeights
 
 __all__ = ["static_scheduler", "follow_the_load_scheduler", "bf_scheduler",
            "bf_overbook_scheduler", "bf_ml_scheduler",
-           "oracle_scheduler", "hierarchical_ml_scheduler"]
+           "oracle_scheduler", "hierarchical_ml_scheduler",
+           "exact_scheduler"]
 
 
 def static_scheduler() -> Scheduler:
@@ -99,6 +102,38 @@ def oracle_scheduler(weights: Optional[ObjectiveWeights] = None,
     """Best-Fit with ground-truth models (upper-bound reference)."""
     return make_bestfit_scheduler(OracleEstimator(), weights=weights,
                                   min_gain_eur=min_gain_eur)
+
+
+def exact_scheduler(weights: Optional[ObjectiveWeights] = None,
+                    max_nodes: int = 200_000,
+                    fallback: bool = True) -> Scheduler:
+    """Branch-and-bound optimum per round (the arena's per-round oracle).
+
+    Solves each round's placement problem exactly with
+    :func:`repro.core.exact.exact_schedule` under ground-truth
+    (:class:`OracleEstimator`) models.  The search is O(hosts^VMs), so
+    this only plays small instances; when the ``max_nodes`` budget is
+    exhausted the round falls back to :func:`descending_best_fit`
+    (``fallback=False`` re-raises instead).  The returned callable
+    counts budget exhaustions on its ``n_fallbacks`` attribute.
+    """
+    estimator = OracleEstimator()
+
+    def schedule(system, trace, t):
+        problem = build_problem(system, trace, t, estimator,
+                                weights=weights)
+        if not problem.requests or not problem.hosts:
+            return {}
+        try:
+            return exact_schedule(problem, max_nodes=max_nodes).assignment
+        except RuntimeError:
+            if not fallback:
+                raise
+            schedule.n_fallbacks += 1
+            return descending_best_fit(problem).assignment
+
+    schedule.n_fallbacks = 0
+    return schedule
 
 
 def hierarchical_ml_scheduler(models: ModelSet, sla_mode: str = "direct",

@@ -43,8 +43,9 @@ from ..core.hierarchical import HierarchicalScheduler
 from ..core.model import ObjectiveWeights
 from ..core.online import OnlineLearningScheduler
 from ..core.policies import (bf_ml_scheduler, bf_overbook_scheduler,
-                             bf_scheduler, follow_the_load_scheduler,
-                             oracle_scheduler, static_scheduler)
+                             bf_scheduler, exact_scheduler,
+                             follow_the_load_scheduler, oracle_scheduler,
+                             static_scheduler)
 from ..ml.calibration import RiskConfig
 from ..ml.predictors import ModelSet
 from ..sim.engine import RunHistory, RunSummary, Scheduler, run_simulation
@@ -178,10 +179,12 @@ class SchedulerSpec:
 
     Kinds: ``static``, ``follow_the_load``, ``bf``, ``bf_ob``, ``bf_ml``,
     ``oracle``, ``hierarchical`` (``params['estimator']`` in
-    ``{'oracle', 'ml'}``) and ``online``.  ``bf``/``bf_ob``/``online``
-    create a live :class:`Monitor` (seeded by ``params['monitor_seed']``)
-    that is also attached to the run, exactly as the legacy experiments
-    wired it.
+    ``{'oracle', 'ml'}``), ``online`` and ``exact`` (branch-and-bound
+    optimum per round; ``params['max_nodes']`` bounds the search and
+    ``params['fallback']`` controls the Best-Fit fallback on budget
+    exhaustion).  ``bf``/``bf_ob``/``online`` create a live
+    :class:`Monitor` (seeded by ``params['monitor_seed']``) that is also
+    attached to the run, exactly as the legacy experiments wired it.
     """
 
     kind: str = "static"
@@ -205,7 +208,8 @@ class SchedulerSpec:
                 and self.kind in ("static", "follow_the_load", "online")):
             unsupported.append("weights")
         if (self.min_gain_eur is not None
-                and self.kind in ("static", "bf", "bf_ob", "online")):
+                and self.kind in ("static", "bf", "bf_ob", "online",
+                                  "exact")):
             unsupported.append("min_gain_eur")
         if (risk is not None
                 and not (self.kind == "bf_ml"
@@ -271,6 +275,11 @@ class SchedulerSpec:
                 retrain_every=p.get("retrain_every", 12),
                 window=p.get("window", 2000),
                 min_samples=p.get("min_samples", 120)), monitor
+        if self.kind == "exact":
+            return exact_scheduler(
+                weights=self.weights,
+                max_nodes=p.get("max_nodes", 200_000),
+                fallback=p.get("fallback", True)), None
         raise ValueError(f"unknown scheduler kind {self.kind!r}")
 
 

@@ -1,0 +1,120 @@
+"""ScenarioSpec <-> JSON: the engine's spec schema, pinned.
+
+The scenario engine made experiments *data*; this module makes that data
+*portable*: any :class:`~repro.experiments.engine.ScenarioSpec` (and the
+spec dataclasses it nests) round-trips through JSON losslessly —
+``spec == spec_from_json(spec_to_json(spec))`` — so the arena fuzzer can
+check minimal repro specs into the test tree and replay them later.
+
+Encoding: each spec dataclass becomes ``{"__dc__": <type>, "fields":
+{...}}`` over an explicit registry of allowed types (no arbitrary-class
+deserialization), tuples become ``{"__tuple__": [...]}`` (preserving
+frozen-dataclass equality through the round trip), numpy scalars are
+coerced, and anything else that is not already JSON raises ``TypeError``
+at encode time rather than producing a spec that cannot come back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..core.model import ObjectiveWeights
+from ..ml.calibration import RiskConfig
+from ..workload.patterns import FlashCrowd
+from .engine import (FailureSpec, FleetSpec, ScenarioSpec, SchedulerSpec,
+                     TariffSpec, TrainingSpec, VariantSpec, WorkloadSpec)
+from .scenario import ScenarioConfig
+
+__all__ = ["SPEC_SCHEMA_VERSION", "SPEC_TYPES", "spec_to_json_dict",
+           "spec_from_json_dict", "spec_to_json", "spec_from_json"]
+
+#: Bump on any incompatible change to the encoding below.
+SPEC_SCHEMA_VERSION = 1
+
+#: The only types the decoder will instantiate.
+SPEC_TYPES: Dict[str, type] = {cls.__name__: cls for cls in (
+    ScenarioSpec, FleetSpec, WorkloadSpec, SchedulerSpec, TrainingSpec,
+    FailureSpec, TariffSpec, VariantSpec, ScenarioConfig, FlashCrowd,
+    ObjectiveWeights, RiskConfig)}
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in SPEC_TYPES or type(value) is not SPEC_TYPES[name]:
+            raise TypeError(f"{name} is not a registered spec type")
+        fields = {f.name: _encode(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__dc__": name, "fields": fields}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for k, item in value.items():
+            if not isinstance(k, str):
+                raise TypeError(f"non-string mapping key {k!r}")
+            out[k] = _encode(item)
+        return out
+    raise TypeError(f"cannot encode {type(value).__name__!r} "
+                    f"into the spec schema")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__dc__" in value:
+            cls = SPEC_TYPES.get(value["__dc__"])
+            if cls is None:
+                raise ValueError(f"unknown spec type {value['__dc__']!r}")
+            fields = {k: _decode(v)
+                      for k, v in value.get("fields", {}).items()}
+            return cls(**fields)
+        if "__tuple__" in value:
+            return tuple(_decode(v) for v in value["__tuple__"])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def spec_to_json_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The JSON-ready encoding, wrapped with the schema version."""
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(f"expected a ScenarioSpec, got "
+                        f"{type(spec).__name__}")
+    return {"schema": SPEC_SCHEMA_VERSION, "spec": _encode(spec)}
+
+
+def spec_from_json_dict(data: Dict[str, Any]) -> ScenarioSpec:
+    if not isinstance(data, dict) or "spec" not in data:
+        raise ValueError("not a serialized ScenarioSpec "
+                         "(missing the 'spec' key)")
+    if data.get("schema") != SPEC_SCHEMA_VERSION:
+        raise ValueError(f"unsupported spec schema {data.get('schema')!r} "
+                         f"(this build reads {SPEC_SCHEMA_VERSION})")
+    spec = _decode(data["spec"])
+    if not isinstance(spec, ScenarioSpec):
+        raise ValueError("payload did not decode to a ScenarioSpec")
+    return spec
+
+
+def spec_to_json(spec: ScenarioSpec) -> str:
+    """Canonical text form (sorted keys — stable bytes for hashing)."""
+    return json.dumps(spec_to_json_dict(spec), indent=2, sort_keys=True)
+
+
+def spec_from_json(text: str) -> ScenarioSpec:
+    return spec_from_json_dict(json.loads(text))

@@ -1,0 +1,81 @@
+"""The `arena run` / `arena fuzz` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RUN_FAST = ["arena", "run", "--seed", "0", "--draws", "1",
+            "--intervals", "4", "--policies", "static,bf",
+            "--no-parity"]
+
+
+class TestArenaRun:
+    def test_writes_leaderboard_artifact(self, tmp_path, capsys):
+        path = tmp_path / "leaderboard.json"
+        assert main(RUN_FAST + ["--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Arena leaderboard" in out
+        assert "invariants: OK" in out
+        data = json.loads(path.read_text())
+        assert data["scenario"] == "arena"
+        assert set(data["variants"]) == {"static", "bf"}
+        assert data["extras"]["leaderboard"]
+
+    def test_same_seed_byte_identical_artifacts(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(RUN_FAST + ["--json", str(a)]) == 0
+        assert main(RUN_FAST + ["--json", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_scenarios_diff_consumes_leaderboards(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(RUN_FAST + ["--json", str(a)]) == 0
+        assert main(RUN_FAST + ["--json", str(b)]) == 0
+        assert main(["scenarios", "diff", str(a), str(b),
+                     "--tol", "0.0001"]) == 0
+        out = capsys.readouterr().out
+        assert "mean_profit_eur" in out
+
+    def test_unknown_policy_exits_2(self, capsys):
+        assert main(["arena", "run", "--policies", "static,bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown arena policy" in err
+        assert "static" in err   # the roster is listed
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(SystemExit):
+            main(["arena", "run", "--draws", "0"])
+        with pytest.raises(SystemExit):
+            main(["arena", "run", "--seed", "-1"])
+
+
+class TestArenaFuzz:
+    FUZZ_FAST = ["arena", "fuzz", "--seed", "3", "--intervals", "4",
+                 "--policies", "static,bf", "--no-parity"]
+
+    def test_clean_budget_exits_0(self, capsys):
+        assert main(self.FUZZ_FAST + ["--budget", "1"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_budget_env_knob(self, capsys, monkeypatch):
+        # Satellite: the nightly-profile knob drives the default budget.
+        monkeypatch.setenv("REPRO_ARENA_FUZZ_BUDGET", "2")
+        assert main(self.FUZZ_FAST) == 0
+        assert "2 trial(s)" in capsys.readouterr().out
+
+    def test_floor_finding_reported_but_exit_0(self, tmp_path, capsys):
+        # Performance-floor findings are triage material, not
+        # correctness breaks: report them, write the repro, exit 0.
+        assert main(self.FUZZ_FAST
+                    + ["--budget", "1", "--floor", "1.1",
+                       "--floor-policy", "static",
+                       "--repro-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "floor" in out
+        assert list(tmp_path.glob("floor_*.json"))
+
+    def test_unknown_policy_exits_2(self, capsys):
+        assert main(["arena", "fuzz", "--policies", "nope"]) == 2
+        assert "unknown arena policy" in capsys.readouterr().err

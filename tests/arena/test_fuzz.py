@@ -1,0 +1,151 @@
+"""The fuzzer: mutation validity, the shrink loop, and repro files."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.arena.fuzz import (MUTATIONS, check_spec, mutate_spec,
+                              replay_repro, run_fuzz, shrink_spec,
+                              write_repro)
+from repro.experiments.engine import (FleetSpec, ScenarioSpec, SchedulerSpec,
+                                      VariantSpec, WorkloadSpec)
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.specio import spec_from_json_dict
+
+CHEAP = ("static", "bf")
+
+
+def base_spec(n_vms=4, n_intervals=4):
+    cfg = ScenarioConfig(pms_per_dc=1, n_vms=n_vms,
+                         n_intervals=n_intervals, scale=2.0, seed=3)
+    return ScenarioSpec(
+        name="fuzz_base",
+        fleet=FleetSpec("multidc", config=cfg),
+        workload=WorkloadSpec("multidc", config=cfg),
+        variants=(VariantSpec("static", SchedulerSpec("static")),
+                  VariantSpec("oracle", SchedulerSpec("oracle"))))
+
+
+class TestMutations:
+    def test_every_mutation_stays_valid(self):
+        # Valid = the mutated spec still runs and stays invariant-clean.
+        rng = np.random.default_rng(0)
+        for name in sorted(MUTATIONS):
+            spec, applied = mutate_spec(base_spec(), rng, name=name)
+            assert applied == name
+            assert check_spec(spec, check_parity=False) == [], name
+
+    def test_mutation_chains_stay_in_bounds(self):
+        rng = np.random.default_rng(1)
+        spec = base_spec()
+        for _ in range(12):
+            spec, _ = mutate_spec(spec, rng)
+            cfg = spec.fleet.config
+            assert 1 <= cfg.pms_per_dc
+            assert cfg.n_vms <= 24
+            assert 0.5 <= cfg.scale <= 8.0
+            assert cfg.n_intervals >= 4
+            if spec.failures is not None:
+                assert 0.0 < spec.failures.fail_prob <= 0.3
+            for crowd in cfg.flash_crowds:
+                assert crowd.factor <= 6.0
+
+    def test_mutations_deterministic_per_stream(self):
+        a, na = mutate_spec(base_spec(), np.random.default_rng(5))
+        b, nb = mutate_spec(base_spec(), np.random.default_rng(5))
+        assert (a, na) == (b, nb)
+
+
+class TestCheckSpec:
+    def test_clean_spec_no_findings(self):
+        assert check_spec(base_spec()) == []
+
+    def test_floor_fires_only_on_watched_policy(self):
+        findings = check_spec(base_spec(), floor=1.1,
+                              floor_policy="static")
+        assert [k for k, _ in findings] == ["floor"]
+        assert "static" in findings[0][1]
+        # A floor on a policy that is not in the spec never fires.
+        assert check_spec(base_spec(), floor=1.1,
+                          floor_policy="bf_ml_calibrated") == []
+
+
+class TestShrink:
+    def test_shrinks_to_fixpoint_under_always_true(self):
+        spec = base_spec(n_vms=8, n_intervals=16)
+        shrunk, steps = shrink_spec(spec, lambda s: True)
+        assert steps > 0
+        cfg = shrunk.fleet.config
+        assert cfg.n_vms == 2
+        assert cfg.n_intervals == 4
+        assert len(shrunk.variants) == 1
+
+    def test_keeps_spec_when_failure_vanishes(self):
+        spec = base_spec()
+        shrunk, steps = shrink_spec(spec, lambda s: False)
+        assert shrunk == spec
+        assert steps == 0
+
+    def test_predicate_guides_what_survives(self):
+        # The finding "needs >= 4 VMs" must keep at least 4 VMs.
+        spec = base_spec(n_vms=8)
+        shrunk, _ = shrink_spec(
+            spec, lambda s: s.fleet.config.n_vms >= 4)
+        assert shrunk.fleet.config.n_vms == 4
+
+
+class TestRunFuzz:
+    def test_clean_run_no_findings(self):
+        findings = run_fuzz(budget=2, seed=3, policies=CHEAP,
+                            n_intervals=4, check_parity=False)
+        assert findings == []
+
+    def test_deterministic(self):
+        kw = dict(budget=2, seed=9, policies=CHEAP, n_intervals=4,
+                  check_parity=False, floor=1.1, floor_policy="static")
+        a = run_fuzz(**kw)
+        b = run_fuzz(**kw)
+        assert [(f.kind, f.detail, f.mutations) for f in a] \
+            == [(f.kind, f.detail, f.mutations) for f in b]
+
+    def test_floor_finding_shrunk_written_and_replayable(self, tmp_path):
+        findings = run_fuzz(budget=1, seed=3, policies=CHEAP,
+                            n_intervals=4, floor=1.1,
+                            floor_policy="static",
+                            check_parity=False,
+                            repro_dir=str(tmp_path))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.kind == "floor"
+        assert f.shrink_steps > 0
+        files = os.listdir(tmp_path)
+        assert len(files) == 1 and files[0].startswith("floor_")
+        payload, current = replay_repro(str(tmp_path / files[0]))
+        assert payload["kind"] == "floor"
+        assert payload["mutations"] == list(f.mutations)
+        # The checked-in spec still reproduces the finding today.
+        assert any(k == "floor" for k, _ in current)
+
+    def test_rejects_zero_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            run_fuzz(budget=0)
+
+
+class TestReproFiles:
+    def test_write_repro_canonical_and_decodable(self, tmp_path):
+        findings = run_fuzz(budget=1, seed=3, policies=CHEAP,
+                            n_intervals=4, floor=1.1,
+                            floor_policy="static", check_parity=False)
+        path = write_repro(findings[0], str(tmp_path), floor=1.1,
+                           floor_policy="static")
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == 1
+        assert payload["floor"] == 1.1
+        spec = spec_from_json_dict(payload["spec"])
+        assert spec == findings[0].spec
+        # Same finding -> same file name (content-addressed).
+        assert write_repro(findings[0], str(tmp_path), floor=1.1,
+                           floor_policy="static") == path

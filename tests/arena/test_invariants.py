@@ -1,0 +1,227 @@
+"""The shared invariant suite: clean runs pass, tampered reports fail."""
+
+import copy
+from dataclasses import replace
+
+import pytest
+
+from repro.arena.invariants import (DEFAULT_TOL, InvariantViolation,
+                                    assert_history_invariants,
+                                    assert_invariants,
+                                    assert_report_invariants, capacities_of,
+                                    check_history, check_report,
+                                    check_spec_parity)
+from repro.core.policies import oracle_scheduler
+from repro.experiments.engine import (FailureSpec, FleetSpec, ScenarioSpec,
+                                      TariffSpec, WorkloadSpec)
+from repro.experiments.scenario import (ScenarioConfig, multidc_system,
+                                        multidc_trace)
+from repro.sim.engine import run_simulation
+from repro.sim.failures import FailureInjector
+from repro.sim.machines import Resources
+
+import numpy as np
+
+
+CONFIG = ScenarioConfig(pms_per_dc=2, n_vms=6, n_intervals=8, scale=3.0,
+                        seed=13)
+
+
+@pytest.fixture(scope="module")
+def history():
+    """A scheduled run with real migrations for the laws to bite on."""
+    system = multidc_system(CONFIG)
+    trace = multidc_trace(CONFIG)
+    return run_simulation(system, trace, scheduler=oracle_scheduler())
+
+
+@pytest.fixture(scope="module")
+def capacities():
+    return capacities_of(multidc_system(CONFIG))
+
+
+class TestCleanRuns:
+    def test_scheduled_history_clean(self, history, capacities):
+        assert check_history(history, capacities=capacities) == []
+
+    def test_every_report_clean(self, history, capacities):
+        for report in history.reports:
+            assert check_report(report, capacities=capacities) == []
+
+    def test_run_with_failures_clean(self, capacities):
+        system = multidc_system(CONFIG)
+        trace = multidc_trace(CONFIG)
+        injector = FailureInjector(rng=np.random.default_rng(0),
+                                   fail_prob_per_interval=0.2,
+                                   repair_intervals=2, max_down=1)
+        hist = run_simulation(system, trace,
+                              scheduler=oracle_scheduler(),
+                              failure_injector=injector)
+        assert check_history(hist, capacities=capacities) == []
+        # The schedule actually failed something (otherwise this test
+        # proves nothing about the orphan/redeploy law).
+        assert any(not p.on for r in hist.reports for p in r.pms.values())
+
+    def test_assert_helpers_pass_silently(self, history, capacities):
+        assert_history_invariants(history, capacities=capacities)
+        assert_report_invariants(history.reports[0],
+                                 capacities=capacities)
+        assert_invariants(history, capacities=capacities)
+        assert_invariants(history.reports[0], capacities=capacities)
+
+
+def tampered(history, mutate):
+    """Deep-copied history with ``mutate(copy)`` applied."""
+    clone = copy.deepcopy(history)
+    mutate(clone)
+    return clone
+
+
+class TestTamperedReportsCaught:
+    """Each law actually fires: break it, see it named."""
+
+    def find(self, violations, needle):
+        assert any(needle in v for v in violations), (needle, violations)
+
+    def test_sla_out_of_range(self, history):
+        def mutate(h):
+            next(iter(h.reports[0].vms.values())).sla = 1.5
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "outside [0, 1]")
+
+    def test_memory_granted_above_demand(self, history):
+        def mutate(h):
+            s = next(iter(h.reports[0].vms.values()))
+            s.given = replace(s.given, mem=s.required.mem + 100.0)
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "memory granted above demand")
+
+    def test_negative_grant(self, history):
+        def mutate(h):
+            s = next(iter(h.reports[0].vms.values()))
+            s.given = Resources(cpu=-5.0, mem=s.given.mem, bw=s.given.bw)
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "negative cpu grant")
+
+    def test_placement_disagreement(self, history):
+        def mutate(h):
+            r = h.reports[0]
+            vm_id = next(iter(r.placement))
+            r.placement[vm_id] = "nowhere-pm9"
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "placement map says")
+
+    def test_unplaced_vm_earning(self, history):
+        def mutate(h):
+            r = h.reports[0]
+            s = next(iter(r.vms.values()))
+            del r.placement[s.vm_id]
+            s.pm_id = ""
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "unplaced VM")
+
+    def test_host_vm_count_wrong(self, history):
+        def mutate(h):
+            next(iter(h.reports[0].pms.values())).n_vms += 1
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "n_vms")
+
+    def test_energy_not_watts_times_interval(self, history):
+        def mutate(h):
+            next(iter(h.reports[0].pms.values())).energy_wh += 50.0
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "energy_wh")
+
+    def test_powered_off_host_drawing_power(self, history):
+        def mutate(h):
+            p = next(iter(h.reports[0].pms.values()))
+            p.on = False
+            p.facility_watts = 100.0
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "powered-off host")
+
+    def test_revenue_accounting_broken(self, history):
+        def mutate(h):
+            next(iter(h.reports[0].vms.values())).revenue_eur += 10.0
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "revenues sum to")
+
+    def test_capacity_exceeded(self, history, capacities):
+        def mutate(h):
+            r = h.reports[0]
+            hosted = [s for s in r.vms.values() if s.pm_id]
+            s = hosted[0]
+            cap = capacities[s.pm_id]
+            s.given = replace(s.given, cpu=cap.cpu * 10)
+            s.required = replace(s.required, cpu=cap.cpu * 20)
+        vs = check_history(tampered(history, mutate),
+                           capacities=capacities)
+        self.find(vs, "exceed")
+
+    def test_teleport_without_event(self, history):
+        def mutate(h):
+            # Move a VM between t=0 and t=1 without recording an event
+            # and without failing the old host.
+            r0, r1 = h.reports[0], h.reports[1]
+            vm_id = next(vm for vm, pm in r0.placement.items()
+                         if r1.placement.get(vm) == pm)
+            old_pm = r0.placement[vm_id]
+            new_pm = next(p for p in r1.pms if p != old_pm)
+            r1.placement[vm_id] = new_pm
+            r1.vms[vm_id].pm_id = new_pm
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "no migration event")
+
+    def test_migration_event_mismatch(self, history):
+        def mutate(h):
+            for r in h.reports:
+                if r.migrations:
+                    m = r.migrations[0]
+                    r.migrations[0] = replace(m, to_pm="elsewhere-pm0")
+                    return
+            pytest.skip("run produced no migrations")
+        vs = check_history(tampered(history, mutate))
+        self.find(vs, "migration")
+
+    def test_summary_balance(self, history):
+        def mutate(h):
+            h.reports[0].profit.revenue_eur += 1.0
+        vs = check_history(tampered(history, mutate))
+        # Tampering the interval's total (not the per-VM parts) breaks
+        # both the per-report sum and the summary recomputation.
+        self.find(vs, "sum to")
+
+    def test_assert_raises_with_all_violations_listed(self, history):
+        def mutate(h):
+            s = next(iter(h.reports[0].vms.values()))
+            s.sla = 2.0
+            s.revenue_eur = -1.0
+        broken = tampered(history, mutate)
+        with pytest.raises(InvariantViolation) as err:
+            assert_history_invariants(broken)
+        assert "outside [0, 1]" in str(err.value)
+        assert "negative revenue" in str(err.value)
+
+
+class TestSpecParity:
+    def test_plain_spec_parity_clean(self):
+        spec = ScenarioSpec(name="parity",
+                            fleet=FleetSpec("multidc", config=CONFIG),
+                            workload=WorkloadSpec("multidc", config=CONFIG))
+        assert check_spec_parity(spec) < 1e-9
+
+    def test_parity_covers_tariffs_and_failures(self):
+        spec = ScenarioSpec(
+            name="parity_full",
+            fleet=FleetSpec("multidc", config=CONFIG),
+            workload=WorkloadSpec("multidc", config=CONFIG),
+            failures=FailureSpec(fail_prob=0.2, repair_intervals=2,
+                                 max_down=1, seed=3),
+            tariffs=TariffSpec(kind="time_of_use"))
+        assert check_spec_parity(spec) < 1e-9
+
+    def test_horizon_truncates(self):
+        spec = ScenarioSpec(name="parity_short",
+                            fleet=FleetSpec("multidc", config=CONFIG),
+                            workload=WorkloadSpec("multidc", config=CONFIG))
+        assert check_spec_parity(spec, horizon=2) < 1e-9

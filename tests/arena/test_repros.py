@@ -1,0 +1,65 @@
+"""Replay every checked-in fuzzer repro: arena findings become permanent.
+
+Each file under ``tests/arena/repros/`` was produced by ``arena fuzz``:
+a mutated scenario draw that broke an invariant (or dropped a watched
+policy below its floor), greedily shrunk to a minimal spec.  This test
+replays each one on every run of the suite, so:
+
+* ``floor`` repros must still reproduce their finding — they document a
+  real performance cliff; if one stops reproducing, the cliff moved and
+  the file should be regenerated, not ignored;
+* ``invariant``/``parity`` repros must stay FIXED — they captured a
+  correctness bug, and this test is the regression gate that keeps it
+  dead.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.arena.fuzz import replay_repro
+from repro.arena.invariants import capacities_of, check_history
+from repro.experiments.engine import run_scenario
+from repro.experiments.specio import spec_from_json_dict
+
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "repros")
+REPRO_FILES = sorted(glob.glob(os.path.join(REPRO_DIR, "*.json")))
+
+
+def test_at_least_one_repro_checked_in():
+    assert REPRO_FILES, "the arena fuzzer should have landed repros here"
+
+
+@pytest.mark.parametrize("path", REPRO_FILES,
+                         ids=[os.path.basename(p) for p in REPRO_FILES])
+def test_replay(path):
+    payload, findings = replay_repro(path)
+    kinds = {kind for kind, _ in findings}
+    if payload["kind"] == "floor":
+        # The performance cliff this repro documents still exists.
+        assert "floor" in kinds, (
+            f"{os.path.basename(path)} no longer reproduces "
+            f"{payload['detail']!r}; regenerate it with `arena fuzz`")
+    # Correctness must hold on every repro regardless of its kind: a
+    # checked-in invariant/parity repro is a *fixed* bug staying fixed,
+    # and a floor repro must never mask a correctness break.
+    assert "invariant" not in kinds, findings
+    assert "parity" not in kinds, findings
+
+
+@pytest.mark.parametrize("path", REPRO_FILES,
+                         ids=[os.path.basename(p) for p in REPRO_FILES])
+def test_repro_spec_decodes_and_stays_minimal(path):
+    import json
+    with open(path) as fh:
+        payload = json.load(fh)
+    spec = spec_from_json_dict(payload["spec"])
+    cfg = spec.fleet.config
+    # Shrunk specs stay small — the whole point of checking them in is a
+    # fast, minimal regression case.
+    assert cfg.n_vms <= 8
+    assert cfg.n_intervals <= 8
+    assert len(spec.variants) <= 2
+    assert payload["shrink_steps"] >= 1
+    assert payload["mutations"]

@@ -1,0 +1,99 @@
+"""Spec <-> JSON round-trips, including the fuzz mutation round-trip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.arena.fuzz import MUTATIONS, mutate_spec
+from repro.arena.policies import resolve_policies
+from repro.arena.tournament import ArenaConfig, draw_schedule, spec_for_draw
+from repro.experiments.engine import (FleetSpec, ScenarioSpec, SchedulerSpec,
+                                      VariantSpec, WorkloadSpec,
+                                      run_scenario)
+from repro.experiments import REGISTRY
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.specio import (SPEC_SCHEMA_VERSION, spec_from_json,
+                                      spec_from_json_dict, spec_to_json,
+                                      spec_to_json_dict)
+
+
+def small_spec():
+    cfg = ScenarioConfig(pms_per_dc=1, n_vms=4, n_intervals=4, scale=2.0,
+                         seed=3)
+    return ScenarioSpec(
+        name="small",
+        fleet=FleetSpec("multidc", config=cfg),
+        workload=WorkloadSpec("multidc", config=cfg),
+        variants=(VariantSpec("static", SchedulerSpec("static")),
+                  VariantSpec("oracle", SchedulerSpec("oracle"))))
+
+
+class TestRoundTrip:
+    def test_small_spec(self):
+        spec = small_spec()
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_arena_draw_specs(self):
+        config = ArenaConfig(seed=5, n_draws=3, n_intervals=6)
+        policies = resolve_policies(config.policies)
+        for draw in draw_schedule(5, 3, 6):
+            spec = spec_for_draw(draw, policies, config)
+            assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_registry_specs(self):
+        # Every registered simulation scenario's spec must round-trip:
+        # that is what makes any fuzz finding checkable-in.
+        for name in REGISTRY.names():
+            spec = REGISTRY.spec(name)
+            assert spec_from_json(spec_to_json(spec)) == spec, name
+
+    def test_canonical_bytes_stable(self):
+        spec = small_spec()
+        assert spec_to_json(spec) == spec_to_json(spec)
+
+    def test_schema_version_checked(self):
+        data = spec_to_json_dict(small_spec())
+        data["schema"] = SPEC_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported spec schema"):
+            spec_from_json_dict(data)
+
+    def test_unknown_type_rejected(self):
+        data = json.loads(spec_to_json(small_spec()))
+        data["spec"]["__dc__"] = "EvilSpec"
+        with pytest.raises(ValueError, match="unknown spec type"):
+            spec_from_json_dict(data)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError):
+            spec_to_json_dict({"not": "a spec"})
+        with pytest.raises(ValueError):
+            spec_from_json_dict({"schema": SPEC_SCHEMA_VERSION})
+
+
+class TestMutatedSpecRoundTrip:
+    """Satellite: a mutated spec survives JSON and re-runs identically."""
+
+    def test_every_mutation_round_trips(self):
+        rng = np.random.default_rng(11)
+        for name in sorted(MUTATIONS):
+            spec, _ = mutate_spec(small_spec(), rng, name=name)
+            assert spec_from_json(spec_to_json(spec)) == spec, name
+
+    def test_mutated_spec_reruns_with_identical_kpis(self):
+        rng = np.random.default_rng(4)
+        spec = small_spec()
+        for _ in range(3):
+            spec, _ = mutate_spec(spec, rng)
+        revived = spec_from_json(spec_to_json(spec))
+        kpis_a = {n: v.kpis() for n, v in run_scenario(spec).variants.items()}
+        kpis_b = {n: v.kpis()
+                  for n, v in run_scenario(revived).variants.items()}
+        assert set(kpis_a) == set(kpis_b)
+        for name in kpis_a:
+            for key, value in kpis_a[name].items():
+                if key == "run_s":    # wall clock, not physics
+                    continue
+                assert kpis_b[name][key] == pytest.approx(value,
+                                                          abs=1e-12), (
+                    name, key)

@@ -1,0 +1,183 @@
+"""Tournament determinism, ranking, invariant wiring and skip logic."""
+
+import json
+
+import pytest
+
+from repro.arena.policies import POLICIES, SMOKE_ROSTER, resolve_policies
+from repro.arena.tournament import (ArenaConfig, DrawBounds, draw_schedule,
+                                    format_leaderboard, run_tournament,
+                                    spec_for_draw)
+
+FAST = ArenaConfig(seed=0, n_draws=2, n_intervals=6,
+                   policies=("static", "bf", "oracle", "exact"))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_tournament(FAST)
+
+
+class TestDrawSchedule:
+    def test_deterministic(self):
+        assert draw_schedule(3, 4, 12) == draw_schedule(3, 4, 12)
+
+    def test_different_seeds_differ(self):
+        assert draw_schedule(0, 4, 12) != draw_schedule(1, 4, 12)
+
+    def test_draws_mutually_independent(self):
+        # Per-draw spawned streams: every draw gets distinct seeds (the
+        # PR 5 seed-collapse class would make these identical).
+        draws = draw_schedule(0, 6, 12)
+        seeds = {d.workload_seed for d in draws}
+        assert len(seeds) == len(draws)
+
+    def test_prefix_stable_under_appending(self):
+        assert draw_schedule(7, 2, 12) == draw_schedule(7, 5, 12)[:2]
+
+    def test_draws_within_bounds(self):
+        bounds = DrawBounds()
+        for d in draw_schedule(1, 8, 12, bounds):
+            assert bounds.n_vms[0] <= d.n_vms <= bounds.n_vms[1]
+            assert (bounds.pms_per_dc[0] <= d.pms_per_dc
+                    <= bounds.pms_per_dc[1])
+            assert bounds.scale[0] <= d.scale <= bounds.scale[1]
+            assert (bounds.n_locations[0] <= len(d.locations)
+                    <= bounds.n_locations[1])
+            assert len(set(d.locations)) == len(d.locations)
+            assert d.tariff_kind in ("flat", "solar", "time_of_use")
+            if d.fail_prob:
+                assert (bounds.fail_prob[0] <= d.fail_prob
+                        <= bounds.fail_prob[1])
+            if d.surge_factor is not None:
+                assert (bounds.surge_factor[0] <= d.surge_factor
+                        <= bounds.surge_factor[1])
+                assert 0 <= d.surge_start_min < d.surge_end_min
+
+    def test_rejects_zero_draws(self):
+        with pytest.raises(ValueError, match="n_draws"):
+            draw_schedule(0, 0, 12)
+
+
+class TestSeedReproducibility:
+    """Satellite: same seed = byte-identical leaderboard artifact."""
+
+    def test_same_seed_byte_identical(self, result):
+        again = run_tournament(FAST)
+        a = json.dumps(result.to_json_dict(), indent=2, sort_keys=True)
+        b = json.dumps(again.to_json_dict(), indent=2, sort_keys=True)
+        assert a == b
+
+    def test_different_seed_different_draws(self, result):
+        other = run_tournament(
+            ArenaConfig(seed=1, n_draws=2, n_intervals=6,
+                        policies=FAST.policies))
+        assert other.draws != result.draws
+
+    def test_save_json_stable_bytes(self, result, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        result.save_json(p1)
+        run_tournament(FAST).save_json(p2)
+        assert p1.read_bytes() == p2.read_bytes()
+
+
+class TestTournamentResult:
+    def test_all_cells_played(self, result):
+        # exact's ceiling (8 VMs) covers every bounded draw, so the
+        # matrix is full: one cell per policy per draw.
+        assert len(result.cells) == 2 * len(FAST.policies)
+        assert result.skipped == {}
+
+    def test_no_violations_on_clean_policies(self, result):
+        assert result.violations == []
+        assert all(v <= 1e-9 for v in result.parity.values())
+
+    def test_leaderboard_ranked_and_complete(self, result):
+        rows = result.leaderboard()
+        assert [r["policy"] for r in rows] != []
+        assert {r["policy"] for r in rows} == set(FAST.policies)
+        ranks = [r["mean_rank"] for r in rows]
+        assert ranks == sorted(ranks)
+        assert sum(r["wins"] for r in rows) == FAST.n_draws
+
+    def test_exact_at_least_matches_oracle(self, result):
+        # Branch-and-bound optimizes the same objective greedy Best-Fit
+        # approximates; per-round optimum must rank at or above it.
+        rows = {r["policy"]: r for r in result.leaderboard()}
+        assert (rows["exact"]["mean_rank"]
+                <= rows["oracle"]["mean_rank"])
+
+    def test_artifact_schema_diff_compatible(self, result):
+        data = result.to_json_dict()
+        assert data["scenario"] == "arena"
+        assert isinstance(data["variants"], dict)
+        for row in data["variants"].values():
+            assert isinstance(row["kpis"], dict)
+        # No wall-clock anywhere: determinism depends on it.
+        text = json.dumps(data)
+        assert "run_s" not in text
+
+    def test_format_leaderboard_mentions_status(self, result):
+        text = format_leaderboard(result)
+        assert "invariants: OK" in text
+        for name in FAST.policies:
+            assert name in text
+
+
+class TestSkipLogic:
+    def test_exact_skipped_above_ceiling(self):
+        bounds = DrawBounds(n_vms=(10, 12))   # above EXACT_MAX_VMS
+        config = ArenaConfig(seed=0, n_draws=1, n_intervals=4,
+                             policies=("static", "exact"), bounds=bounds,
+                             check_parity=False)
+        result = run_tournament(config)
+        assert result.skipped == {"exact": [0]}
+        assert [c.policy for c in result.cells] == ["static"]
+        assert "skipped" in format_leaderboard(result)
+
+    def test_unknown_policy_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown arena policy"):
+            run_tournament(ArenaConfig(policies=("static", "bogus")))
+        with pytest.raises(ValueError, match="duplicate"):
+            resolve_policies(("static", "static"))
+        with pytest.raises(ValueError, match="empty"):
+            resolve_policies(())
+
+
+class TestSpecForDraw:
+    def test_ml_roster_gets_training(self):
+        draw = draw_schedule(0, 1, 6)[0]
+        config = ArenaConfig(n_intervals=6)
+        spec = spec_for_draw(
+            draw, resolve_policies(("bf_ml", "bf_ml_bagged",
+                                    "bf_ml_calibrated", "static")), config)
+        assert spec.training is not None
+        assert spec.training.seed == draw.training_seed
+        by_name = {v.name: v for v in spec.variants}
+        assert by_name["bf_ml"].training is None          # scenario models
+        assert by_name["bf_ml_bagged"].training.bagging == config.bagging
+        # The two bagged variants share one training spec (cache hit).
+        assert (by_name["bf_ml_bagged"].training
+                == by_name["bf_ml_calibrated"].training)
+        assert by_name["bf_ml_calibrated"].risk is not None
+
+    def test_training_free_roster_skips_training(self):
+        draw = draw_schedule(0, 1, 6)[0]
+        spec = spec_for_draw(draw, resolve_policies(SMOKE_ROSTER),
+                             ArenaConfig(n_intervals=6))
+        assert spec.training is None
+        assert all(v.training is None for v in spec.variants)
+
+    def test_draw_shape_carried_into_config(self):
+        for draw in draw_schedule(2, 4, 6):
+            spec = spec_for_draw(draw, resolve_policies(("static",)),
+                                 ArenaConfig(n_intervals=6))
+            cfg = spec.fleet.config
+            assert cfg.locations == draw.locations
+            assert cfg.n_vms == draw.n_vms
+            assert cfg.seed == draw.workload_seed
+            assert bool(cfg.flash_crowds) == (draw.surge_factor
+                                              is not None)
+            assert (spec.failures is not None) == (draw.fail_prob > 0)
+            assert ((spec.tariffs is None and draw.tariff_kind == "flat")
+                    or spec.tariffs.kind == draw.tariff_kind)

@@ -14,6 +14,11 @@ untraced VMs.
 import numpy as np
 import pytest
 
+# The differential assertion helpers moved to the arena's shared
+# invariant suite (PR 7); these tests keep pinning the same contract
+# through the shared implementation.
+from repro.arena.invariants import (assert_pack_results_equal,
+                                    assert_problems_equal)
 from repro.core.bestfit import (SchedulingRound, build_problem,
                                 descending_best_fit, make_bestfit_scheduler)
 from repro.core.estimators import ObservedEstimator, OracleEstimator
@@ -25,6 +30,8 @@ from repro.experiments.scenario import (ScenarioConfig, multidc_system,
 from repro.sim.engine import run_simulation
 from repro.sim.fleet import report_max_abs_diff
 from repro.sim.monitor import Monitor
+
+assert_results_equal = assert_pack_results_equal
 
 
 @pytest.fixture(scope="module")
@@ -42,52 +49,6 @@ def stepped_system(config, trace):
     system = multidc_system(config)
     system.step(trace, 0)
     return system
-
-
-EVAL_FIELDS = ("profit_eur", "revenue_eur", "energy_cost_eur",
-               "migration_penalty_eur", "sla", "used_cpu",
-               "migration_seconds")
-
-
-def assert_results_equal(fast, reference, tol=1e-9):
-    assert fast.assignment == reference.assignment
-    assert fast.order == reference.order
-    assert set(fast.evaluations) == set(reference.evaluations)
-    for vm_id, ev in fast.evaluations.items():
-        ref = reference.evaluations[vm_id]
-        for field in EVAL_FIELDS:
-            assert abs(getattr(ev, field) - getattr(ref, field)) < tol, (
-                vm_id, field)
-        for dim in ("cpu", "mem", "bw"):
-            assert abs(getattr(ev.required, dim)
-                       - getattr(ref.required, dim)) < tol
-            assert abs(getattr(ev.given, dim)
-                       - getattr(ref.given, dim)) < tol
-
-
-def assert_problems_equal(fast, reference):
-    assert [r.vm_id for r in fast.requests] == [r.vm_id for r in
-                                                reference.requests]
-    for rf, rr in zip(fast.requests, reference.requests):
-        assert rf.current_pm == rr.current_pm
-        assert rf.current_location == rr.current_location
-        assert rf.queue_len == rr.queue_len
-        assert list(rf.loads) == list(rr.loads)
-        for src, load in rf.loads.items():
-            other = rr.loads[src]
-            assert load.rps == other.rps
-            assert load.bytes_per_req == other.bytes_per_req
-            assert load.cpu_time_per_req == other.cpu_time_per_req
-    assert [h.pm_id for h in fast.hosts] == [h.pm_id for h in
-                                             reference.hosts]
-    for hf, hr in zip(fast.hosts, reference.hosts):
-        assert hf.location == hr.location
-        assert hf.energy_price_eur_kwh == hr.energy_price_eur_kwh
-        assert hf.initially_on == hr.initially_on
-        assert hf.committed.keys() == hr.committed.keys()
-        for vm_id, demand in hf.committed.items():
-            assert demand == hr.committed[vm_id]
-        assert hf.committed_used_cpu == hr.committed_used_cpu
 
 
 class TestProblemParity:

@@ -101,7 +101,12 @@ class TestScenariosCLI:
 
     def test_unknown_scenario_fails_cleanly(self, capsys):
         assert main(["scenarios", "run", "figure99"]) == 2
-        assert "unknown scenario" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        # The error is actionable: it lists every registered name.
+        from repro.experiments import REGISTRY
+        for name in REGISTRY.names():
+            assert name in err
 
     def test_csv_on_analysis_only_scenario_fails_cleanly(self, capsys,
                                                          tmp_path):
