@@ -32,6 +32,15 @@ test suites live here as importable helpers
 :func:`assert_system_states_match`) plus :func:`check_spec_parity`,
 which replays a scenario spec's physics on both stepping paths and
 returns the worst report divergence.
+
+**Cross-shard conservation** (:func:`check_shard_conservation`) — the
+sharded stepping path (:class:`repro.sim.sharding.ShardedFleet`) must
+conserve the global KPIs across its per-DC decomposition: every additive
+KPI of the interval (revenue, penalties, energy cost and Wh, watts,
+powered-on hosts, aggregate rps) equals the sum over the per-shard
+reductions, the mean SLA is the shard SLA mass over the reported VM
+count, and no VM sits in two shards (the shard VM sets partition the
+placement map).
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ __all__ = ["DEFAULT_TOL", "PARITY_TOL", "InvariantViolation",
            "capacities_of", "check_report", "check_history",
            "check_spec_parity", "assert_report_invariants",
            "assert_history_invariants", "assert_invariants",
+           "check_shard_conservation", "assert_shard_conservation",
            "EVAL_FIELDS", "assert_pack_results_equal",
            "assert_problems_equal", "assert_system_states_match"]
 
@@ -288,6 +298,125 @@ def assert_invariants(obj, capacities=None, tol: float = DEFAULT_TOL) -> None:
         assert_history_invariants(obj, capacities=capacities, tol=tol)
     else:
         assert_report_invariants(obj, capacities=capacities, tol=tol)
+
+
+# =============================================================================
+# Cross-shard conservation laws
+# =============================================================================
+
+def check_shard_conservation(sharded, metrics=None,
+                             tol: float = DEFAULT_TOL) -> List[str]:
+    """Violations of the sharded-stepping conservation laws (empty = clean).
+
+    ``sharded`` is a :class:`repro.sim.sharding.ShardedFleet` *after* a
+    step (its :attr:`last_shard_metrics` hold the per-shard reductions of
+    that interval); ``metrics`` is the same interval's global KPIs — an
+    :class:`~repro.sim.metrics.IntervalMetrics`, or an
+    :class:`~repro.sim.multidc.IntervalReport` (reduced here via
+    :func:`~repro.sim.metrics.metrics_of`), or ``None`` to audit only the
+    structural laws.  Checked:
+
+    * **partition** — the per-shard VM sets are pairwise disjoint and
+      their union is exactly the system's placement map (no VM in two
+      shards, none lost);
+    * **shape** — one shard per datacenter, matching locations and PM
+      counts;
+    * **additivity** (with ``metrics``) — every additive global KPI
+      equals the sum over shards, profit decomposes as revenue minus
+      penalties minus energy cost, and the mean SLA is the shard SLA
+      mass over the reported VM count (with unplaced traced VMs diluting
+      it, never raising it).
+    """
+    v: List[str] = []
+    shards = sharded.last_shard_metrics
+    if not shards:
+        return ["no shard metrics recorded (step the fleet first)"]
+
+    # -- partition: no VM in two shards, none lost --------------------------
+    seen: Dict[str, int] = {}
+    for si, ids in enumerate(sharded.shard_vm_ids()):
+        for vm_id in ids:
+            if vm_id in seen:
+                v.append(f"VM {vm_id!r} appears in shards {seen[vm_id]} "
+                         f"and {si}")
+            seen[vm_id] = si
+    placement = sharded.system.placement()
+    if set(seen) != set(placement):
+        lost = sorted(set(placement) - set(seen))[:3]
+        extra = sorted(set(seen) - set(placement))[:3]
+        v.append(f"shard VM union != placement map "
+                 f"(lost={lost}, extra={extra})")
+
+    # -- shape: one shard per DC, matching locations and PM counts ----------
+    dcs = sharded.system.datacenters
+    if len(shards) != len(dcs):
+        v.append(f"{len(shards)} shard records for {len(dcs)} DCs")
+    for s, dc in zip(shards, dcs):
+        if s.location != dc.location:
+            v.append(f"shard location {s.location!r} != DC "
+                     f"{dc.location!r}")
+        if s.n_pms != len(dc.pms):
+            v.append(f"shard {s.location}: n_pms={s.n_pms} but the DC "
+                     f"has {len(dc.pms)}")
+
+    if metrics is None:
+        return v
+    if hasattr(metrics, "vms"):  # an IntervalReport
+        from ..sim.metrics import metrics_of
+        metrics = metrics_of(metrics)
+
+    unplaced = sharded.last_unplaced
+    both = shards + ([unplaced] if unplaced is not None else [])
+
+    def total(field: str) -> float:
+        return sum(getattr(s, field) for s in both)
+
+    # -- additivity: global KPIs are the shard sums -------------------------
+    sums = (
+        ("revenue_eur", metrics.revenue_eur, total("revenue_eur")),
+        ("migration_penalty_eur", metrics.migration_penalty_eur,
+         total("migration_penalty_eur")),
+        ("energy_cost_eur", metrics.energy_cost_eur,
+         total("energy_cost_eur")),
+        ("total_watts", metrics.total_watts, total("watts_sum")),
+        ("total_energy_wh", metrics.total_energy_wh,
+         total("energy_wh_sum")),
+        ("n_pms_on", float(metrics.n_pms_on), total("n_pms_on")),
+        ("total_rps", metrics.total_rps, total("rps_sum")),
+        ("profit_eur", metrics.profit_eur,
+         total("revenue_eur") - total("migration_penalty_eur")
+         - total("energy_cost_eur")),
+    )
+    for name, global_value, shard_sum in sums:
+        if not _close(global_value, shard_sum, tol):
+            v.append(f"t={metrics.t}: global {name}={global_value} but "
+                     f"the shards sum to {shard_sum}")
+
+    n_placed = sum(s.n_placed for s in shards)
+    sla_mass = total("sla_sum")
+    if unplaced is None:
+        expected_sla = sla_mass / n_placed if n_placed else 1.0
+        if not _close(metrics.mean_sla, expected_sla, tol):
+            v.append(f"t={metrics.t}: mean_sla={metrics.mean_sla} but "
+                     f"shard SLA mass gives {expected_sla}")
+    elif n_placed:
+        # Unplaced traced VMs add 0 to the SLA mass and 1 each to the
+        # reported count: they dilute the mean, never raise it.
+        ceiling = sla_mass / n_placed
+        if metrics.mean_sla > ceiling + tol * (1.0 + abs(ceiling)):
+            v.append(f"t={metrics.t}: mean_sla={metrics.mean_sla} "
+                     f"exceeds the placed-only ceiling {ceiling}")
+    return v
+
+
+def assert_shard_conservation(sharded, metrics=None,
+                              tol: float = DEFAULT_TOL) -> None:
+    """Raise :class:`InvariantViolation` listing every broken shard law."""
+    violations = check_shard_conservation(sharded, metrics, tol=tol)
+    if violations:
+        raise InvariantViolation(
+            f"{len(violations)} invariant violation(s):\n  "
+            + "\n  ".join(violations))
 
 
 # =============================================================================

@@ -14,11 +14,18 @@ Generic scenario commands over the PR 4 engine
     python -m repro.cli scenarios run figure6 --intervals 72
     python -m repro.cli scenarios run follow_the_sun_8dc --json out.json
     python -m repro.cli scenarios run table3 --csv intervals.csv
+    python -m repro.cli scenarios run huge_fleet_stream --stream kpis.jsonl
     python -m repro.cli scenarios diff before.json after.json
 
 ``scenarios run`` prints the generic KPI report and can persist the
 structured :class:`~repro.experiments.engine.ScenarioResult` as a JSON
 artifact (per-variant KPIs + interval series) or a per-interval CSV.
+``--stream PATH`` plays each variant through a bounded-memory disk sink
+(:func:`repro.sim.metrics.open_sink`: ``.jsonl`` or ``.csv``) instead of
+keeping interval reports in memory — the 50-100k-VM mode; with several
+variants the path gains a ``.<variant>`` infix.  KPIs and the JSON
+artifact are identical either way (the sink performs the same
+reduction), so streamed artifacts stay ``scenarios diff``-clean.
 ``scenarios diff`` compares two such JSON artifacts KPI-by-KPI (the
 perf/quality trajectory across PRs, reviewable from CI artifacts
 alone); ``--tol PCT`` makes it exit non-zero on drift beyond the
@@ -198,6 +205,11 @@ def build_scenario_parser() -> argparse.ArgumentParser:
                      help="write the structured result as JSON")
     run.add_argument("--csv", metavar="PATH", default=None,
                      help="write the per-interval series as CSV")
+    run.add_argument("--stream", metavar="PATH", default=None,
+                     help="stream per-interval KPIs to a bounded-memory "
+                          "disk sink (.jsonl or .csv) instead of keeping "
+                          "interval reports in memory; with several "
+                          "variants PATH gains a .<variant> infix")
     run.add_argument("--no-series", action="store_true",
                      help="omit interval series from the JSON artifact")
     diff = sub.add_parser(
@@ -308,8 +320,32 @@ def _scenarios_main(argv) -> int:
               f"and has no per-interval series; use --json",
               file=sys.stderr)
         return 2
-    result = run_scenario(spec)
+    sink_factory = None
+    if args.stream is not None:
+        if not spec.variants:
+            print(f"error: --stream: scenario {args.name!r} is "
+                  f"analysis-only and plays no intervals to stream",
+                  file=sys.stderr)
+            return 2
+        from .sim.metrics import STREAM_SUFFIXES, open_sink
+        root, ext = os.path.splitext(args.stream)
+        if ext not in STREAM_SUFFIXES:
+            # Fail before the (possibly long) run, with the sink
+            # layer's own phrasing.
+            print(f"error: --stream: unknown stream format "
+                  f"{args.stream!r}: expected a path ending in "
+                  + " or ".join(STREAM_SUFFIXES), file=sys.stderr)
+            return 2
+        if len(spec.variants) > 1:
+            def sink_factory(name, _root=root, _ext=ext):
+                return open_sink(f"{_root}.{name}{_ext}")
+        else:
+            def sink_factory(name, _path=args.stream):
+                return open_sink(_path)
+    result = run_scenario(spec, sink_factory=sink_factory)
     print(format_scenario_result(result))
+    for name, path in sorted(result.streams.items()):
+        print(f"[streamed {name} -> {path}]")
     if args.json:
         result.save_json(args.json, include_series=not args.no_series)
         print(f"[wrote {args.json}]")

@@ -75,6 +75,11 @@ def descending_best_fit(problem: SchedulingProblem,
     and differential tests pin this down).
     """
     if not problem.hosts:
+        # An empty shard (zero-PM DC, or every host failed) with nothing
+        # to place is a clean no-op round; only an actual request with no
+        # candidate host anywhere is an error.
+        if not problem.requests:
+            return BestFitResult(assignment={}, evaluations={}, order=[])
         raise ValueError("no candidate hosts")
     # Pack into copies: scoring a round must not mutate the problem.
     hosts = [HostView(pm_id=h.pm_id, location=h.location,
@@ -315,7 +320,22 @@ class SchedulingRound:
                  weights: Optional[ObjectiveWeights] = None,
                  queue_lens: Optional[Mapping[str, float]] = None,
                  loads_override: Optional[Mapping[str, Mapping[str, object]]]
-                 = None) -> None:
+                 = None,
+                 scope_pms: Optional[Sequence[str]] = None,
+                 batch_vms: Optional[Sequence[str]] = None) -> None:
+        """Snapshot one round.
+
+        ``scope_pms`` restricts the snapshot itself to those PMs: the host
+        base and the placement view only cover them, so construction is
+        O(scope) instead of O(fleet) — the shard-local round the sharded
+        hierarchical scheduler builds per DC.  A VM hosted outside the
+        scope appears unplaced to this round; callers must keep scoped
+        VM sets consistent (the hierarchical phases do by construction).
+        ``batch_vms`` limits the vectorized demand prefetch to those VMs
+        (demand estimation is elementwise, so restricting the batch
+        returns bit-identical per-VM values); others fall back to scalar
+        estimation on first use.
+        """
         self.system = system
         self.trace = trace
         self.t = t
@@ -324,14 +344,29 @@ class SchedulingRound:
         self.queue_lens = dict(queue_lens) if queue_lens else {}
         self.loads_override = loads_override
         self.fleet = FleetState.for_system(system, trace)
-        self.placement = system.placement()
+        self.scope_pms = (frozenset(scope_pms)
+                          if scope_pms is not None else None)
+        self._batch_vms = (frozenset(batch_vms)
+                           if batch_vms is not None else None)
+        if scope_pms is None:
+            self.placement = system.placement()
+        else:
+            placement: Dict[str, str] = {}
+            for pm_id in scope_pms:
+                pm = system.pm(pm_id)  # raises on unknown host
+                for vm_id in pm.vm_ids:
+                    placement[vm_id] = pm_id
+            self.placement = placement
         # Per-round host base: one walk over the live PMs, committed
         # demands resolved exactly like HostView.of (last known demand,
         # falling back to the recorded grant).
         demands = system.last_demands
+        wanted = self.scope_pms
         self._host_base: List[tuple] = []
         for dc in system.datacenters:
             for pm in dc.pms:
+                if wanted is not None and pm.pm_id not in wanted:
+                    continue
                 if pm.failed:
                     continue
                 committed = []
@@ -389,8 +424,10 @@ class SchedulingRound:
                 fleet = self.fleet
                 overridden = (set(self.loads_override)
                               if self.loads_override is not None else ())
+                hinted = self._batch_vms
                 vm_ids = [v for v in fleet.traced_ids
-                          if v not in overridden]
+                          if v not in overridden
+                          and (hinted is None or v in hinted)]
                 if vm_ids:
                     rows = [fleet.vm_index[v] for v in vm_ids]
                     rps, bpr, cpr = fleet.aggregate_columns(self.t)
@@ -470,6 +507,11 @@ class SchedulingRound:
         selection rule are identical.
         """
         if not problem.hosts:
+            # Mirror descending_best_fit: an empty shard with nothing to
+            # place is a clean no-op round.
+            if not problem.requests:
+                return BestFitResult(assignment={}, evaluations={},
+                                     order=[])
             raise ValueError("no candidate hosts")
         # No defensive host copies needed: the RoundScorer's commits are
         # array-native (batch columns only), so the problem's host views

@@ -84,6 +84,15 @@ class HierarchicalScheduler:
         each problem from live objects via
         :func:`~repro.core.bestfit.build_problem` (the executable
         reference — both produce identical assignments).
+    shard_rounds:
+        When True (requires ``use_round_snapshot``), each phase-1 problem
+        gets its own *DC-scoped* :class:`SchedulingRound` (host base and
+        placement walk restricted to that DC's PMs, demand batch restricted
+        to its VMs) and the phase-2 global problem a round scoped to the
+        narrow candidate set — construction cost becomes O(shard) instead
+        of O(fleet) per problem, which is what keeps rounds tractable on
+        sharded 50–100k-VM fleets.  Assignments are identical to the
+        single-snapshot path (differential tests pin this).
     """
 
     estimator: Estimator
@@ -94,6 +103,7 @@ class HierarchicalScheduler:
     min_gain_eur: float = DEFAULT_MIN_GAIN_EUR
     skip_well_consolidated: bool = False
     use_round_snapshot: bool = True
+    shard_rounds: bool = False
     last_round: RoundDiagnostics = field(default_factory=RoundDiagnostics)
 
     def __post_init__(self) -> None:
@@ -108,16 +118,22 @@ class HierarchicalScheduler:
         diag = RoundDiagnostics(t=t)
         assignment: Dict[str, str] = {}
         movable: List[str] = []
-        # One snapshot serves every problem of this round (phase 1 + 2).
+        # One snapshot serves every problem of this round (phase 1 + 2) —
+        # unless shard_rounds, where each problem gets its own scoped
+        # snapshot (O(shard) construction; identical assignments).
         round_ = (SchedulingRound(system, trace, t, self.estimator,
                                   weights=self.weights)
-                  if self.use_round_snapshot else None)
+                  if self.use_round_snapshot and not self.shard_rounds
+                  else None)
 
         def solve(scope_vms, scope_pms):
-            if round_ is not None:
-                return round_.best_fit(scope_vms=scope_vms,
-                                       scope_pms=scope_pms,
-                                       min_gain_eur=self.min_gain_eur)
+            if self.use_round_snapshot:
+                r = round_ if round_ is not None else SchedulingRound(
+                    system, trace, t, self.estimator, weights=self.weights,
+                    scope_pms=scope_pms, batch_vms=scope_vms)
+                return r.best_fit(scope_vms=scope_vms,
+                                  scope_pms=scope_pms,
+                                  min_gain_eur=self.min_gain_eur)
             problem = build_problem(system, trace, t, self.estimator,
                                     scope_vms=scope_vms,
                                     scope_pms=scope_pms,

@@ -18,6 +18,12 @@ a new module:
   small fleet, transferred to the large one), with the ranking-
   amplification ladder: raw models vs bagged ensembles vs the
   calibrated, variance-penalized ranking (``VariantSpec(risk=...)``).
+* ``huge_fleet_stream`` — bounded-memory stepping at the 50k-VM scale:
+  the sharded per-DC fleet path (``VariantSpec(sharded=True)``) against
+  the monolithic reference, meant to be run with a streaming sink
+  (``scenarios run huge_fleet_stream --stream out.jsonl``) so peak
+  memory stays flat in both fleet size and horizon.  Its ``scale`` knob
+  multiplies the *fleet* (VMs and PMs together), not the request rate.
 
 All three run from the registry (``python -m repro.cli scenarios run
 <name>``) and are benchmark-gated in
@@ -46,6 +52,7 @@ from ..workload.patterns import FlashCrowd
 
 __all__ = ["flash_crowd_failures_spec", "follow_the_sun_8dc_spec",
            "ml_large_fleet_spec", "ML_LARGE_FLEET_RISK",
+           "huge_fleet_stream_spec",
            "quickstart_spec", "follow_the_sun_spec",
            "surviving_failures_spec"]
 
@@ -236,6 +243,59 @@ REGISTRY.register(
         ml_large_fleet_spec(n_intervals=fallback(n_intervals, 6),
                             seed=fallback(seed, 7),
                             scale=fallback(scale, 1.0)))
+
+
+def huge_fleet_stream_spec(n_intervals: int = 6, seed: int = 31,
+                           scale: float = 1.0,
+                           n_dcs: int = 8, pms_per_dc: int = 950,
+                           n_vms: int = 50_000) -> ScenarioSpec:
+    """Bounded-memory stepping at the 50–100k-VM scale.
+
+    The ISSUE-8 tentpole scenario: ``n_vms`` VMs over ``n_dcs`` DCs
+    stepped through the sharded per-DC fleet path
+    (``VariantSpec(sharded=True)``) next to the monolithic reference,
+    both under a static placement so the measured cost is the stepping
+    itself.  Run it with a streaming sink (``scenarios run
+    huge_fleet_stream --stream out.jsonl``): the sharded variant then
+    reduces each interval straight to KPIs with no per-VM boxing, so
+    peak memory stays roughly flat in horizon length where the
+    in-memory monolithic path grows linearly
+    (``benchmarks/test_bench_sharding.py`` gates both the wall-clock
+    and the tracemalloc peak, and pins KPI parity at 1e-9).
+
+    Unlike every other catalog scenario, ``scale`` here multiplies the
+    *fleet* — VMs and PMs together, load shape untouched — because the
+    whole point is bounded memory as the fleet grows: ``--scale 2``
+    is the 100k-VM run.  ``sources_per_vm=1`` keeps the synthetic trace
+    itself (which is O(VMs x sources x horizon) regardless of sink)
+    from dominating the memory story.
+    """
+    n_vms = max(n_dcs, int(round(n_vms * scale)))
+    pms_per_dc = max(1, int(round(pms_per_dc * scale)))
+    fleet = FleetSpec("synthetic_hierarchical", params=dict(
+        n_dcs=n_dcs, pms_per_dc=pms_per_dc, n_vms=n_vms,
+        n_intervals=n_intervals, sources_per_vm=1, seed=seed))
+    return ScenarioSpec(
+        name="huge_fleet_stream",
+        description="Bounded-memory sharded stepping at 50k+ VMs "
+                    "(sharded vs monolithic, stream the KPIs)",
+        fleet=fleet,
+        workload=WorkloadSpec("fleet"),
+        variants=(
+            VariantSpec("sharded", SchedulerSpec("static"), sharded=True),
+            VariantSpec("monolithic", SchedulerSpec("static")),
+        ),
+        seed=seed)
+
+
+REGISTRY.register(
+    "huge_fleet_stream",
+    description="Bounded-memory sharded stepping at 50k+ VMs (sharded "
+                "vs monolithic, stream the KPIs)")(
+    lambda n_intervals=None, seed=None, scale=None:
+        huge_fleet_stream_spec(n_intervals=fallback(n_intervals, 6),
+                               seed=fallback(seed, 31),
+                               scale=fallback(scale, 1.0)))
 
 
 # =============================================================================

@@ -373,9 +373,13 @@ class VariantSpec:
     de-location comparison pits one vs several DCs), ``trace_scale``
     (replay the shared trace at another request rate — Figure 8's load
     sweep), ``training`` (a per-variant model set — the harvest-size
-    ablation), ``schedule_every`` (rounds between scheduler calls) and
+    ablation), ``schedule_every`` (rounds between scheduler calls),
     ``risk`` (a :class:`~repro.ml.calibration.RiskConfig`: calibrated,
-    variance-penalized ranking for ML-estimator schedulers).
+    variance-penalized ranking for ML-estimator schedulers) and
+    ``sharded`` (step intervals per-DC through
+    :class:`~repro.sim.sharding.ShardedFleet`; with a streaming sink the
+    run reduces each interval straight to KPIs, holding peak memory flat
+    in horizon length).
     """
 
     name: str
@@ -385,6 +389,7 @@ class VariantSpec:
     training: Optional[TrainingSpec] = None
     schedule_every: int = 1
     risk: Optional[RiskConfig] = None
+    sharded: bool = False
 
 
 @dataclass(frozen=True)
@@ -485,6 +490,11 @@ class ScenarioResult:
     extras: Dict[str, object] = field(default_factory=dict)
     models: Optional[ModelSet] = field(repr=False, default=None)
     monitor: Optional[Monitor] = field(repr=False, default=None)
+    #: Variant name -> streamed artifact path, when the run streamed
+    #: per-interval KPIs to disk sinks.  Deliberately *not* part of the
+    #: ``--json`` artifact: the artifact stays byte-comparable between
+    #: streamed and in-memory runs (``scenarios diff``-clean).
+    streams: Dict[str, str] = field(default_factory=dict)
 
     def variant(self, name: str) -> VariantResult:
         return self.variants[name]
@@ -661,15 +671,29 @@ def _training_key(training: TrainingSpec, spec: ScenarioSpec) -> str:
 
 
 def run_scenario(spec: Union[ScenarioSpec, str],
-                 models: Optional[ModelSet] = None) -> ScenarioResult:
+                 models: Optional[ModelSet] = None,
+                 sink_factory: Optional[Callable[[str], object]] = None,
+                 keep_reports: Optional[bool] = None) -> ScenarioResult:
     """Run one scenario spec end to end; see the module docstring.
 
     ``spec`` may be a registered scenario name.  ``models`` injects an
     already-trained model set (skipping the training phase) — the hook
     the one-shot report uses to share one training run across artifacts.
+
+    ``sink_factory`` maps a variant name to a fresh
+    :class:`~repro.sim.metrics.MetricsSink`; each variant's per-interval
+    KPIs are streamed to its sink as they are played (the sink is closed
+    by this function).  Streaming implies ``keep_reports=False`` unless
+    overridden: per-interval reports are dropped after feeding the sink,
+    the variant's summary/series come from the sink (bit-identical to the
+    in-memory reduction), and peak memory stays flat in horizon length.
+    Disk-sink paths land in :attr:`ScenarioResult.streams`.
     """
     if isinstance(spec, str):
         spec = REGISTRY.spec(spec)
+    keep = keep_reports if keep_reports is not None else sink_factory is None
+    if not keep and sink_factory is None:
+        raise ValueError("keep_reports=False requires a sink_factory")
     t_total = time.perf_counter()
     timings: Dict[str, float] = {}
 
@@ -701,6 +725,7 @@ def run_scenario(spec: Union[ScenarioSpec, str],
     timings["train_s"] = time.perf_counter() - t0
 
     variants: Dict[str, VariantResult] = {}
+    streams: Dict[str, str] = {}
     for variant in spec.variants:
         t0 = time.perf_counter()
         fleet = variant.fleet or spec.fleet
@@ -732,21 +757,36 @@ def run_scenario(spec: Union[ScenarioSpec, str],
                     else None)
         scheduler, live_monitor = variant.scheduler.build(variant_models,
                                                           risk=variant.risk)
-        history = run_simulation(
-            system, trace, scheduler=scheduler,
-            schedule_every=variant.schedule_every,
-            monitor=live_monitor, failure_injector=injector,
-            stop=spec.horizon)
+        sink = (sink_factory(variant.name) if sink_factory is not None
+                else None)
+        try:
+            history = run_simulation(
+                system, trace, scheduler=scheduler,
+                schedule_every=variant.schedule_every,
+                monitor=live_monitor, failure_injector=injector,
+                stop=spec.horizon, sink=sink, keep_reports=keep,
+                sharded=variant.sharded)
+        finally:
+            if sink is not None:
+                sink.close()
+        if keep:
+            summary, series = history.summary(), _variant_series(history)
+        else:
+            # The sink performed the identical reduction incrementally.
+            summary, series = sink.summary(), sink.series()
+        if sink is not None and getattr(sink, "path", None):
+            streams[variant.name] = sink.path
         variants[variant.name] = VariantResult(
-            name=variant.name, summary=history.summary(),
-            series=_variant_series(history),
+            name=variant.name, summary=summary,
+            series=series,
             run_s=time.perf_counter() - t0,
             history=history, trace=trace, models=variant_models,
             monitor=variant_monitor or live_monitor,
             failure_injector=injector, scheduler=scheduler)
 
     result = ScenarioResult(spec=spec, variants=variants, timings=timings,
-                            models=models, monitor=monitor)
+                            models=models, monitor=monitor,
+                            streams=streams)
     if spec.analysis is not None:
         fn = ANALYSES.get(spec.analysis)
         if fn is None:

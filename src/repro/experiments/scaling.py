@@ -258,8 +258,8 @@ def synthetic_fleet_system(n_hosts: int = 200, n_vms: int = 500,
                     cpu_time_per_req=np.full(
                         n_intervals, float(rng.uniform(0.01, 0.03)))))
     pm_ids = [pm.pm_id for dc in dcs for pm in dc.pms]
-    for j, vm_id in enumerate(vms):
-        system.deploy(vm_id, pm_ids[j % len(pm_ids)])
+    system.deploy_many({vm_id: pm_ids[j % len(pm_ids)]
+                        for j, vm_id in enumerate(vms)})
     return system, trace
 
 
@@ -386,8 +386,8 @@ def synthetic_hierarchical_fleet(n_dcs: int = 8, pms_per_dc: int = 56,
                     cpu_time_per_req=np.full(
                         n_intervals, float(rng.uniform(0.01, 0.03)))))
     pm_ids = [pm.pm_id for dc in dcs for pm in dc.pms]
-    for j, vm_id in enumerate(vms):
-        system.deploy(vm_id, pm_ids[j % len(pm_ids)])
+    system.deploy_many({vm_id: pm_ids[j % len(pm_ids)]
+                        for j, vm_id in enumerate(vms)})
     return system, trace
 
 

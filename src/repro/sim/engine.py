@@ -177,7 +177,10 @@ def run_simulation(system: MultiDCSystem, trace: WorkloadTrace,
                    failure_injector=None,
                    start: int = 0,
                    stop: Optional[int] = None,
-                   batch: bool = True) -> RunHistory:
+                   batch: bool = True,
+                   sink=None,
+                   keep_reports: bool = True,
+                   sharded: bool = False) -> RunHistory:
     """Run the interval loop over ``trace[start:stop]``.
 
     Parameters
@@ -197,12 +200,35 @@ def run_simulation(system: MultiDCSystem, trace: WorkloadTrace,
         Step intervals through the array-backed fleet path (default; see
         :mod:`repro.sim.fleet`) or the scalar per-VM reference loop.  Both
         produce reports that agree within 1e-9 on every field.
+    sink:
+        Optional :class:`~repro.sim.metrics.MetricsSink`; receives one
+        :class:`~repro.sim.metrics.IntervalMetrics` per interval as it is
+        played (streaming KPIs).  The caller closes the sink.
+    keep_reports:
+        ``False`` drops each interval's report after feeding the sink /
+        monitor, so peak memory stays flat in horizon length; the returned
+        history is then empty (use the sink's ``summary()``/``series()``).
+        Requires ``sink``.
+    sharded:
+        Step intervals per-DC through :class:`~repro.sim.sharding`
+        :class:`~repro.sim.sharding.ShardedFleet` (requires ``batch``).
+        With ``keep_reports=False``, no monitor and a sink, each interval
+        reduces straight to KPIs with no per-VM boxing at all; otherwise
+        the sharded path builds full reports (within 1e-9 of the
+        monolithic path).
     """
     if schedule_every < 1:
         raise ValueError("schedule_every must be >= 1")
+    if not keep_reports and sink is None:
+        raise ValueError("keep_reports=False requires a sink")
+    if sharded and not batch:
+        raise ValueError("sharded stepping requires batch=True")
     stop = trace.n_intervals if stop is None else stop
     if not 0 <= start <= stop <= trace.n_intervals:
         raise ValueError(f"bad range [{start}, {stop})")
+    if sink is not None or sharded:
+        from .metrics import metrics_of  # deferred: metrics imports us
+        from .sharding import ShardedFleet
     history = RunHistory()
     for t in range(start, stop):
         migrations = []
@@ -215,8 +241,21 @@ def run_simulation(system: MultiDCSystem, trace: WorkloadTrace,
             proposal = scheduler(system, trace, t)
             if proposal:
                 migrations = system.apply_schedule(proposal)
-        report = system.step(trace, t, migrations=migrations, batch=batch)
+        if sharded:
+            shf = ShardedFleet.for_system(system, trace)
+            if keep_reports or monitor is not None:
+                report = shf.step_report(trace, t, migrations=migrations)
+            else:
+                sink.on_metrics(shf.step_metrics(trace, t,
+                                                 migrations=migrations))
+                continue
+        else:
+            report = system.step(trace, t, migrations=migrations,
+                                 batch=batch)
         if monitor is not None:
             monitor.observe(report)
-        history.append(report)
+        if sink is not None:
+            sink.on_metrics(metrics_of(report))
+        if keep_reports:
+            history.append(report)
     return history

@@ -250,6 +250,16 @@ class FleetState:
                 pm_loc.append(li)
                 self.pm_loc_names.append(dc.location)
         self.pm_loc = np.asarray(pm_loc, dtype=np.intp)
+        #: Per-DC contiguous ``[lo, hi)`` slices of the PM arrays (PMs are
+        #: laid out in datacenter order) — the shard boundaries
+        #: :mod:`repro.sim.sharding` slices on.  A zero-PM DC contributes an
+        #: empty range.
+        ranges: List[Tuple[int, int]] = []
+        lo = 0
+        for dc in system.datacenters:
+            ranges.append((lo, lo + len(dc.pms)))
+            lo += len(dc.pms)
+        self.dc_pm_ranges = ranges
         self.pm_cap_cpu = np.array([pm.capacity.cpu for pm in self.pms])
         self.pm_cap_mem = np.array([pm.capacity.mem for pm in self.pms])
         self.pm_cap_bw = np.array([pm.capacity.bw for pm in self.pms])

@@ -1,0 +1,257 @@
+"""Streaming per-interval metrics: the ``MetricsSink`` seam.
+
+Scenario runs historically accumulated every :class:`IntervalReport` in a
+:class:`~repro.sim.engine.RunHistory`, which keeps O(n_vms) boxed stats per
+interval alive for the whole run — at 50–100k VMs that is hundreds of MB and
+the binding constraint well before compute is.  A :class:`MetricsSink`
+receives one tiny :class:`IntervalMetrics` record per interval instead; the
+disk sinks (:class:`JsonlMetricsSink`, :class:`CsvMetricsSink`) append each
+record to a file as it arrives, so peak memory stays flat in horizon length.
+
+Every sink keeps the per-interval *scalar* KPI series in memory (8 floats per
+interval — negligible) and can therefore reproduce
+:meth:`RunHistory.summary` and the scenario engine's series dict exactly:
+the aggregation below performs the same operations in the same order as
+``RunHistory``, so a streamed run's KPI dict is bit-identical to the
+in-memory run's.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.profit import ProfitBreakdown
+
+__all__ = [
+    "IntervalMetrics",
+    "metrics_of",
+    "MetricsSink",
+    "InMemoryMetricsSink",
+    "JsonlMetricsSink",
+    "CsvMetricsSink",
+    "open_sink",
+    "STREAM_SUFFIXES",
+]
+
+
+@dataclass(frozen=True)
+class IntervalMetrics:
+    """Constant-size per-interval KPI record (what the sinks stream).
+
+    Field values mirror :meth:`RunHistory.to_rows` exactly — a streamed
+    JSONL/CSV artifact row-for-row matches ``history.to_csv()`` output for
+    the same run.
+    """
+
+    t: int
+    interval_s: float
+    mean_sla: float
+    total_watts: float
+    total_energy_wh: float
+    n_pms_on: int
+    n_migrations: int
+    n_inter_dc_migrations: int
+    revenue_eur: float
+    migration_penalty_eur: float
+    energy_cost_eur: float
+    profit_eur: float
+    total_rps: float
+
+    def to_row(self) -> Dict[str, float]:
+        """Flat dict with the :meth:`RunHistory.to_rows` key schema."""
+        return {
+            "t": self.t,
+            "mean_sla": self.mean_sla,
+            "total_watts": self.total_watts,
+            "energy_wh": self.total_energy_wh,
+            "pms_on": self.n_pms_on,
+            "migrations": self.n_migrations,
+            "inter_dc_migrations": self.n_inter_dc_migrations,
+            "revenue_eur": self.revenue_eur,
+            "migration_penalty_eur": self.migration_penalty_eur,
+            "energy_cost_eur": self.energy_cost_eur,
+            "profit_eur": self.profit_eur,
+            "total_rps": self.total_rps,
+        }
+
+
+def metrics_of(report) -> IntervalMetrics:
+    """Reduce an :class:`~repro.sim.multidc.IntervalReport` to its KPIs.
+
+    Reads exactly the report properties ``RunHistory`` reads, so feeding
+    ``metrics_of(report)`` to a sink is equivalent to appending the report
+    to a history — minus the O(n_vms) per-VM stats retention.
+    """
+    return IntervalMetrics(
+        t=report.t,
+        interval_s=report.interval_s,
+        mean_sla=report.mean_sla,
+        total_watts=report.total_watts,
+        total_energy_wh=report.total_energy_wh,
+        n_pms_on=report.n_pms_on,
+        n_migrations=report.n_migrations,
+        n_inter_dc_migrations=report.n_inter_dc_migrations,
+        revenue_eur=report.profit.revenue_eur,
+        migration_penalty_eur=report.profit.migration_penalty_eur,
+        energy_cost_eur=report.profit.energy_cost_eur,
+        profit_eur=report.profit.profit_eur,
+        total_rps=sum(v.load.rps for v in report.vms.values()),
+    )
+
+
+class MetricsSink:
+    """Receives one :class:`IntervalMetrics` per simulated interval.
+
+    Contract:
+
+    - :meth:`on_metrics` is called once per interval, in chronological
+      order, with a constant-size record; implementations must not retain
+      O(n_vms) state.
+    - :meth:`summary` / :meth:`series` reproduce
+      :meth:`RunHistory.summary` / the engine's KPI series bit-for-bit for
+      the metrics seen so far (the base class keeps the scalar series and
+      performs the identical reduction).
+    - :meth:`close` flushes and releases any resources; calling it twice
+      is safe.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: List[IntervalMetrics] = []
+
+    # -- ingestion ------------------------------------------------------------
+    def on_metrics(self, metrics: IntervalMetrics) -> None:
+        if self._metrics and metrics.interval_s != self._metrics[0].interval_s:
+            raise ValueError("mixed interval lengths in one run")
+        self._metrics.append(metrics)
+
+    def close(self) -> None:  # pragma: no cover - overridden by disk sinks
+        pass
+
+    # -- accessors ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    @property
+    def interval_s(self) -> float:
+        return self._metrics[0].interval_s if self._metrics else 0.0
+
+    def series(self) -> Dict[str, np.ndarray]:
+        """Per-interval KPI series keyed like the scenario engine's."""
+        m = self._metrics
+        return {
+            "sla": np.array([x.mean_sla for x in m], dtype=float),
+            "watts": np.array([x.total_watts for x in m], dtype=float),
+            "pms_on": np.array([x.n_pms_on for x in m], dtype=float),
+            "migrations": np.array([x.n_migrations for x in m], dtype=float),
+            "profit_eur": np.array([x.profit_eur for x in m], dtype=float),
+            "revenue_eur": np.array([x.revenue_eur for x in m], dtype=float),
+            "energy_cost_eur": np.array([x.energy_cost_eur for x in m],
+                                        dtype=float),
+            "total_rps": np.array([x.total_rps for x in m], dtype=float),
+        }
+
+    def summary(self):
+        """Same reduction as :meth:`RunHistory.summary`, from the stream."""
+        from .engine import RunSummary  # deferred: engine imports this module
+        m = self._metrics
+        if not m:
+            return RunSummary(0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, 0)
+        hours = len(m) * self.interval_s / 3600.0
+        total = ProfitBreakdown()
+        for x in m:
+            total = total + ProfitBreakdown(
+                revenue_eur=x.revenue_eur,
+                migration_penalty_eur=x.migration_penalty_eur,
+                energy_cost_eur=x.energy_cost_eur)
+        return RunSummary(
+            n_intervals=len(m),
+            hours=hours,
+            avg_sla=float(np.mean(np.array([x.mean_sla for x in m],
+                                           dtype=float))),
+            avg_watts=float(np.mean(np.array([x.total_watts for x in m],
+                                             dtype=float))),
+            total_energy_wh=float(sum(x.total_energy_wh for x in m)),
+            revenue_eur=total.revenue_eur,
+            migration_penalty_eur=total.migration_penalty_eur,
+            energy_cost_eur=total.energy_cost_eur,
+            profit_eur=total.profit_eur,
+            n_migrations=int(sum(x.n_migrations for x in m)),
+            n_inter_dc_migrations=int(sum(x.n_inter_dc_migrations
+                                          for x in m)))
+
+    # -- context management ----------------------------------------------------
+    def __enter__(self) -> "MetricsSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class InMemoryMetricsSink(MetricsSink):
+    """Default sink: scalar series in memory, nothing on disk."""
+
+
+class JsonlMetricsSink(MetricsSink):
+    """Appends one JSON object per interval to ``path`` as it arrives."""
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        self.path = str(path)
+        self._fh = open(self.path, "w")
+
+    def on_metrics(self, metrics: IntervalMetrics) -> None:
+        super().on_metrics(metrics)
+        self._fh.write(json.dumps(metrics.to_row(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class CsvMetricsSink(MetricsSink):
+    """Appends one CSV row per interval to ``path`` as it arrives.
+
+    Column order matches :meth:`RunHistory.to_csv` so streamed and
+    in-memory CSV artifacts are interchangeable.
+    """
+
+    def __init__(self, path) -> None:
+        super().__init__()
+        self.path = str(path)
+        self._fh = open(self.path, "w", newline="")
+        self._writer: Optional[csv.DictWriter] = None
+
+    def on_metrics(self, metrics: IntervalMetrics) -> None:
+        super().on_metrics(metrics)
+        row = metrics.to_row()
+        if self._writer is None:
+            self._writer = csv.DictWriter(self._fh, fieldnames=list(row))
+            self._writer.writeheader()
+        self._writer.writerow(row)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+#: Stream file suffixes ``open_sink`` understands.
+STREAM_SUFFIXES = (".jsonl", ".csv")
+
+
+def open_sink(path) -> MetricsSink:
+    """Open a disk sink chosen by file suffix (``.jsonl`` or ``.csv``)."""
+    p = str(path)
+    if p.endswith(".jsonl"):
+        return JsonlMetricsSink(p)
+    if p.endswith(".csv"):
+        return CsvMetricsSink(p)
+    raise ValueError(
+        f"unknown stream format {p!r}: expected a path ending in "
+        + " or ".join(STREAM_SUFFIXES))
