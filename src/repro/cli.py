@@ -54,6 +54,39 @@ The warm placement server (PR 6, :mod:`repro.service`)::
 ``serve`` trains/builds the preloaded sessions up front and then answers
 ``/place`` / ``/step`` / ``/report`` / ``/scenarios/run`` / ``/healthz``
 over plain HTTP+JSON until interrupted.
+
+The contract linter + race analyzer (PR 9, :mod:`repro.lint`)::
+
+    python -m repro.cli lint
+    python -m repro.cli lint --baseline lint/baseline.json --json out.json
+    python -m repro.cli lint src/repro/service --quiet
+
+``lint`` runs the four static rule families (determinism, aliasing,
+lock discipline, parity pairs) over the tree.  With ``--baseline``,
+known findings warn while new ones fail; ``--write-baseline`` records
+the current findings as the new baseline.
+
+Quietness and exit codes
+------------------------
+
+``scenarios``, ``arena``, ``serve`` and ``lint`` all take ``--quiet``:
+suppress informational stdout (reports, progress, ``[wrote ...]``
+banners) while still writing artifacts; errors always go to stderr, and
+the exit code alone carries the verdict.  Exit codes are uniform:
+
+* ``0`` — success (``scenarios diff``: no drift beyond ``--tol``;
+  ``arena run``: no invariant violations; ``arena fuzz``: no
+  invariant/parity findings — floor findings are triage, not failure;
+  ``lint``: clean, or only baselined findings).
+* ``1`` — the command ran and found a failure (KPI drift beyond
+  ``--tol``, invariant violations, invariant/parity fuzz findings, new
+  lint findings).
+* ``2`` — usage error: unknown scenario/policy/session, malformed
+  flags or paths, analysis-only scenario with ``--csv``/``--stream``,
+  unreadable baseline/artifact.
+
+The legacy artifact commands (``table1`` ... ``all``) return 0 on
+success and 2 on argparse errors, as before.
 """
 
 from __future__ import annotations
@@ -186,14 +219,34 @@ def _seed_int(text: str) -> int:
     return value
 
 
+def _add_quiet(parser: argparse.ArgumentParser) -> None:
+    """The shared --quiet flag: suppress informational stdout.
+
+    Artifacts are still written and errors still go to stderr; the exit
+    code alone carries the verdict (see the module docstring).
+    """
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress informational output (artifacts "
+                             "are still written; errors go to stderr)")
+
+
+def _say(args) -> Callable[..., None]:
+    """``print`` honoring the shared --quiet flag."""
+    if getattr(args, "quiet", False):
+        return lambda *a, **k: None
+    return print
+
+
 def build_scenario_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro scenarios",
         description="List and run registered scenario specs "
                     "(repro.experiments.engine).")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list registered scenarios")
+    lst = sub.add_parser("list", help="list registered scenarios")
+    _add_quiet(lst)
     run = sub.add_parser("run", help="run one registered scenario")
+    _add_quiet(run)
     run.add_argument("name", help="registered scenario name")
     run.add_argument("--intervals", type=_positive_int, default=None,
                      help="override the scenario's horizon (rounds)")
@@ -214,6 +267,7 @@ def build_scenario_parser() -> argparse.ArgumentParser:
                      help="omit interval series from the JSON artifact")
     diff = sub.add_parser(
         "diff", help="compare the KPIs of two scenario JSON artifacts")
+    _add_quiet(diff)
     diff.add_argument("a", help="baseline artifact (scenarios run --json)")
     diff.add_argument("b", help="candidate artifact")
     diff.add_argument("--variant", default=None,
@@ -242,6 +296,7 @@ def _load_artifact(path: str) -> Dict:
 
 def _scenarios_diff(args) -> int:
     """Compare two ``scenarios run --json`` artifacts KPI-by-KPI."""
+    say = _say(args)
     try:
         a = _load_artifact(args.a)
         b = _load_artifact(args.b)
@@ -249,7 +304,7 @@ def _scenarios_diff(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if a.get("scenario") != b.get("scenario"):
-        print(f"note: comparing different scenarios "
+        say(f"note: comparing different scenarios "
               f"({a.get('scenario')!r} vs {b.get('scenario')!r})")
     names_a, names_b = set(a["variants"]), set(b["variants"])
     shared = sorted(names_a & names_b)
@@ -259,22 +314,22 @@ def _scenarios_diff(args) -> int:
                   f"(shared: {shared})", file=sys.stderr)
             return 2
         shared = [args.variant]
-    print(f"Scenario {a.get('scenario')}: {args.a} vs {args.b}")
+    say(f"Scenario {a.get('scenario')}: {args.a} vs {args.b}")
     for only, path in ((names_a - names_b, args.a),
                        (names_b - names_a, args.b)):
         if only and args.variant is None:
-            print(f"  only in {path}: {sorted(only)}")
+            say(f"  only in {path}: {sorted(only)}")
     worst = 0.0
     for name in shared:
         ka = a["variants"][name].get("kpis", {})
         kb = b["variants"][name].get("kpis", {})
-        print(f"\nvariant {name}")
-        print(f"  {'kpi':<24} {'a':>12} {'b':>12} {'delta':>12} {'%':>9}")
+        say(f"\nvariant {name}")
+        say(f"  {'kpi':<24} {'a':>12} {'b':>12} {'delta':>12} {'%':>9}")
         for key in sorted(set(ka) | set(kb)):
             va, vb = ka.get(key), kb.get(key)
             if not (isinstance(va, (int, float))
                     and isinstance(vb, (int, float))):
-                print(f"  {key:<24} {'?' if va is None else va:>12} "
+                say(f"  {key:<24} {'?' if va is None else va:>12} "
                       f"{'?' if vb is None else vb:>12}")
                 continue
             delta = vb - va
@@ -286,7 +341,7 @@ def _scenarios_diff(args) -> int:
                 pct_s = "     n/a" if delta else "   +0.00%"
             if key not in _DIFF_TIMING_KEYS:
                 worst = max(worst, abs(pct))
-            print(f"  {key:<24} {va:>12.6g} {vb:>12.6g} {delta:>+12.6g} "
+            say(f"  {key:<24} {va:>12.6g} {vb:>12.6g} {delta:>+12.6g} "
                   f"{pct_s:>9}")
     if args.tol is not None and worst > args.tol:
         print(f"\nFAIL: worst KPI drift {worst:.2f}% exceeds "
@@ -299,9 +354,10 @@ def _scenarios_main(argv) -> int:
     args = build_scenario_parser().parse_args(argv)
     if args.command == "diff":
         return _scenarios_diff(args)
+    say = _say(args)
     if args.command == "list":
         for name in REGISTRY.names():
-            print(f"{name:<22} {REGISTRY.describe(name)}")
+            say(f"{name:<22} {REGISTRY.describe(name)}")
         return 0
     if args.name not in REGISTRY:
         print(f"unknown scenario {args.name!r}; registered scenarios: "
@@ -343,19 +399,19 @@ def _scenarios_main(argv) -> int:
             def sink_factory(name, _path=args.stream):
                 return open_sink(_path)
     result = run_scenario(spec, sink_factory=sink_factory)
-    print(format_scenario_result(result))
+    say(format_scenario_result(result))
     for name, path in sorted(result.streams.items()):
-        print(f"[streamed {name} -> {path}]")
+        say(f"[streamed {name} -> {path}]")
     if args.json:
         result.save_json(args.json, include_series=not args.no_series)
-        print(f"[wrote {args.json}]")
+        say(f"[wrote {args.json}]")
     if args.csv:
         try:
             result.save_csv(args.csv)
         except ValueError as exc:
             print(f"error: --csv: {exc}", file=sys.stderr)
             return 2
-        print(f"[wrote {args.csv}]")
+        say(f"[wrote {args.csv}]")
     return 0
 
 
@@ -385,6 +441,7 @@ def build_arena_parser() -> argparse.ArgumentParser:
                      help="skip the per-cell invariant audit")
     run.add_argument("--no-parity", action="store_true",
                      help="skip the per-draw batch/scalar parity check")
+    _add_quiet(run)
     fuzz = sub.add_parser(
         "fuzz", help="mutate scenario specs hunting invariant breaks")
     fuzz.add_argument("--budget", type=_positive_int,
@@ -410,6 +467,7 @@ def build_arena_parser() -> argparse.ArgumentParser:
                            "(e.g. tests/arena/repros)")
     fuzz.add_argument("--no-parity", action="store_true",
                       help="skip the batch/scalar parity check")
+    _add_quiet(fuzz)
     return parser
 
 
@@ -424,6 +482,7 @@ def _arena_policies(text: str):
 
 def _arena_main(argv) -> int:
     args = build_arena_parser().parse_args(argv)
+    say = _say(args)
     from .arena import (ArenaConfig, format_leaderboard, run_fuzz,
                         run_tournament)
     try:
@@ -434,11 +493,11 @@ def _arena_main(argv) -> int:
                 n_intervals=args.intervals,
                 check_invariants=not args.no_invariants,
                 check_parity=not args.no_parity)
-            result = run_tournament(config, progress=print)
-            print(format_leaderboard(result))
+            result = run_tournament(config, progress=say)
+            say(format_leaderboard(result))
             if args.json:
                 result.save_json(args.json)
-                print(f"[wrote {args.json}]")
+                say(f"[wrote {args.json}]")
             return 1 if result.violations else 0
         findings = run_fuzz(
             budget=args.budget, seed=args.seed,
@@ -446,17 +505,17 @@ def _arena_main(argv) -> int:
             n_intervals=args.intervals, floor=args.floor,
             floor_policy=args.floor_policy,
             check_parity=not args.no_parity,
-            repro_dir=args.repro_dir, progress=print)
+            repro_dir=args.repro_dir, progress=say)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     hard = [f for f in findings if f.kind in ("invariant", "parity")]
     for f in findings:
-        print(f"{f.kind}: {f.detail} (trial {f.trial}, "
-              f"mutations {', '.join(f.mutations)}, "
-              f"shrunk {f.shrink_steps} steps)")
+        say(f"{f.kind}: {f.detail} (trial {f.trial}, "
+            f"mutations {', '.join(f.mutations)}, "
+            f"shrunk {f.shrink_steps} steps)")
     if not findings:
-        print(f"fuzz: {args.budget} trial(s), no findings")
+        say(f"fuzz: {args.budget} trial(s), no findings")
     # Floor findings are performance regressions to triage, not
     # correctness breaks — only the latter fail the command.
     return 1 if hard else 0
@@ -486,6 +545,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-wait-ms", type=float, default=2.0,
                         help="micro-batcher: max wait for stragglers "
                              "after the first query (default: 2.0)")
+    _add_quiet(parser)
     return parser
 
 
@@ -505,7 +565,75 @@ def _serve_main(argv) -> int:
         preload.append((session or scenario, scenario))
     return serve(host=args.host, port=args.port, preload=tuple(preload),
                  estimator=args.estimator, max_batch=args.max_batch,
-                 max_wait_ms=args.max_wait_ms)
+                 max_wait_ms=args.max_wait_ms, quiet=args.quiet)
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Contract linter + lock-discipline race analyzer "
+                    "(repro.lint): determinism, aliasing, lock "
+                    "discipline, parity pairs.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        metavar="PATH",
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="repo root anchoring relative paths and "
+                             "the parity rule's tests/ + docs/ lookups "
+                             "(default: inferred from PATH)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline JSON: findings recorded there "
+                             "warn instead of failing")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="record the current findings as the new "
+                             "baseline at PATH and exit 0")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the findings artifact (new + "
+                             "baselined rows) as JSON")
+    _add_quiet(parser)
+    return parser
+
+
+def _lint_main(argv) -> int:
+    args = build_lint_parser().parse_args(argv)
+    say = _say(args)
+    from .lint import (Baseline, apply_baseline, findings_to_json,
+                       render_findings, run_lint)
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    baseline = Baseline()
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: --baseline: {exc}", file=sys.stderr)
+            return 2
+
+    findings = run_lint(paths=args.paths, root=args.root)
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        say(f"[wrote baseline with {len(findings)} finding(s) "
+            f"to {args.write_baseline}]")
+        return 0
+
+    new, known = apply_baseline(findings, baseline)
+    report = render_findings(new, known)
+    if report:
+        say(report)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(findings_to_json(new, known), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        say(f"[wrote {args.json}]")
+    say(f"lint: {len(new)} new finding(s), {len(known)} baselined")
+    return 1 if new else 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -516,6 +644,8 @@ def main(argv: Optional[list] = None) -> int:
         return _arena_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return _lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         for name in sorted(ARTIFACTS):

@@ -1,0 +1,38 @@
+"""``repro.lint`` — contract linter + lock-discipline race analyzer.
+
+Four stdlib-``ast`` rule families enforce the contracts the rest of the
+repo only pins with tests:
+
+* determinism (DET001-003): every random draw flows from an explicit
+  ``Generator``/``SeedSequence``; no wall clock in simulation/scoring
+  code (:mod:`repro.lint.determinism`);
+* aliasing (ALI001-003): shared/cached numpy arrays are published
+  read-only via ``setflags(write=False)``; parameters documented as
+  views/snapshots are never mutated in place
+  (:mod:`repro.lint.aliasing`);
+* lock discipline (LCK001-002): attributes assigned under
+  ``with self.lock`` are touched only under the lock
+  (:mod:`repro.lint.locks`);
+* parity pairs (PAR001-003): every ``*_batch`` kernel has a scalar twin
+  and a differential test naming both; the contracts table in
+  ``docs/API.md`` references only real test files
+  (:mod:`repro.lint.parity`).
+
+Entry points: :func:`run_lint` over a tree, :func:`run_lint_source` for
+one snippet, and ``python -m repro.cli lint`` for CI (exit 0 clean,
+1 findings, 2 usage).  :class:`LockCop` is the dynamic counterpart of
+the static lock rule — an instrumented lock + attribute asserts the
+N-thread service tests run under.
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .findings import (Baseline, Finding, apply_baseline, findings_to_json,
+                       fingerprint, render_findings)
+from .lockcop import CopLock, LockCop, LockCopViolation
+from .walker import run_lint, run_lint_source
+
+__all__ = [
+    "Baseline", "CopLock", "DEFAULT_CONFIG", "Finding", "LintConfig",
+    "LockCop", "LockCopViolation", "apply_baseline", "findings_to_json",
+    "fingerprint", "render_findings", "run_lint", "run_lint_source",
+]

@@ -1,0 +1,385 @@
+"""Aliasing rules: frozen shared arrays, no mutation of declared views.
+
+PR 6 shipped a real bug of this shape: a numpy column cached on the
+scorer was handed to callers writable, one in-place op corrupted every
+later round.  The fix — publish shared arrays read-only via
+``setflags(write=False)`` — is a contract nothing enforced until now.
+Three rules extend it to the whole tree:
+
+* **ALI001** — an array stored in a cross-call cache (an attribute dict
+  whose name contains ``cache``) without being frozen first.  Cached
+  arrays are handed to many callers; the first in-place op silently
+  corrupts all of them.
+* **ALI002** — a method returning a stored array attribute (or a view
+  of one, e.g. ``self.agg[:, t]``) when that attribute was built as an
+  array and never frozen.  Returning ``.copy()`` is fine.
+* **ALI003** — in-place mutation (``+=``, slice assignment, ``out=``)
+  of a parameter whose own docstring declares it a view/snapshot
+  ("view", "snapshot", "read-only", "do not mutate" on a docstring line
+  naming the parameter).
+
+"Array" is decided by provenance, not types: values built by ``numpy``
+calls (through import aliases), by ``*_batch`` kernels, or derived from
+such values by arithmetic/slicing/``.copy()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig
+from .findings import Finding
+from .determinism import _import_aliases
+from .walker import FileContext, dotted_name
+
+__all__ = ["check"]
+
+#: Methods that propagate array-ness from their receiver.
+_ARRAY_METHODS = {"copy", "astype", "reshape", "ravel", "flatten",
+                  "view", "take", "clip", "round", "cumsum", "sum"}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` for an ``self.X`` attribute node, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+class _Provenance:
+    """Tracks which local names / self attributes are array-valued."""
+
+    def __init__(self, np_aliases: Set[str]) -> None:
+        self.np_aliases = np_aliases
+        self.array_names: Set[str] = set()
+        self.array_attrs: Set[str] = set()
+
+    def is_arrayish(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.array_names
+        if isinstance(node, ast.Attribute):
+            attr = _self_attr(node)
+            return attr is not None and attr in self.array_attrs
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name:
+                head = name.split(".", 1)[0]
+                if head in self.np_aliases and "." in name:
+                    return True
+                if name.rsplit(".", 1)[-1].endswith("_batch"):
+                    return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ARRAY_METHODS
+                    and self.is_arrayish(node.func.value)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp):
+            return self.is_arrayish(node.left) or self.is_arrayish(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_arrayish(node.operand)
+        if isinstance(node, ast.Subscript):
+            return self.is_arrayish(node.value)
+        if isinstance(node, ast.IfExp):
+            return self.is_arrayish(node.body) or self.is_arrayish(node.orelse)
+        return False
+
+    def record_assign(self, target: ast.AST, value: ast.AST) -> None:
+        arrayish = self.is_arrayish(value)
+        if isinstance(target, ast.Name):
+            if arrayish:
+                self.array_names.add(target.id)
+            else:
+                self.array_names.discard(target.id)
+        else:
+            attr = _self_attr(target)
+            if attr is not None and arrayish:
+                self.array_attrs.add(attr)
+        if isinstance(target, (ast.Tuple, ast.List)) \
+                and isinstance(value, (ast.Tuple, ast.List)) \
+                and len(target.elts) == len(value.elts):
+            for t, v in zip(target.elts, value.elts):
+                self.record_assign(t, v)
+        elif isinstance(target, (ast.Tuple, ast.List)) and arrayish:
+            # e.g. ``a, b, c = some_batch_call(...)``
+            for t in target.elts:
+                if isinstance(t, ast.Name):
+                    self.array_names.add(t.id)
+
+
+def _frozen_keys(func: ast.AST) -> Set[str]:
+    """Names / ``self.X`` attrs frozen via ``setflags(write=False)``.
+
+    Handles the direct form and the loop idiom::
+
+        for arr in (a, self.b, c):
+            arr.setflags(write=False)
+    """
+    frozen: Set[str] = set()
+
+    def key_of(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        attr = _self_attr(node)
+        return f"self.{attr}" if attr is not None else None
+
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "setflags"):
+            key = key_of(node.func.value)
+            if key is not None:
+                frozen.add(key)
+        elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+            loops_setflags = any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "setflags"
+                and isinstance(inner.func.value, ast.Name)
+                and inner.func.value.id == node.target.id
+                for inner in ast.walk(node))
+            if loops_setflags and isinstance(node.iter,
+                                             (ast.Tuple, ast.List)):
+                for elt in node.iter.elts:
+                    key = key_of(elt)
+                    if key is not None:
+                        frozen.add(key)
+    return frozen
+
+
+def _functions(tree: ast.Module):
+    """Yield (qualprefix, funcdef) for every function, methods included."""
+    def walk(node, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield prefix, child
+                yield from walk(child, f"{prefix}.{child.name}"
+                                if prefix else child.name)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}.{child.name}"
+                                if prefix else child.name)
+    yield from walk(tree, "")
+
+
+def _np_aliases(ctx: FileContext) -> Set[str]:
+    return {local for local, origin in _import_aliases(ctx.tree).items()
+            if origin == "numpy" or origin.startswith("numpy.")}
+
+
+# -- ALI001 + ALI003 (per function) ------------------------------------------
+
+def _check_function(ctx: FileContext, config: LintConfig, prefix: str,
+                    func: ast.AST, np_aliases: Set[str],
+                    findings: List[Finding]) -> None:
+    symbol = ".".join(p for p in (ctx.module, prefix, func.name) if p)
+    prov = _Provenance(np_aliases)
+    name_exprs: Dict[str, ast.AST] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                prov.record_assign(target, node.value)
+                if isinstance(target, ast.Name):
+                    name_exprs[target.id] = node.value
+
+    frozen = _frozen_keys(func)
+
+    def value_unfrozen(value: ast.AST, depth: int = 0) -> bool:
+        """Stored cache value is an unfrozen array (or tuple of them)."""
+        if depth > 4:
+            return False
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return any(value_unfrozen(e, depth + 1) for e in value.elts)
+        if isinstance(value, ast.Name):
+            if value.id in prov.array_names:
+                return value.id not in frozen
+            # Resolve a tuple stored via an intermediate name:
+            # ``cached = (a, b); self._cache[k] = cached``.
+            expr = name_exprs.get(value.id)
+            if isinstance(expr, (ast.Tuple, ast.List)):
+                return value_unfrozen(expr, depth + 1)
+            return False
+        attr = _self_attr(value)
+        if attr is not None:
+            return (attr in prov.array_attrs
+                    and f"self.{attr}" not in frozen)
+        # A fresh expression stored directly (``cache[k] = np.zeros(n)``)
+        # can never have been frozen.
+        return prov.is_arrayish(value)
+
+    def cache_attr_of(node: ast.AST) -> Optional[str]:
+        attr = _self_attr(node)
+        if attr is not None and config.is_cache_attr(attr):
+            return attr
+        return None
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                cache = cache_attr_of(target.value)
+                if cache is None:
+                    continue
+                # Resolve names stored via an intermediate tuple:
+                # ``cached = (a, b); self._cache[k] = cached``.
+                value = node.value
+                if value_unfrozen(value):
+                    findings.append(Finding(
+                        path=ctx.relpath, line=node.lineno,
+                        col=node.col_offset, rule="ALI001",
+                        severity="error", symbol=symbol,
+                        message=f"array stored in cache self.{cache} "
+                                f"without setflags(write=False); cached "
+                                f"arrays are shared across calls and one "
+                                f"in-place op corrupts every later "
+                                f"consumer"))
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr == "setdefault"
+              and node.args):
+            cache = cache_attr_of(node.func.value)
+            if cache is not None and len(node.args) >= 2 \
+                    and value_unfrozen(node.args[1]):
+                findings.append(Finding(
+                    path=ctx.relpath, line=node.lineno,
+                    col=node.col_offset, rule="ALI001",
+                    severity="error", symbol=symbol,
+                    message=f"array stored in cache self.{cache} "
+                            f"(setdefault) without setflags(write=False)"))
+
+    _check_view_params(ctx, config, symbol, func, findings)
+
+
+def _view_params(func: ast.AST, config: LintConfig) -> Set[str]:
+    """Parameters the docstring declares views/snapshots."""
+    doc = ast.get_docstring(func, clean=True) if isinstance(
+        func, (ast.FunctionDef, ast.AsyncFunctionDef)) else None
+    if not doc:
+        return set()
+    args = getattr(func, "args", None)
+    if args is None:
+        return set()
+    names = {a.arg for a in (list(args.posonlyargs) + list(args.args)
+                             + list(args.kwonlyargs))} - {"self", "cls"}
+    declared: Set[str] = set()
+    for line in doc.lower().splitlines():
+        if not any(marker in line for marker in config.view_doc_markers):
+            continue
+        for name in names:
+            if name.lower() in line.split() or f"``{name}``" in line \
+                    or f"`{name}`" in line or f"{name}:" in line:
+                declared.add(name)
+    return declared
+
+
+def _check_view_params(ctx: FileContext, config: LintConfig, symbol: str,
+                       func: ast.AST, findings: List[Finding]) -> None:
+    declared = _view_params(func, config)
+    if not declared:
+        return
+
+    def flag(node: ast.AST, name: str, how: str) -> None:
+        findings.append(Finding(
+            path=ctx.relpath, line=node.lineno, col=node.col_offset,
+            rule="ALI003", severity="error", symbol=symbol,
+            message=f"in-place mutation ({how}) of parameter {name!r}, "
+                    f"which the docstring declares a view/snapshot; "
+                    f"operate on a copy instead"))
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.AugAssign):
+            t = node.target
+            if isinstance(t, ast.Name) and t.id in declared:
+                flag(node, t.id, "augmented assignment")
+            elif isinstance(t, ast.Subscript) \
+                    and isinstance(t.value, ast.Name) \
+                    and t.value.id in declared:
+                flag(node, t.value.id, "augmented slice assignment")
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Subscript) \
+                        and isinstance(t.value, ast.Name) \
+                        and t.value.id in declared:
+                    flag(node, t.value.id, "slice assignment")
+        elif isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg == "out" and isinstance(kw.value, ast.Name) \
+                        and kw.value.id in declared:
+                    flag(node, kw.value.id, "out= argument")
+
+
+# -- ALI002 (per class) -------------------------------------------------------
+
+def _check_class(ctx: FileContext, config: LintConfig, prefix: str,
+                 cls: ast.ClassDef, np_aliases: Set[str],
+                 findings: List[Finding]) -> None:
+    methods = [n for n in cls.body
+               if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    array_attrs: Set[str] = set()
+    frozen_attrs: Set[str] = set()
+    for method in methods:
+        prov = _Provenance(np_aliases)
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    prov.record_assign(target, node.value)
+        array_attrs |= prov.array_attrs
+        frozen_attrs |= {key[len("self."):]
+                         for key in _frozen_keys(method)
+                         if key.startswith("self.")}
+
+    exposed = array_attrs - frozen_attrs
+    if not exposed:
+        return
+
+    def returned_attr(node: ast.AST) -> Optional[str]:
+        """self.X for ``return self.X`` / ``return self.X[...]`` forms."""
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        return _self_attr(node)
+
+    for method in methods:
+        symbol = ".".join(p for p in (ctx.module, prefix, cls.name,
+                                      method.name) if p)
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            values = (node.value.elts
+                      if isinstance(node.value, (ast.Tuple, ast.List))
+                      else [node.value])
+            for value in values:
+                attr = returned_attr(value)
+                if attr is not None and attr in exposed:
+                    findings.append(Finding(
+                        path=ctx.relpath, line=node.lineno,
+                        col=node.col_offset, rule="ALI002",
+                        severity="error", symbol=symbol,
+                        message=f"returns stored array self.{attr} "
+                                f"(or a view of it) without the class "
+                                f"ever freezing it via "
+                                f"setflags(write=False); callers can "
+                                f"corrupt shared state in place"))
+
+
+def check(ctx: FileContext, config: LintConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    np_aliases = _np_aliases(ctx)
+
+    for prefix, func in _functions(ctx.tree):
+        _check_function(ctx, config, prefix, func, np_aliases, findings)
+
+    def classes(node, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield prefix, child
+                yield from classes(child, f"{prefix}.{child.name}"
+                                   if prefix else child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from classes(child, f"{prefix}.{child.name}"
+                                   if prefix else child.name)
+
+    for prefix, cls in classes(ctx.tree, ""):
+        _check_class(ctx, config, prefix, cls, np_aliases, findings)
+    return findings

@@ -1,0 +1,114 @@
+"""Determinism rules: no ambient RNG, no wall clock in simulation code.
+
+Every artifact in this repo is pinned byte-identical per seed (arena
+leaderboards, scenario goldens), which only holds if every random draw
+flows from an explicit ``numpy.random.Generator`` / ``SeedSequence``
+parameter and no simulation/scoring value ever comes from the wall
+clock.  Three rules enforce that at the source level:
+
+* **DET001** — a ``numpy.random`` *module-level* call (``np.random.seed``,
+  ``np.random.rand``, ...): hidden global state, shared across the
+  process, order-dependent.  The explicit constructors
+  (``default_rng``, ``SeedSequence``, ``Generator``, bit generators)
+  are allowed.
+* **DET002** — a stdlib ``random`` module-level call (``random.random``,
+  ``random.seed``, ...): the hidden Mersenne singleton.  Seedable
+  instances (``random.Random(seed)``) are allowed.
+* **DET003** — a wall-clock read (``time.time``, ``datetime.now``, ...):
+  values that differ per run.  Duration timers (``perf_counter``) are
+  not flagged — timing a computation is fine, feeding wall-clock values
+  into one is not.
+
+Escape hatch: the :data:`~repro.lint.config.LintConfig.determinism_exempt`
+module table (the service layer reports real uptime by design), or an
+inline ``# lint: ignore[DET003]`` with its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from .config import LintConfig
+from .findings import Finding
+from .walker import FileContext, ScopedVisitor, dotted_name
+
+__all__ = ["check"]
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted origin, from every import statement."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                origin = alias.name if alias.asname else local
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+class _Visitor(ScopedVisitor):
+    def __init__(self, ctx: FileContext, config: LintConfig) -> None:
+        super().__init__(ctx)
+        self.config = config
+        self.aliases = _import_aliases(ctx.tree)
+        self.findings: List[Finding] = []
+
+    def _resolve(self, node: ast.AST) -> str:
+        """Canonical dotted name of a call target, through the imports."""
+        name = dotted_name(node)
+        if not name:
+            return ""
+        head, _, rest = name.partition(".")
+        origin = self.aliases.get(head)
+        if origin is None:
+            return ""
+        return f"{origin}.{rest}" if rest else origin
+
+    def _emit(self, node: ast.Call, rule: str, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.relpath, line=node.lineno, col=node.col_offset,
+            rule=rule, severity="error", symbol=self.symbol,
+            message=message))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        full = self._resolve(node.func)
+        cfg = self.config
+        if full.startswith("numpy.random."):
+            tail = full[len("numpy.random."):]
+            head = tail.split(".", 1)[0]
+            if head not in cfg.np_random_safe:
+                self._emit(node, "DET001",
+                           f"numpy.random.{tail} draws from hidden global "
+                           f"RNG state; thread an explicit "
+                           f"Generator/SeedSequence parameter instead")
+        elif full.startswith("random."):
+            tail = full[len("random."):]
+            head = tail.split(".", 1)[0]
+            if head not in cfg.py_random_safe:
+                self._emit(node, "DET002",
+                           f"random.{tail} uses the hidden module-level "
+                           f"Mersenne state; use a seeded random.Random "
+                           f"instance or numpy Generator instead")
+        elif full in cfg.wallclock_calls:
+            self._emit(node, "DET003",
+                       f"{full}() reads the wall clock in a "
+                       f"simulation/scoring module; results must be a "
+                       f"function of the seed only")
+        self.generic_visit(node)
+
+
+def check(ctx: FileContext, config: LintConfig) -> List[Finding]:
+    if config.module_exempt_from_determinism(ctx.module):
+        return []
+    visitor = _Visitor(ctx, config)
+    visitor.visit(ctx.tree)
+    return visitor.findings

@@ -1,0 +1,136 @@
+"""Findings, fingerprints and the checked-in baseline.
+
+A :class:`Finding` is one rule violation anchored at ``path:line:col``.
+Findings order deterministically (path, line, col, rule, message) so two
+runs over the same tree emit byte-identical reports — the same contract
+the scenario artifacts pin.
+
+Baselines decouple "the linter knows about it" from "the build fails":
+:func:`apply_baseline` splits findings into *new* (fail the build) and
+*baselined* (warn only).  Matching is fingerprint-based —
+``sha1(rule|path|symbol|message)`` without the line number — so pure
+line drift (an unrelated edit above the finding) does not invalidate a
+baseline entry, while any change to the finding itself does.  Entries
+carry a count: two identical findings in one file need a baseline count
+of two, and fixing one of them resurfaces the other as new-vs-count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Finding", "Baseline", "fingerprint", "apply_baseline",
+           "render_findings", "findings_to_json"]
+
+#: Severity rank for report ordering (most severe first in summaries).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored and ordered deterministically."""
+
+    path: str       # repo-relative posix path
+    line: int       # 1-based
+    col: int        # 0-based, as ast reports
+    rule: str       # e.g. "DET001"
+    severity: str   # "error" | "warning"
+    symbol: str     # dotted context, e.g. "repro.service.state.Session.step"
+    message: str
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-independent identity of a finding (for baseline matching)."""
+    raw = "|".join((finding.rule, finding.path, finding.symbol,
+                    finding.message))
+    return hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The checked-in set of known findings (fingerprint -> count)."""
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    @staticmethod
+    def load(path) -> "Baseline":
+        with open(path) as fh:
+            data = json.load(fh)
+        if (not isinstance(data, dict) or data.get("version") != 1
+                or not isinstance(data.get("entries"), dict)):
+            raise ValueError(
+                f"{path} is not a lint baseline (expected "
+                f'{{"version": 1, "entries": {{...}}}})')
+        return Baseline(entries=data["entries"])
+
+    @staticmethod
+    def from_findings(findings: Iterable[Finding]) -> "Baseline":
+        entries: Dict[str, dict] = {}
+        for f in sorted(findings):
+            fp = fingerprint(f)
+            entry = entries.setdefault(fp, {
+                "count": 0, "rule": f.rule, "path": f.path,
+                "symbol": f.symbol, "message": f.message})
+            entry["count"] += 1
+        return Baseline(entries=entries)
+
+    def save(self, path) -> None:
+        data = {"version": 1, "entries": {k: self.entries[k]
+                                          for k in sorted(self.entries)}}
+        with open(path, "w") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def apply_baseline(findings: Iterable[Finding], baseline: Baseline
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined), deterministically.
+
+    Each baseline entry absorbs up to ``count`` findings with its
+    fingerprint, in sorted finding order; the remainder is new.
+    """
+    remaining = {fp: int(entry.get("count", 1))
+                 for fp, entry in baseline.entries.items()}
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for f in sorted(findings):
+        fp = fingerprint(f)
+        if remaining.get(fp, 0) > 0:
+            remaining[fp] -= 1
+            known.append(f)
+        else:
+            new.append(f)
+    return new, known
+
+
+def render_findings(findings: Iterable[Finding],
+                    baselined: Iterable[Finding] = ()) -> str:
+    """The human report: one ``path:line:col`` anchored line per finding."""
+    lines = []
+    for f in sorted(findings):
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} "
+                     f"{f.severity} [{f.symbol}] {f.message}")
+    for f in sorted(baselined):
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} "
+                     f"warning (baselined) [{f.symbol}] {f.message}")
+    return "\n".join(lines)
+
+
+def findings_to_json(new: Iterable[Finding],
+                     baselined: Iterable[Finding] = ()) -> dict:
+    """The machine artifact the CI lint job uploads."""
+    def row(f: Finding, known: bool) -> dict:
+        return {"path": f.path, "line": f.line, "col": f.col,
+                "rule": f.rule, "severity": f.severity,
+                "symbol": f.symbol, "message": f.message,
+                "fingerprint": fingerprint(f), "baselined": known}
+
+    new = sorted(new)
+    baselined = sorted(baselined)
+    return {"version": 1,
+            "n_new": len(new), "n_baselined": len(baselined),
+            "findings": ([row(f, False) for f in new]
+                         + [row(f, True) for f in baselined])}

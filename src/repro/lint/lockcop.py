@@ -1,0 +1,191 @@
+"""LockCop: the dynamic counterpart of the static lock-discipline rule.
+
+The static analyzer (:mod:`repro.lint.locks`) proves lexical discipline
+— guarded attributes touched only under ``with self.lock`` — but cannot
+see cross-object accesses (``session.t`` read from a handler) or runtime
+call graphs.  LockCop closes that gap at test time:
+
+* :class:`CopLock` wraps a ``threading.Lock``/``RLock`` and tracks which
+  thread currently owns it (and how deep, for reentrancy).
+* :class:`LockCop` instruments one *object*: it swaps the object's lock
+  attribute for a :class:`CopLock` and swaps the object's class for a
+  dynamic subclass whose ``__getattribute__``/``__setattr__`` assert the
+  lock is held by the current thread whenever a guarded attribute is
+  touched.  Violations are recorded (and optionally raised) with the
+  attribute, operation, thread, and call site.
+
+The N-thread place/step parity tests in ``tests/service`` run under a
+LockCop'd :class:`~repro.service.state.Session`, so every interleaving
+the micro-batcher produces is also a lock-discipline audit.
+
+Usage::
+
+    cop = LockCop(session, guarded=("t", "_round", "n_place_queries"))
+    ...  # hammer the session from N threads
+    cop.uninstall()
+    assert not cop.violations
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+__all__ = ["CopLock", "LockCop", "LockCopViolation"]
+
+
+class CopLock:
+    """A re-entrant lock wrapper that knows its current owner.
+
+    Wraps an existing lock object (or a fresh ``RLock``); the inner lock
+    does the real blocking, the wrapper tracks ownership so guarded
+    attribute accesses can assert ``held_by_current_thread``.
+    """
+
+    def __init__(self, inner=None) -> None:
+        self._inner = threading.RLock() if inner is None else inner
+        self._owner: Optional[int] = None
+        self._depth = 0
+        self.acquisitions = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._owner = threading.get_ident()
+            self._depth += 1
+            self.acquisitions += 1
+        return got
+
+    def release(self) -> None:
+        self._depth -= 1
+        if self._depth <= 0:
+            self._owner = None
+            self._depth = 0
+        self._inner.release()
+
+    def __enter__(self) -> "CopLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    @property
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+
+@dataclass(frozen=True)
+class LockCopViolation:
+    """One guarded attribute touched without the lock."""
+
+    attr: str
+    op: str          # "read" | "write"
+    thread: str
+    site: str        # "file:line in func" of the offending frame
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"unguarded {self.op} of .{self.attr} "
+                f"from {self.thread} at {self.site}")
+
+
+def _call_site() -> str:
+    # The offending frame is the caller of __getattribute__/__setattr__:
+    # skip this helper, the check, and the dunder itself — matched by
+    # file identity, so user files merely *named* like this one are kept.
+    for frame in reversed(traceback.extract_stack(limit=8)[:-3]):
+        if frame.filename != __file__:
+            return f"{frame.filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+class LockCop:
+    """Instrument one object: guarded attrs assert the lock is held.
+
+    Parameters
+    ----------
+    obj:
+        The object to instrument (its class is swapped for a dynamic
+        subclass; :meth:`uninstall` restores it).
+    guarded:
+        Attribute names that must only be touched under the lock.
+    lock_attr:
+        Name of the instance lock attribute (``"lock"`` for
+        :class:`~repro.service.state.Session`).
+    strict:
+        Raise ``AssertionError`` at the violating access (default:
+        record only, so a whole test run can be audited post-hoc).
+    """
+
+    _classes: Dict[Tuple[Type, Tuple[str, ...], str], Type] = {}
+
+    def __init__(self, obj, guarded: Sequence[str],
+                 lock_attr: str = "lock", strict: bool = False) -> None:
+        guarded = tuple(sorted(set(guarded)))
+        if lock_attr in guarded:
+            raise ValueError("the lock attribute itself cannot be guarded")
+        self.obj = obj
+        self.guarded = guarded
+        self.lock_attr = lock_attr
+        self.strict = strict
+        self.violations: List[LockCopViolation] = []
+        self._orig_class = type(obj)
+        inner = getattr(obj, lock_attr)
+        self.lock = inner if isinstance(inner, CopLock) else CopLock(inner)
+        object.__setattr__(obj, lock_attr, self.lock)
+        object.__setattr__(obj, "_lockcop_", self)
+        obj.__class__ = self._cop_class(self._orig_class, guarded,
+                                        lock_attr)
+
+    # -- violation plumbing ----------------------------------------------------
+    def _record(self, attr: str, op: str) -> None:
+        violation = LockCopViolation(
+            attr=attr, op=op, thread=threading.current_thread().name,
+            site=_call_site())
+        self.violations.append(violation)
+        if self.strict:
+            raise AssertionError(str(violation))
+
+    @classmethod
+    def _cop_class(cls, base: Type, guarded: Tuple[str, ...],
+                   lock_attr: str) -> Type:
+        key = (base, guarded, lock_attr)
+        existing = cls._classes.get(key)
+        if existing is not None:
+            return existing
+        guard_set = frozenset(guarded)
+
+        def __getattribute__(self, name):
+            if name in guard_set:
+                cop = object.__getattribute__(self, "_lockcop_")
+                if not cop.lock.held_by_current_thread:
+                    cop._record(name, "read")
+            return base.__getattribute__(self, name)
+
+        def __setattr__(self, name, value):
+            if name in guard_set:
+                cop = object.__getattribute__(self, "_lockcop_")
+                if not cop.lock.held_by_current_thread:
+                    cop._record(name, "write")
+            base.__setattr__(self, name, value)
+
+        namespace = {"__getattribute__": __getattribute__,
+                     "__setattr__": __setattr__,
+                     # Keep dataclass repr/eq from the base class.
+                     "__module__": base.__module__}
+        cop_class = type(f"LockCop{base.__name__}", (base,), namespace)
+        cls._classes[key] = cop_class
+        return cop_class
+
+    def uninstall(self) -> None:
+        """Restore the original class (the CopLock stays — it is a
+        superset of the original lock's interface)."""
+        self.obj.__class__ = self._orig_class
+
+    def __enter__(self) -> "LockCop":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()

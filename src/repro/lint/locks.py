@@ -1,0 +1,176 @@
+"""Lock-discipline analysis: a lockset-style static race detector.
+
+The threaded service layer (:mod:`repro.service`) keeps shared state —
+the session clock, the cached round, registry maps — behind instance
+locks.  The discipline is simple and checkable: *an attribute ever
+assigned under* ``with self.lock`` *is guarded; every other touch of it
+must also hold the lock.*  Per class this module:
+
+1. finds the instance locks (``with self.lock`` / ``with self._lock``
+   over the configured attr names);
+2. infers the guarded set — attributes assigned (directly, augmented,
+   or via subscript like ``self._models[k] = v``) inside a lock block,
+   outside ``__init__``;
+3. flags every read (**LCK002**) or write (**LCK001**) of a guarded
+   attribute that is neither inside a lock block nor in a method whose
+   docstring transfers the obligation to the caller (the
+   "``Caller must hold :attr:`lock`.``" convention the service layer
+   already uses — such bodies count as held, and their assignments
+   count for inference).
+
+``__init__``/``__post_init__`` are construction — the object is not
+shared yet — so they neither contribute to the guarded set nor get
+flagged.  Cross-object accesses (``session.t`` from another class) are
+out of scope for the static pass; the dynamic
+:class:`~repro.lint.lockcop.LockCop` shim covers those at test time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .config import LintConfig
+from .findings import Finding
+from .walker import FileContext
+
+__all__ = ["check"]
+
+_INIT_METHODS = {"__init__", "__post_init__", "__new__", "__del__",
+                 "__repr__"}
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _is_lock_name(attr: str, config: LintConfig) -> bool:
+    return attr in config.lock_attr_names or attr.endswith("lock")
+
+
+def _with_locks(node: ast.With, config: LintConfig) -> Set[str]:
+    """Lock attr names acquired by this with statement."""
+    out: Set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        # ``with self.lock:`` and ``with self.lock.acquire_timeout(..)``
+        attr = _self_attr(expr)
+        if attr is None and isinstance(expr, ast.Call):
+            attr = _self_attr(expr.func)
+        if attr is not None and _is_lock_name(attr, config):
+            out.add(attr)
+    return out
+
+
+def _held_by_docstring(method: ast.AST, config: LintConfig) -> bool:
+    doc = ast.get_docstring(method, clean=True)
+    if not doc:
+        return False
+    low = doc.lower()
+    return any(marker in low for marker in config.held_doc_markers)
+
+
+#: One attribute touch: (attr, is_write, held, line, col, method name).
+_Access = Tuple[str, bool, bool, int, int, str]
+
+
+def _method_accesses(method: ast.AST, config: LintConfig,
+                     base_held: bool) -> List[_Access]:
+    """Every ``self.X`` touch in the method with its lock-held state."""
+    accesses: List[_Access] = []
+
+    def visit(node: ast.AST, held: bool) -> None:
+        if isinstance(node, ast.With):
+            locks = _with_locks(node, config)
+            inner = held or bool(locks)
+            for child in node.body:
+                visit(child, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node is not method:
+            # Nested helper: its body inherits the current held state
+            # conservatively (closures in this codebase run inline).
+            for child in node.body:
+                visit(child, held)
+            return
+        attr = _self_attr(node)
+        if attr is not None:
+            is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+            accesses.append((attr, is_write, held, node.lineno,
+                             node.col_offset, method.name))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in method.body:
+        visit(stmt, base_held)
+    return accesses
+
+
+def _check_class(ctx: FileContext, prefix: str, cls: ast.ClassDef,
+                 config: LintConfig, findings: List[Finding]) -> None:
+    methods = [n for n in cls.body
+               if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+    lock_attrs: Set[str] = set()
+    for method in methods:
+        for node in ast.walk(method):
+            if isinstance(node, ast.With):
+                lock_attrs |= _with_locks(node, config)
+    if not lock_attrs:
+        return  # the class does not use instance locks; nothing to check
+
+    per_method: Dict[str, List[_Access]] = {}
+    for method in methods:
+        if method.name in _INIT_METHODS:
+            continue
+        held = _held_by_docstring(method, config)
+        per_method[method.name] = _method_accesses(method, config, held)
+
+    guarded: Set[str] = set()
+    for accesses in per_method.values():
+        for attr, is_write, held, _line, _col, _m in accesses:
+            if is_write and held and attr not in lock_attrs:
+                guarded.add(attr)
+    if not guarded:
+        return
+
+    qual = ".".join(p for p in (prefix, cls.name) if p)
+    for method_name, accesses in per_method.items():
+        for attr, is_write, held, line, col, _m in accesses:
+            if attr not in guarded or held:
+                continue
+            rule = "LCK001" if is_write else "LCK002"
+            op = "write to" if is_write else "read of"
+            symbol = ".".join(p for p in (ctx.module, qual, method_name)
+                              if p)
+            findings.append(Finding(
+                path=ctx.relpath, line=line, col=col, rule=rule,
+                severity="error", symbol=symbol,
+                message=f"unguarded {op} self.{attr}: it is assigned "
+                        f"under `with self.{sorted(lock_attrs)[0]}` "
+                        f"elsewhere in {cls.name}, so every access must "
+                        f"hold the lock (or the method docstring must "
+                        f"say 'Caller must hold')"))
+
+
+def check(ctx: FileContext, config: LintConfig) -> List[Finding]:
+    if not config.module_in_lock_scope(ctx.module):
+        return []
+    findings: List[Finding] = []
+
+    def classes(node, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield prefix, child
+                yield from classes(child, f"{prefix}.{child.name}"
+                                   if prefix else child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from classes(child, f"{prefix}.{child.name}"
+                                   if prefix else child.name)
+
+    for prefix, cls in classes(ctx.tree, ""):
+        _check_class(ctx, prefix, cls, config, findings)
+    return findings

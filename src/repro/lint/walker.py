@@ -1,0 +1,229 @@
+"""Walker core: file collection, parsing, rule dispatch, suppression.
+
+The engine is two loops: per-file rules (determinism, aliasing, lock
+discipline) see one parsed :class:`FileContext` at a time; repo rules
+(the parity-pair registry) see the whole tree plus ``tests/`` and
+``docs/``.  Both emit :class:`~repro.lint.findings.Finding` rows; the
+engine filters inline ``# lint: ignore[...]`` pragmas and returns a
+deterministically sorted list.
+
+Everything is stdlib ``ast`` — no imports of the linted code, so the
+linter can run on broken or hostile trees (the hypothesis property test
+feeds it arbitrary syntactically-valid Python).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .findings import Finding
+
+__all__ = ["FileContext", "run_lint", "run_lint_source", "iter_py_files",
+           "parse_source", "dotted_name"]
+
+#: ``# lint: ignore`` or ``# lint: ignore[DET001,LCK002] free-form reason``
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus everything rules need to know."""
+
+    relpath: str                 # repo-relative posix path
+    module: str                  # dotted module name ("" when unknown)
+    source: str
+    tree: ast.Module
+    #: line (1-based) -> rule ids suppressed there ({"*"} = all rules).
+    ignores: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.ignores.get(line)
+        return bool(rules) and ("*" in rules or rule in rules)
+
+
+def _scan_ignores(source: str) -> Dict[int, Set[str]]:
+    ignores: Dict[int, Set[str]] = {}
+    for i, text in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(text)
+        if not m:
+            continue
+        raw = m.group("rules")
+        if raw is None:
+            ignores[i] = {"*"}
+        else:
+            ignores[i] = {r.strip() for r in raw.split(",") if r.strip()}
+    return ignores
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name of a repo-relative path (src/ layout aware)."""
+    parts = Path(relpath).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def parse_source(source: str, relpath: str = "<string>",
+                 module: Optional[str] = None) -> FileContext:
+    """Parse one source blob into a :class:`FileContext` (may raise
+    :class:`SyntaxError`)."""
+    tree = ast.parse(source, filename=relpath)
+    if module is None:
+        module = module_name_for(relpath) if relpath != "<string>" else ""
+    return FileContext(relpath=relpath, module=module, source=source,
+                       tree=tree, ignores=_scan_ignores(source))
+
+
+def iter_py_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            out.add(path)
+    return sorted(out)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the dotted symbol of the current scope.
+
+    Rule visitors subclass this and read :attr:`symbol` when emitting a
+    finding; ``visit_ClassDef`` / function visits push and pop scope
+    names around the generic walk.
+    """
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self._scopes: List[str] = [ctx.module] if ctx.module else []
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self._scopes) if self._scopes else "<module>"
+
+    def _visit_scope(self, node, name: str) -> None:
+        self._scopes.append(name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scopes.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node, node.name)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _file_contexts(files: Iterable[Path], root: Path
+                   ) -> (List[FileContext], List[Finding]):
+    contexts: List[FileContext] = []
+    errors: List[Finding] = []
+    for path in files:
+        rel = _relpath(path, root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(Finding(
+                path=rel, line=1, col=0, rule="E000", severity="error",
+                symbol=module_name_for(rel),
+                message=f"unreadable source: {exc}"))
+            continue
+        try:
+            contexts.append(parse_source(source, rel))
+        except SyntaxError as exc:
+            errors.append(Finding(
+                path=rel, line=int(exc.lineno or 1),
+                col=int(exc.offset or 0), rule="E001", severity="error",
+                symbol=module_name_for(rel),
+                message=f"syntax error: {exc.msg}"))
+    return contexts, errors
+
+
+def run_lint(paths: Sequence = ("src/repro",), root=None,
+             config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint the tree: all rule families, suppressions applied, sorted.
+
+    ``root`` anchors repo-relative reporting and the parity rule's
+    ``tests/`` / ``docs/`` lookups; by default it is inferred as the
+    parent of a trailing ``src`` component of the first path (falling
+    back to the path itself).
+    """
+    # Import here so a syntax error in one rule module cannot shadow the
+    # public package import of the others during bisection.
+    from . import aliasing, determinism, locks, parity
+
+    paths = [Path(p) for p in paths]
+    if root is None:
+        first = paths[0] if paths else Path(".")
+        anchor = first if first.is_dir() else first.parent
+        root = anchor
+        for parent in (anchor, *anchor.parents):
+            if parent.name == "src":
+                root = parent.parent
+                break
+    root = Path(root)
+
+    contexts, findings = _file_contexts(iter_py_files(paths), root)
+    for ctx in contexts:
+        findings.extend(determinism.check(ctx, config))
+        findings.extend(aliasing.check(ctx, config))
+        findings.extend(locks.check(ctx, config))
+    findings.extend(parity.check_repo(contexts, root, config))
+
+    by_path = {ctx.relpath: ctx for ctx in contexts}
+    kept = []
+    for f in findings:
+        ctx = by_path.get(f.path)
+        if ctx is not None and ctx.suppressed(f.rule, f.line):
+            continue
+        kept.append(f)
+    return sorted(kept)
+
+
+def run_lint_source(source: str, module: str = "snippet",
+                    config: LintConfig = DEFAULT_CONFIG) -> List[Finding]:
+    """Lint one in-memory snippet (per-file rule families only).
+
+    The fixture tests and the API doctests use this: no filesystem, no
+    parity registry (which needs a repo), same suppression semantics.
+    """
+    from . import aliasing, determinism, locks
+
+    ctx = parse_source(source, relpath=f"{module}.py", module=module)
+    findings: List[Finding] = []
+    findings.extend(determinism.check(ctx, config))
+    findings.extend(aliasing.check(ctx, config))
+    findings.extend(locks.check(ctx, config))
+    return sorted(f for f in findings
+                  if not ctx.suppressed(f.rule, f.line))

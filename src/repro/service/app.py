@@ -110,10 +110,13 @@ class PlacementService:
         except TypeError as exc:
             # Unknown factory override keywords surface as TypeError.
             raise ProtocolError(str(exc)) from exc
-        return {"session": session.name, "scenario": req.scenario,
-                "t": session.t, "n_vms": len(session.system.vms),
-                "n_intervals": session.trace.n_intervals,
-                "estimator": req.estimator}
+        # The store already published the session, so another request
+        # could be stepping it: read the clock under its lock.
+        with session.lock:
+            return {"session": session.name, "scenario": req.scenario,
+                    "t": session.t, "n_vms": len(session.system.vms),
+                    "n_intervals": session.trace.n_intervals,
+                    "estimator": req.estimator}
 
     def _place(self, req: PlaceRequest) -> Dict:
         future = self.batcher.submit(req.session, req.vm_ids)
@@ -123,7 +126,13 @@ class PlacementService:
     def _step(self, req: StepRequest) -> Dict:
         session = self.sessions.get(req.session)
         reports = session.step(rounds=req.rounds, schedule=req.schedule)
-        return {"session": req.session, "t": session.t,
+        # step() released the lock before returning; re-read the clock
+        # under it rather than racing a concurrent stepper (the reported
+        # t is then *a* consistent post-step clock, matching the reports
+        # only when this request's steps were the latest).
+        with session.lock:
+            t = session.t
+        return {"session": req.session, "t": t,
                 "reports": reports}
 
     def _run_scenario(self, req: ScenarioRunRequest) -> Dict:
@@ -202,31 +211,34 @@ def serve(host: str = "127.0.0.1", port: int = 8421,
           preload: Tuple[Tuple[str, str], ...] = (),
           estimator: str = "ml", max_batch: int = 32,
           max_wait_ms: float = 2.0,
-          ready: Optional[threading.Event] = None) -> int:
+          ready: Optional[threading.Event] = None,
+          quiet: bool = False) -> int:
     """Run the placement server until interrupted.
 
     ``preload`` is a tuple of ``(session_name, scenario_name)`` pairs
     created (models trained, fleets built) before the socket starts
-    accepting, so the first request hits a warm server.
+    accepting, so the first request hits a warm server.  ``quiet``
+    suppresses the informational banners (the server still serves).
     """
+    say = (lambda *a, **k: None) if quiet else print
     service = PlacementService(max_batch=max_batch,
                                max_wait_ms=max_wait_ms)
     for session_name, scenario_name in preload:
         session = service.sessions.create(session_name, scenario_name,
                                           service.registry,
                                           estimator=estimator)
-        print(f"[serve] preloaded session {session_name!r} "
-              f"({scenario_name}: {len(session.system.vms)} VMs, "
-              f"{session.trace.n_intervals} intervals)")
+        say(f"[serve] preloaded session {session_name!r} "
+            f"({scenario_name}: {len(session.system.vms)} VMs, "
+            f"{session.trace.n_intervals} intervals)")
     server = make_server(service, host=host, port=port)
-    print(f"[serve] listening on http://{host}:{server.server_port} "
-          f"(max_batch={max_batch}, max_wait_ms={max_wait_ms})")
+    say(f"[serve] listening on http://{host}:{server.server_port} "
+        f"(max_batch={max_batch}, max_wait_ms={max_wait_ms})")
     if ready is not None:
         ready.set()
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("[serve] shutting down")
+        say("[serve] shutting down")
     finally:
         server.server_close()
         service.close()

@@ -91,6 +91,10 @@ class MicroBatcher:
         self.max_wait_ms = max_wait_ms
         self.stats = BatcherStats()
         self._queue: "queue.Queue" = queue.Queue()
+        #: Guards the closed flag: close() must be test-and-set (two
+        #: racing closers would otherwise both join the worker) and
+        #: submit() must not observe a torn close mid-check.
+        self._lock = threading.Lock()
         self._closed = False
         self._worker = threading.Thread(target=self._run, daemon=True,
                                         name="repro-place-batcher")
@@ -99,8 +103,9 @@ class MicroBatcher:
     # -- client side -----------------------------------------------------------
     def submit(self, session: str, vm_ids: Sequence[str]) -> Future:
         """Enqueue one place query; the future resolves to its results."""
-        if self._closed:
-            raise RuntimeError("batcher is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
         if not vm_ids:
             raise ValueError("vm_ids must be non-empty")
         pending = _Pending(session=session, vm_ids=tuple(vm_ids),
@@ -115,9 +120,10 @@ class MicroBatcher:
 
     def close(self, timeout: float = 5.0) -> None:
         """Drain and stop the worker; later submits raise."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._queue.put(_SHUTDOWN)
         self._worker.join(timeout=timeout)
 

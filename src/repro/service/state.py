@@ -163,6 +163,7 @@ class Session:
         return self._round
 
     def invalidate_round(self) -> None:
+        """Drop the warm round cache.  Caller must hold :attr:`lock`."""
         self._round = None
 
     # -- queries --------------------------------------------------------------

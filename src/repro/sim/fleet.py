@@ -288,6 +288,23 @@ class FleetState:
                     pass
         self.lat_s = lat
 
+        # -- publish read-only ----------------------------------------------
+        # The snapshot is shared: the stepper, the sharded runner and the
+        # round-scoring path all read these arrays (and hand out views,
+        # e.g. aggregate_columns), so corruption-by-alias must fail loudly
+        # rather than skew later intervals.  Consumers that need to write
+        # (fancy-indexed gathers) get fresh writable copies anyway.
+        for arr in (self.series_vm, self.series_src, self.rps_rows,
+                    self.bpr_rows, self.cpr_rows, self.traced_mask,
+                    self.agg_rps, self.agg_bpr, self.agg_cpr,
+                    self.no_contract, self.base_mem, self.vm_cap_cpu,
+                    self.vm_cap_mem, self.vm_cap_bw, self.price,
+                    self.rt0, self.alpha, self.pm_loc, self.pm_cap_cpu,
+                    self.pm_cap_mem, self.pm_cap_bw, self.lat_s):
+            arr.setflags(write=False)
+        for _model, ix in self.power_groups:
+            ix.setflags(write=False)
+
     # -- round-snapshot accessors (used by the scheduling path) --------------
     def aggregate_load_at(self, vm_id: str, t: int) -> LoadVector:
         """The VM's all-sources aggregate load at interval ``t``, O(1).

@@ -73,6 +73,9 @@ class FleetShard:
         for model, ix in fleet.power_groups:
             sub = ix[(ix >= lo) & (ix < hi)] - lo
             if len(sub):
+                # Shared across every interval of the run: read-only,
+                # like the fleet snapshot arrays they were sliced from.
+                sub.setflags(write=False)
                 self.power_groups.append((model, sub))
 
     def pm_ids(self, fleet: FleetState) -> List[str]:

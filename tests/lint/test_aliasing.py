@@ -1,0 +1,177 @@
+"""Fixture snippets for the aliasing rules (ALI001-003)."""
+
+import textwrap
+
+from repro.lint import run_lint_source
+
+
+def lint(source):
+    return run_lint_source(textwrap.dedent(source), module="repro.fix")
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestALI001CachedArrays:
+    def test_unfrozen_cache_store_flagged(self):
+        findings = lint("""
+            import numpy as np
+            class Scorer:
+                def cols(self, key):
+                    hit = self._lat_cache.get(key)
+                    if hit is None:
+                        hit = np.zeros(4)
+                        self._lat_cache[key] = hit
+                    return hit
+        """)
+        assert rules(findings) == ["ALI001"]
+
+    def test_frozen_before_store_clean(self):
+        assert lint("""
+            import numpy as np
+            class Scorer:
+                def cols(self, key):
+                    hit = self._lat_cache.get(key)
+                    if hit is None:
+                        hit = np.zeros(4)
+                        hit.setflags(write=False)
+                        self._lat_cache[key] = hit
+                    return hit
+        """) == []
+
+    def test_tuple_through_name_flagged(self):
+        # The RoundScorer _mig_cols shape: build a tuple of arrays in a
+        # local, store the local in the cache.  Removing the freeze loop
+        # must be caught (the tampering test for this rule).
+        findings = lint("""
+            import numpy as np
+            class Scorer:
+                def mig(self, key):
+                    a = np.zeros(3)
+                    b = a * 2.0
+                    cols = (a, b)
+                    self._mig_cache[key] = cols
+                    return cols
+        """)
+        assert rules(findings) == ["ALI001"]
+
+    def test_tuple_through_name_frozen_clean(self):
+        assert lint("""
+            import numpy as np
+            class Scorer:
+                def mig(self, key):
+                    a = np.zeros(3)
+                    b = a * 2.0
+                    for arr in (a, b):
+                        arr.setflags(write=False)
+                    cols = (a, b)
+                    self._mig_cache[key] = cols
+                    return cols
+        """) == []
+
+    def test_setdefault_store_flagged(self):
+        findings = lint("""
+            import numpy as np
+            class Scorer:
+                def cols(self, key):
+                    return self._cache.setdefault(key, np.zeros(4))
+        """)
+        assert rules(findings) == ["ALI001"]
+
+    def test_non_cache_dict_clean(self):
+        # Only attributes whose name marks them as caches are in scope.
+        assert lint("""
+            import numpy as np
+            class Builder:
+                def add(self, key):
+                    self._parts[key] = np.zeros(4)
+        """) == []
+
+
+class TestALI002ExposedStoredArrays:
+    def test_returned_unfrozen_attr_flagged(self):
+        findings = lint("""
+            import numpy as np
+            class Snapshot:
+                def __init__(self, n):
+                    self.agg = np.zeros(n)
+                def columns(self, t):
+                    return self.agg[:, t]
+        """)
+        assert rules(findings) == ["ALI002"]
+
+    def test_frozen_in_init_clean(self):
+        assert lint("""
+            import numpy as np
+            class Snapshot:
+                def __init__(self, n):
+                    self.agg = np.zeros(n)
+                    self.agg.setflags(write=False)
+                def columns(self, t):
+                    return self.agg[:, t]
+        """) == []
+
+    def test_freeze_loop_idiom_clean(self):
+        # The idiom fleet.py / RoundScorer use: one loop over a tuple of
+        # the stored arrays.
+        assert lint("""
+            import numpy as np
+            class Snapshot:
+                def __init__(self, n):
+                    self.a = np.zeros(n)
+                    self.b = np.ones(n)
+                    for arr in (self.a, self.b):
+                        arr.setflags(write=False)
+                def columns(self, t):
+                    return self.a[:, t], self.b[:, t]
+        """) == []
+
+    def test_unreturned_mutable_workspace_clean(self):
+        # HostBatch-style mutable workspaces are fine as long as they are
+        # never handed out.
+        assert lint("""
+            import numpy as np
+            class Batch:
+                def __init__(self, n):
+                    self.used = np.zeros(n)
+                def commit(self, i, amount):
+                    self.used[i] += amount
+        """) == []
+
+
+class TestALI003DocumentedViews:
+    def test_mutating_documented_view_flagged(self):
+        findings = lint("""
+            def scale(cols, factor):
+                '''Scale demand columns.
+
+                cols: view into the fleet snapshot - do not mutate.
+                '''
+                cols[:] = cols * factor
+        """)
+        assert rules(findings) == ["ALI003"]
+
+    def test_augassign_on_snapshot_param_flagged(self):
+        findings = lint("""
+            def bump(rps):
+                '''rps: snapshot column shared across shards.'''
+                rps += 1.0
+        """)
+        assert rules(findings) == ["ALI003"]
+
+    def test_undocumented_param_clean(self):
+        assert lint("""
+            def scale(cols, factor):
+                '''Scale a scratch buffer the caller owns.'''
+                cols[:] = cols * factor
+        """) == []
+
+    def test_copy_then_mutate_clean(self):
+        assert lint("""
+            def scale(cols, factor):
+                '''cols: view into the fleet snapshot - do not mutate.'''
+                out = cols.copy()
+                out[:] = out * factor
+                return out
+        """) == []

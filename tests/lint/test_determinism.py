@@ -1,0 +1,124 @@
+"""Fixture snippets for the determinism rules (DET001-003)."""
+
+import textwrap
+
+from repro.lint import run_lint_source
+
+
+def lint(source, module="repro.sim.snippet"):
+    return run_lint_source(textwrap.dedent(source), module=module)
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestDET001NumpyGlobalState:
+    def test_seed_flagged(self):
+        findings = lint("""
+            import numpy as np
+            np.random.seed(3)
+        """)
+        assert rules(findings) == ["DET001"]
+        assert "numpy.random.seed" in findings[0].message
+
+    def test_module_call_flagged_through_alias(self):
+        findings = lint("""
+            import numpy
+            def draw():
+                return numpy.random.uniform(0.0, 1.0)
+        """)
+        assert rules(findings) == ["DET001"]
+
+    def test_default_rng_clean(self):
+        assert lint("""
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.uniform(0.0, 1.0)
+        """) == []
+
+    def test_generator_and_seedsequence_clean(self):
+        assert lint("""
+            import numpy as np
+            g = np.random.Generator(np.random.PCG64(7))
+            ss = np.random.SeedSequence(42)
+        """) == []
+
+
+class TestDET002StdlibRandom:
+    def test_module_level_draw_flagged(self):
+        findings = lint("""
+            import random
+            def jitter():
+                return random.random() * 2.0
+        """)
+        assert rules(findings) == ["DET002"]
+
+    def test_seedable_instance_clean(self):
+        assert lint("""
+            import random
+            rng = random.Random(7)
+            x = rng.random()
+        """) == []
+
+    def test_shuffle_flagged(self):
+        findings = lint("""
+            import random
+            def mix(items):
+                random.shuffle(items)
+        """)
+        assert rules(findings) == ["DET002"]
+
+
+class TestDET003WallClock:
+    def test_time_time_flagged(self):
+        findings = lint("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert rules(findings) == ["DET003"]
+
+    def test_perf_counter_clean(self):
+        # Timing a computation is fine; feeding wall-clock values into
+        # simulation state is what the rule targets.
+        assert lint("""
+            import time
+            t0 = time.perf_counter()
+        """) == []
+
+    def test_datetime_now_flagged_through_from_import(self):
+        findings = lint("""
+            from datetime import datetime
+            def today_key():
+                return datetime.now().isoformat()
+        """)
+        assert rules(findings) == ["DET003"]
+
+    def test_exempt_module_clean(self):
+        # The warm server legitimately reports real uptime.
+        assert lint("""
+            import time
+            started = time.time()
+        """, module="repro.service.app") == []
+
+
+class TestSuppression:
+    def test_inline_pragma_suppresses_one_rule(self):
+        assert lint("""
+            import time
+            t = time.time()  # lint: ignore[DET003] uptime is the point
+        """) == []
+
+    def test_bare_pragma_suppresses_all(self):
+        assert lint("""
+            import numpy as np
+            np.random.seed(0)  # lint: ignore
+        """) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        findings = lint("""
+            import time
+            t = time.time()  # lint: ignore[DET001]
+        """)
+        assert rules(findings) == ["DET003"]

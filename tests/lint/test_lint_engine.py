@@ -1,0 +1,146 @@
+"""Engine behavior: ordering, baselines, CLI exit codes, artifacts."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (Baseline, Finding, apply_baseline, fingerprint,
+                        render_findings, run_lint)
+
+BAD_MODULE = """
+    import time
+
+    def stamp():
+        return time.time()
+"""
+
+
+def make_tree(tmp_path, source=BAD_MODULE):
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "mod.py").write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def finding(**overrides):
+    base = dict(path="src/pkg/mod.py", line=5, col=11, rule="DET003",
+                severity="error", symbol="pkg.mod.stamp",
+                message="wall clock")
+    base.update(overrides)
+    return Finding(**base)
+
+
+class TestDeterminism:
+    def test_two_runs_identical(self, tmp_path):
+        root = make_tree(tmp_path)
+        a = run_lint(paths=[root / "src" / "pkg"], root=root)
+        b = run_lint(paths=[root / "src" / "pkg"], root=root)
+        assert a == b
+        assert [f.rule for f in a] == ["DET003"]
+
+    def test_findings_sorted_by_anchor(self):
+        out = sorted([finding(line=9), finding(line=2),
+                      finding(path="a.py", line=50)])
+        assert [(f.path, f.line) for f in out] == [
+            ("a.py", 50), ("src/pkg/mod.py", 2), ("src/pkg/mod.py", 9)]
+
+    def test_unreadable_and_syntax_errors_are_findings(self, tmp_path):
+        root = make_tree(tmp_path, source="def broken(:\n")
+        out = run_lint(paths=[root / "src" / "pkg"], root=root)
+        assert [f.rule for f in out] == ["E001"]
+
+
+class TestBaseline:
+    def test_fingerprint_is_line_independent(self):
+        assert fingerprint(finding(line=5)) == fingerprint(finding(line=99))
+        assert fingerprint(finding()) != fingerprint(finding(rule="DET001"))
+
+    def test_roundtrip(self, tmp_path):
+        baseline = Baseline.from_findings([finding(), finding(line=9)])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        # Two identical-fingerprint findings share one count=2 entry.
+        (entry,) = loaded.entries.values()
+        assert entry["count"] == 2
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"some": "other json"}')
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            Baseline.load(path)
+
+    def test_apply_baseline_counts(self):
+        pair = [finding(line=5), finding(line=9)]
+        baseline = Baseline.from_findings(pair[:1])
+        new, known = apply_baseline(pair, baseline)
+        # One entry absorbs one finding; the duplicate resurfaces as new.
+        assert len(known) == 1 and len(new) == 1
+
+    def test_render_marks_baselined(self):
+        text = render_findings([finding()], [finding(line=9)])
+        assert "error [pkg.mod.stamp]" in text
+        assert "warning (baselined)" in text
+
+
+class TestCLI:
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        root = make_tree(tmp_path)
+        code = main(["lint", str(root / "src" / "pkg"),
+                     "--root", str(root)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DET003" in out and "1 new finding(s)" in out
+
+    def test_exit_0_clean(self, tmp_path, capsys):
+        root = make_tree(tmp_path, source="x = 1\n")
+        assert main(["lint", str(root / "src" / "pkg"),
+                     "--root", str(root)]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_exit_2_on_missing_path(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_exit_2_on_bad_baseline(self, tmp_path, capsys):
+        root = make_tree(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["lint", str(root / "src" / "pkg"),
+                     "--root", str(root), "--baseline", str(bad)]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        root = make_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        tree = str(root / "src" / "pkg")
+        assert main(["lint", tree, "--root", str(root),
+                     "--write-baseline", str(baseline)]) == 0
+        # Baselined findings warn but do not fail.
+        assert main(["lint", tree, "--root", str(root),
+                     "--baseline", str(baseline)]) == 0
+        assert "(baselined)" in capsys.readouterr().out
+
+    def test_json_artifact(self, tmp_path):
+        root = make_tree(tmp_path)
+        out = tmp_path / "findings.json"
+        code = main(["lint", str(root / "src" / "pkg"),
+                     "--root", str(root), "--json", str(out), "--quiet"])
+        assert code == 1
+        data = json.loads(out.read_text())
+        assert data["version"] == 1 and data["n_new"] == 1
+        (row,) = data["findings"]
+        assert row["rule"] == "DET003" and not row["baselined"]
+        assert row["fingerprint"]
+
+    def test_quiet_suppresses_stdout(self, tmp_path, capsys):
+        root = make_tree(tmp_path)
+        code = main(["lint", str(root / "src" / "pkg"),
+                     "--root", str(root), "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.out == ""

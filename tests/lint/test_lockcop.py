@@ -1,0 +1,107 @@
+"""LockCop: the instrumented lock + guarded-attribute shim."""
+
+import threading
+
+import pytest
+
+from repro.lint import CopLock, LockCop, LockCopViolation
+
+
+class Thing:
+    def __init__(self):
+        self.lock = threading.RLock()
+        self.t = 0
+        self.name = "thing"
+
+    def step(self):
+        with self.lock:
+            self.t += 1
+
+    def sneak_read(self):
+        return self.t
+
+    def sneak_write(self):
+        self.t = 99
+
+
+class TestCopLock:
+    def test_tracks_owner(self):
+        lock = CopLock()
+        assert not lock.held_by_current_thread
+        with lock:
+            assert lock.held_by_current_thread
+        assert not lock.held_by_current_thread
+
+    def test_reentrant(self):
+        lock = CopLock()
+        with lock:
+            with lock:
+                assert lock.held_by_current_thread
+            assert lock.held_by_current_thread
+        assert lock.acquisitions == 2
+
+    def test_other_thread_not_owner(self):
+        lock = CopLock()
+        seen = []
+        with lock:
+            th = threading.Thread(
+                target=lambda: seen.append(lock.held_by_current_thread))
+            th.start()
+            th.join()
+        assert seen == [False]
+
+
+class TestLockCop:
+    def test_guarded_access_under_lock_clean(self):
+        thing = Thing()
+        with LockCop(thing, guarded=("t",)) as cop:
+            thing.step()
+            with thing.lock:
+                assert thing.t == 1
+        assert cop.violations == []
+
+    def test_unguarded_read_and_write_recorded(self):
+        thing = Thing()
+        with LockCop(thing, guarded=("t",)) as cop:
+            thing.sneak_read()
+            thing.sneak_write()
+        ops = [(v.attr, v.op) for v in cop.violations]
+        assert ops == [("t", "read"), ("t", "write")]
+        assert all("test_lockcop" in v.site for v in cop.violations)
+
+    def test_unguarded_attrs_stay_free(self):
+        thing = Thing()
+        with LockCop(thing, guarded=("t",)) as cop:
+            assert thing.name == "thing"
+            thing.name = "renamed"
+        assert cop.violations == []
+
+    def test_strict_raises_at_the_access(self):
+        thing = Thing()
+        with LockCop(thing, guarded=("t",), strict=True):
+            with pytest.raises(AssertionError, match="unguarded read"):
+                thing.sneak_read()
+
+    def test_uninstall_restores_class(self):
+        thing = Thing()
+        cop = LockCop(thing, guarded=("t",))
+        assert type(thing) is not Thing
+        cop.uninstall()
+        assert type(thing) is Thing
+        thing.sneak_read()  # no longer recorded
+        assert cop.violations == []
+
+    def test_lock_attr_cannot_be_guarded(self):
+        with pytest.raises(ValueError):
+            LockCop(Thing(), guarded=("t", "lock"))
+
+    def test_cross_thread_violation_names_the_thread(self):
+        thing = Thing()
+        with LockCop(thing, guarded=("t",)) as cop:
+            th = threading.Thread(target=thing.sneak_read,
+                                  name="intruder")
+            th.start()
+            th.join()
+        (violation,) = cop.violations
+        assert isinstance(violation, LockCopViolation)
+        assert violation.thread == "intruder"

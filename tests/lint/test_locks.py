@@ -1,0 +1,124 @@
+"""Fixture snippets + real-tree checks for lock discipline (LCK001-002)."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import run_lint, run_lint_source
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: A Session-shaped class with one deliberately unguarded read and one
+#: unguarded write — the acceptance fixture for this rule family.
+BAD_SESSION = """
+    import threading
+
+    class Session:
+        def __init__(self):
+            self.lock = threading.RLock()
+            self.t = 0
+            self._round = None
+
+        def step(self):
+            with self.lock:
+                self.t += 1
+                self._round = None
+
+        def peek(self):
+            return self.t          # unguarded read -> LCK002
+
+        def reset(self):
+            self.t = 0             # unguarded write -> LCK001
+"""
+
+
+def lint(source):
+    return run_lint_source(textwrap.dedent(source),
+                           module="repro.service.fix")
+
+
+def rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestFixtures:
+    def test_unguarded_access_flagged(self):
+        findings = lint(BAD_SESSION)
+        assert rules(findings) == ["LCK001", "LCK002"]
+        by_rule = {f.rule: f for f in findings}
+        assert "reset" in by_rule["LCK001"].symbol
+        assert "peek" in by_rule["LCK002"].symbol
+        assert "self.t" in by_rule["LCK001"].message
+
+    def test_caller_must_hold_docstring_transfers_obligation(self):
+        assert lint("""
+            import threading
+
+            class Session:
+                def step(self):
+                    with self.lock:
+                        self.t += 1
+
+                def peek(self):
+                    '''Caller must hold :attr:`lock`.'''
+                    return self.t
+        """) == []
+
+    def test_init_neither_guarded_nor_flagged(self):
+        assert lint("""
+            import threading
+
+            class Session:
+                def __init__(self):
+                    self.lock = threading.RLock()
+                    self.t = 0
+
+                def step(self):
+                    with self.lock:
+                        self.t += 1
+        """) == []
+
+    def test_underscore_lock_recognized(self):
+        findings = lint("""
+            class Batcher:
+                def close(self):
+                    with self._lock:
+                        self._closed = True
+
+                def submit(self):
+                    if self._closed:
+                        raise RuntimeError
+        """)
+        assert rules(findings) == ["LCK002"]
+
+    def test_lockless_class_out_of_scope(self):
+        # No ``with self.lock`` anywhere: plain single-threaded state.
+        assert lint("""
+            class Counter:
+                def bump(self):
+                    self.n += 1
+
+                def read(self):
+                    return self.n
+        """) == []
+
+    def test_read_inside_with_block_clean(self):
+        assert lint("""
+            class Session:
+                def step(self):
+                    with self.lock:
+                        self.t += 1
+
+                def snapshot(self):
+                    with self.lock:
+                        return self.t
+        """) == []
+
+
+class TestRealServiceLayer:
+    def test_service_layer_is_lock_clean(self):
+        """The acceptance bar: the real service passes the lock rule."""
+        findings = run_lint(paths=[REPO / "src" / "repro" / "service"],
+                            root=REPO)
+        lock_findings = [f for f in findings
+                        if f.rule.startswith("LCK")]
+        assert lock_findings == []

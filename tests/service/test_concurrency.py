@@ -14,6 +14,7 @@ import pytest
 from repro.core.bestfit import SchedulingRound
 from repro.core.estimators import MLEstimator, OracleEstimator
 from repro.experiments.scenario import multidc_system
+from repro.lint import LockCop
 from repro.service.app import PlacementService
 
 N_THREADS = 8
@@ -77,7 +78,15 @@ class TestServicePlaceConcurrency:
                     answers[i].append((vm_id,
                                        payload["placements"][vm_id]))
 
-        run_threads(N_THREADS, query)
+        # The stampede doubles as a dynamic lock-discipline audit: every
+        # touch of the session's guarded state from any interleaving the
+        # micro-batcher produces must hold the session lock
+        # (repro.lint.lockcop — the runtime twin of the static LCK rule).
+        with LockCop(session,
+                     guarded=("t", "_round", "n_place_queries")) as cop:
+            run_threads(N_THREADS, query)
+        assert cop.violations == [], [str(v) for v in cop.violations]
+        assert cop.lock.acquisitions > 0  # the audit actually saw traffic
         for per_thread in answers:
             assert len(per_thread) == N_REPEATS * len(vm_ids)
             for vm_id, entry in per_thread:
